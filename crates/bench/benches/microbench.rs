@@ -1,0 +1,118 @@
+//! Criterion microbenchmarks: the solver's computational primitives plus
+//! end-to-end factor/solve at small sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srsf_core::{factorize, FactorOpts};
+use srsf_fft::fft::Fft;
+use srsf_geometry::grid::UnitGrid;
+use srsf_kernels::assemble::assemble_block;
+use srsf_kernels::fast_op::FastKernelOp;
+use srsf_kernels::helmholtz::HelmholtzKernel;
+use srsf_kernels::laplace::LaplaceKernel;
+use srsf_kernels::util::random_vector;
+use srsf_linalg::{c64, interp_decomp, LinOp, Mat};
+use srsf_special::bessel::{j0, y0};
+
+fn bench_bessel(c: &mut Criterion) {
+    c.bench_function("bessel/hankel0_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            let mut x = 0.05;
+            while x < 60.0 {
+                acc += j0(x) + y0(x);
+                x += 0.37;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [256usize, 4096] {
+        let plan = Fft::new(n);
+        let x: Vec<c64> = (0..n).map(|i| c64::new(i as f64, -(i as f64))).collect();
+        g.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut y = x.clone();
+                plan.forward(&mut y);
+                std::hint::black_box(y)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_id(c: &mut Criterion) {
+    // Proxy-shaped compression: tall smooth-kernel matrix.
+    let src: Vec<f64> = (0..64).map(|i| i as f64 / 64.0).collect();
+    let trg: Vec<f64> = (0..400).map(|i| 3.0 + i as f64 / 400.0).collect();
+    let a = Mat::from_fn(400, 64, |i, j| 1.0 / (trg[i] - src[j]));
+    c.bench_function("id/proxy_shaped_400x64", |b| {
+        b.iter(|| std::hint::black_box(interp_decomp(a.clone(), 1e-6, usize::MAX)))
+    });
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let grid = UnitGrid::new(64);
+    let laplace = LaplaceKernel::new(&grid);
+    let helmholtz = HelmholtzKernel::new(&grid, 25.0);
+    let pts = grid.points();
+    let rows: Vec<usize> = (0..256).collect();
+    let cols: Vec<usize> = (1000..1064).collect();
+    c.bench_function("assembly/laplace_256x64", |b| {
+        b.iter(|| std::hint::black_box(assemble_block(&laplace, &pts, &rows, &cols)))
+    });
+    c.bench_function("assembly/helmholtz_256x64", |b| {
+        b.iter(|| std::hint::black_box(assemble_block(&helmholtz, &pts, &rows, &cols)))
+    });
+}
+
+fn bench_factorize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("factorize");
+    g.sample_size(10);
+    for side in [32usize, 64] {
+        let grid = UnitGrid::new(side);
+        let kernel = LaplaceKernel::new(&grid);
+        let pts = grid.points();
+        let opts = FactorOpts { tol: 1e-6, leaf_size: 64, ..FactorOpts::default() };
+        g.bench_with_input(BenchmarkId::new("laplace", side * side), &side, |b, _| {
+            b.iter(|| std::hint::black_box(factorize(&kernel, &pts, &opts).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let grid = UnitGrid::new(64);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    let opts = FactorOpts { tol: 1e-6, leaf_size: 64, ..FactorOpts::default() };
+    let f = factorize(&kernel, &pts, &opts).unwrap();
+    let b = random_vector::<f64>(grid.n(), 3);
+    c.bench_function("solve/laplace_4096", |bch| {
+        bch.iter(|| std::hint::black_box(f.solve(&b)))
+    });
+}
+
+fn bench_fast_matvec(c: &mut Criterion) {
+    let grid = UnitGrid::new(64);
+    let kernel = LaplaceKernel::new(&grid);
+    let fast = FastKernelOp::laplace(&kernel, &grid);
+    let x = random_vector::<f64>(grid.n(), 4);
+    c.bench_function("fast_matvec/laplace_4096", |b| {
+        b.iter(|| std::hint::black_box(fast.apply(&x)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bessel,
+    bench_fft,
+    bench_id,
+    bench_assembly,
+    bench_factorize,
+    bench_solve,
+    bench_fast_matvec
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! §IV validation — measured communication volumes vs the paper's bounds:
+//! per-process messages = O(log N + log p), words = O(sqrt(N/p) + log p).
+
+use srsf_bench::{is_large, rule, run_laplace_case, sweep_sides};
+use srsf_core::FactorOpts;
+use srsf_runtime::NetworkModel;
+
+fn main() {
+    let opts = FactorOpts { tol: 1e-6, leaf_size: 64, ..FactorOpts::default() };
+    let model = NetworkModel::intra_node();
+    println!("Communication-bound validation (Eq. 13): Laplace, eps = 1e-6");
+    println!(
+        "{:>8} {:>5} {:>10} {:>12} {:>12} {:>14}",
+        "N", "p", "max msgs", "max words", "sqrt(N/p)", "words/sqrt(N/p)"
+    );
+    rule(68);
+    let mut sides = sweep_sides(is_large());
+    if !sides.contains(&256) && is_large() {
+        sides.push(256);
+    }
+    for side in sides {
+        for p in [4usize, 16] {
+            if side * side / p < 1024 {
+                continue;
+            }
+            let c = run_laplace_case(side, p, &opts, &model);
+            let sqrt_np = ((side * side) as f64 / p as f64).sqrt();
+            println!(
+                "{:>8} {:>5} {:>10} {:>12} {:>12.1} {:>14.1}",
+                side * side,
+                p,
+                c.stats.max_msgs(),
+                c.stats.max_words(),
+                sqrt_np,
+                c.stats.max_words() as f64 / sqrt_np
+            );
+        }
+    }
+    rule(68);
+    println!("expected: max msgs grows ~log N (constant per level), and");
+    println!("words/sqrt(N/p) approaches a constant as N grows (boundary-dominated traffic)");
+}

@@ -1,0 +1,43 @@
+//! Figure 10 — factorization-time series of the shared-memory box-colored
+//! reference vs the distributed process-colored solver, across core counts
+//! (the plot form of Table VI).
+
+use srsf_bench::rule;
+use srsf_core::colored::{colored_factorize, ColorScheme};
+use srsf_core::distributed::dist_factorize;
+use srsf_core::FactorOpts;
+use srsf_geometry::grid::UnitGrid;
+use srsf_geometry::procgrid::ProcessGrid;
+use srsf_kernels::helmholtz::HelmholtzKernel;
+use std::time::Instant;
+
+fn main() {
+    let side = if srsf_bench::is_large() { 128 } else { 64 };
+    let grid = UnitGrid::new(side);
+    let kernel = HelmholtzKernel::new(&grid, 25.0);
+    let pts = grid.points();
+    println!("Figure 10 reproduction: tfact vs cores, shared (box-colored) vs distributed");
+    println!("Helmholtz kappa = 25, N = {side}^2");
+    for eps in [1e-3, 1e-6] {
+        let opts = FactorOpts { tol: eps, leaf_size: 64, ..FactorOpts::default() };
+        println!("\n  eps = {eps:.0e}");
+        println!("{:>5} {:>14} {:>14}", "p", "shared[s]", "distributed[s]");
+        rule(36);
+        for p in [1usize, 4] {
+            let t0 = Instant::now();
+            let _ = colored_factorize(&kernel, &pts, &opts, ColorScheme::Four, p).unwrap();
+            let shared = t0.elapsed().as_secs_f64();
+            let dist = if p == 1 {
+                let t = Instant::now();
+                let _ = srsf_core::factorize(&kernel, &pts, &opts).unwrap();
+                t.elapsed().as_secs_f64()
+            } else {
+                let t = Instant::now();
+                let _ = dist_factorize(&kernel, &pts, &ProcessGrid::new(p), &opts).unwrap();
+                t.elapsed().as_secs_f64()
+            };
+            println!("{:>5} {:>14.3} {:>14.3}", p, shared, dist);
+        }
+    }
+    println!("\n(paper: Fig. 10 — the two parallelization strategies track each other closely)");
+}

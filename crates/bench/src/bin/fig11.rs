@@ -1,0 +1,37 @@
+//! Figure 11 — weak scaling of the factorization time with one process per
+//! node (the plot form of Table VII): the same traffic costed under the
+//! inter-node network model, at fixed N/p.
+
+use srsf_bench::{rule, run_helmholtz_case};
+use srsf_core::FactorOpts;
+use srsf_runtime::NetworkModel;
+
+fn main() {
+    let opts = FactorOpts { tol: 1e-6, leaf_size: 64, ..FactorOpts::default() };
+    println!("Figure 11 reproduction: weak scaling, 1 process per node (inter-node model)");
+    println!("Helmholtz kappa = 25, eps = 1e-6");
+    println!(
+        "{:>8} {:>8} {:>5} {:>14} {:>14}",
+        "N/p", "N", "p", "t_inter[s]", "t_intra[s]"
+    );
+    rule(54);
+    let base: &[usize] = if srsf_bench::is_large() { &[64] } else { &[32] };
+    for &per in base {
+        for (p, mult) in [(4usize, 2usize), (16, 4)] {
+            let side = per * mult;
+            let c = run_helmholtz_case(side, p, 25.0, &opts, &NetworkModel::inter_node());
+            let inter = c.stats.critical_path_s(&NetworkModel::inter_node());
+            let intra = c.stats.critical_path_s(&NetworkModel::intra_node());
+            println!(
+                "{:>8} {:>8} {:>5} {:>14.4} {:>14.4}",
+                per * per,
+                side * side,
+                p,
+                inter,
+                intra
+            );
+        }
+    }
+    rule(54);
+    println!("(paper: Fig. 11 — weak-scaling curves stay nearly flat; network cost is minor)");
+}

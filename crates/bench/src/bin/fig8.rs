@@ -1,0 +1,56 @@
+//! Figure 8 — strong and weak scaling of the Helmholtz (kappa = 25)
+//! factorization time.
+
+use srsf_bench::{is_large, rule, run_helmholtz_case};
+use srsf_core::FactorOpts;
+use srsf_runtime::NetworkModel;
+
+fn main() {
+    let opts = FactorOpts { tol: 1e-6, leaf_size: 64, ..FactorOpts::default() };
+    let model = NetworkModel::intra_node();
+    let kappa = 25.0;
+    let large = is_large();
+
+    println!("Figure 8a reproduction: Helmholtz strong scaling (kappa = 25)");
+    println!("{:>8} {:>5} {:>12} {:>10}", "N", "p", "tmodel[s]", "twall[s]");
+    rule(40);
+    let sides: &[usize] = if large { &[128, 256] } else { &[64, 128] };
+    for &side in sides {
+        for p in [1usize, 4, 16] {
+            if side / ((p as f64).sqrt() as usize).max(1) < 16 {
+                continue;
+            }
+            let c = run_helmholtz_case(side, p, kappa, &opts, &model);
+            println!(
+                "{:>8} {:>5} {:>12.3} {:>10.3}",
+                side * side,
+                p,
+                c.tfact_model,
+                c.tfact_wall
+            );
+        }
+        rule(40);
+    }
+
+    println!();
+    println!("Figure 8b reproduction: Helmholtz weak scaling (N/p fixed)");
+    println!("{:>8} {:>8} {:>5} {:>12} {:>10}", "N/p", "N", "p", "tmodel[s]", "twall[s]");
+    rule(48);
+    let base: &[usize] = if large { &[64, 128] } else { &[32, 64] };
+    for &per in base {
+        for (p, mult) in [(1usize, 1usize), (4, 2), (16, 4)] {
+            let side = per * mult;
+            let c = run_helmholtz_case(side, p, kappa, &opts, &model);
+            println!(
+                "{:>8} {:>8} {:>5} {:>12.3} {:>10.3}",
+                per * per,
+                side * side,
+                p,
+                c.tfact_model,
+                c.tfact_wall
+            );
+        }
+        rule(48);
+    }
+    println!("(paper: Fig. 8 — greater speedups than Laplace because Hankel evaluation dominates)");
+}

@@ -1,0 +1,69 @@
+//! Figure 9 — average skeleton ranks per tree level for the three kernel
+//! configurations: Laplace, Helmholtz (kappa = 25), Helmholtz
+//! (kappa = O(sqrt(N))).
+//!
+//! The paper's observation: ranks are essentially constant in N for the
+//! non-oscillatory kernels (the basis of the O(N) claim) and grow with
+//! kappa for the high-frequency runs.
+
+use srsf_bench::{is_large, rule, sweep_sides};
+use srsf_core::{factorize, FactorOpts};
+use srsf_geometry::grid::UnitGrid;
+use srsf_kernels::helmholtz::HelmholtzKernel;
+use srsf_kernels::laplace::LaplaceKernel;
+
+fn rank_table_for(name: &str, sides: &[usize], make_kappa: impl Fn(usize) -> Option<f64>) {
+    println!("{name}");
+    let opts = FactorOpts { tol: 1e-6, leaf_size: 64, ..FactorOpts::default() };
+    // Collect per-side rank tables.
+    let mut tables = Vec::new();
+    for &side in sides {
+        let grid = UnitGrid::new(side);
+        let pts = grid.points();
+        let stats = match make_kappa(side) {
+            None => {
+                let k = LaplaceKernel::new(&grid);
+                factorize(&k, &pts, &opts).unwrap().stats().clone()
+            }
+            Some(kappa) => {
+                let k = HelmholtzKernel::new(&grid, kappa);
+                factorize(&k, &pts, &opts).unwrap().stats().clone()
+            }
+        };
+        tables.push((side, stats));
+    }
+    // Header: one column per N.
+    print!("{:>6}", "level");
+    for (side, _) in &tables {
+        print!(" {:>8}", format!("{side}^2"));
+    }
+    println!();
+    rule(8 + 9 * tables.len());
+    let max_level = tables
+        .iter()
+        .flat_map(|(_, s)| s.rank_table().into_iter().map(|(l, _)| l))
+        .max()
+        .unwrap_or(0);
+    for level in (3..=max_level).rev() {
+        print!("{:>6}", level);
+        for (_, stats) in &tables {
+            match stats.avg_rank(level) {
+                Some(r) => print!(" {:>8.1}", r),
+                None => print!(" {:>8}", "-"),
+            }
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() {
+    println!("Figure 9 reproduction: average skeleton rank per level (eps = 1e-6)\n");
+    let sides = sweep_sides(is_large());
+    rank_table_for("Laplace", &sides, |_| None);
+    rank_table_for("Helmholtz (kappa = 25)", &sides, |_| Some(25.0));
+    rank_table_for("Helmholtz (kappa = pi*sqrt(N)/16)", &sides, |side| {
+        Some(core::f64::consts::PI * side as f64 / 16.0)
+    });
+    println!("(paper: Fig. 9 — Laplace/fixed-kappa ranks ~constant in N; O(sqrt(N))-kappa ranks grow)");
+}

@@ -1,0 +1,36 @@
+//! Table IV — Helmholtz kernel at fixed frequency kappa = 25: runtimes vs
+//! (N, p).
+
+use srsf_bench::{is_large, rule, run_helmholtz_case, sweep_procs, sweep_sides};
+use srsf_core::FactorOpts;
+use srsf_runtime::NetworkModel;
+
+fn main() {
+    let opts = FactorOpts { tol: 1e-6, leaf_size: 64, ..FactorOpts::default() };
+    let model = NetworkModel::intra_node();
+    let kappa = 25.0;
+    println!("Table IV reproduction: 2-D Helmholtz kernel, kappa = 25, eps = 1e-6");
+    println!(
+        "{:>8} {:>5} {:>10} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "N", "p", "tfact[s]", "tcomp[s]", "tother[s]", "tmodel[s]", "tsolve[s]", "relres"
+    );
+    rule(84);
+    for side in sweep_sides(is_large()) {
+        for p in sweep_procs(side) {
+            let c = run_helmholtz_case(side, p, kappa, &opts, &model);
+            println!(
+                "{:>8} {:>5} {:>10.3} {:>10.3} {:>10.3} {:>12.3} {:>10.4} {:>10.2e}",
+                side * side,
+                p,
+                c.tfact_wall,
+                c.tcomp,
+                c.tother,
+                c.tfact_model,
+                c.tsolve,
+                c.relres
+            );
+        }
+        rule(84);
+    }
+    println!("(paper: Table IV — Helmholtz tfact larger than Laplace at equal N; Hankel evals dominate)");
+}

@@ -1,0 +1,79 @@
+//! Table VI / Figure 10 — shared-memory box-colored solver (the paper's
+//! C++/OpenMP reference) vs the distributed process-colored solver, across
+//! compression tolerances, on one "node".
+//!
+//! Both drivers share the identical per-box elimination kernel, so the
+//! comparison isolates the parallel schedule, exactly as in the paper.
+
+use srsf_bench::rule;
+use srsf_core::colored::{colored_factorize, ColorScheme};
+use srsf_core::distributed::dist_factorize_and_solve;
+use srsf_core::FactorOpts;
+use srsf_geometry::grid::UnitGrid;
+use srsf_geometry::procgrid::ProcessGrid;
+use srsf_kernels::fast_op::FastKernelOp;
+use srsf_kernels::helmholtz::HelmholtzKernel;
+use srsf_kernels::util::random_vector;
+use srsf_iterative::gmres::{gmres, GmresOpts};
+use srsf_linalg::c64;
+use std::time::Instant;
+
+fn main() {
+    let side = if srsf_bench::is_large() { 128 } else { 64 };
+    let kappa = 25.0;
+    let grid = UnitGrid::new(side);
+    let kernel = HelmholtzKernel::new(&grid, kappa);
+    let pts = grid.points();
+    let fast = FastKernelOp::helmholtz(&kernel, &grid);
+    let b = random_vector::<c64>(grid.n(), 99);
+
+    println!("Table VI reproduction: box-colored (shared-memory ref) vs process-colored");
+    println!("(distributed), Helmholtz kappa = 25, N = {side}^2");
+    println!(
+        "{:>9} {:>3} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10} {:>4}",
+        "eps", "p", "sh tfact", "sh tsolve", "sh relres", "di tfact", "di tsolve", "di relres", "nit"
+    );
+    rule(96);
+    for eps in [1e-3, 1e-6, 1e-9, 1e-12] {
+        let opts = FactorOpts { tol: eps, leaf_size: 64, ..FactorOpts::default() };
+        for p in [1usize, 4] {
+            // Shared-memory reference: box coloring with p worker threads.
+            let t0 = Instant::now();
+            let fsh = colored_factorize(&kernel, &pts, &opts, ColorScheme::Four, p).unwrap();
+            let sh_fact = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let xsh = fsh.solve(&b);
+            let sh_solve = t1.elapsed().as_secs_f64();
+            let sh_rel = srsf_linalg::relative_residual(&fast, &xsh, &b);
+
+            // Distributed: p simulated ranks.
+            let (di_fact, di_solve, di_rel, fdi) = if p == 1 {
+                let t = Instant::now();
+                let f = srsf_core::factorize(&kernel, &pts, &opts).unwrap();
+                let tf = t.elapsed().as_secs_f64();
+                let t = Instant::now();
+                let x = f.solve(&b);
+                let ts = t.elapsed().as_secs_f64();
+                (tf, ts, srsf_linalg::relative_residual(&fast, &x, &b), f)
+            } else {
+                let pg = ProcessGrid::new(p);
+                let t = Instant::now();
+                let (f, _, x) =
+                    dist_factorize_and_solve(&kernel, &pts, &pg, &opts, Some(&b)).unwrap();
+                let total = t.elapsed().as_secs_f64();
+                let ts = f.stats().solve_s;
+                let x = x.unwrap();
+                (total - ts, ts, srsf_linalg::relative_residual(&fast, &x, &b), f)
+            };
+            let nit = gmres(&fast, Some(&fdi), &b, &GmresOpts { restart: 30, tol: 1e-12, max_iters: 200 })
+                .iterations;
+            println!(
+                "{:>9.0e} {:>3} | {:>10.3} {:>10.4} {:>10.2e} | {:>10.3} {:>10.4} {:>10.2e} {:>4}",
+                eps, p, sh_fact, sh_solve, sh_rel, di_fact, di_solve, di_rel, nit
+            );
+        }
+        rule(96);
+    }
+    println!("(paper: Table VI / Fig. 10 — the two schedules perform similarly on one node,");
+    println!(" with accuracy improving ~3 digits per 3 digits of eps)");
+}

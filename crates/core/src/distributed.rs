@@ -1,0 +1,1058 @@
+//! Algorithm 2: the distributed-memory parallel factorization and solve.
+//!
+//! Leaf boxes are block-partitioned over a `q x q` process grid (Figure 4).
+//! Every level runs as:
+//!
+//! 1. **Interior phase** — each rank factors its interior boxes (whose
+//!    1-rings stay on-rank), then ships skeleton lists, replaced blocks and
+//!    Schur deltas for the boundary-adjacent region its neighbors track.
+//! 2. **Four color rounds** (Figure 5) — ranks of one color factor their
+//!    boundary boxes; same-color ranks are never within box distance 2 of
+//!    each other (every rank holds at least 2x2 boxes), so rounds are
+//!    conflict-free and updates go to the 8 adjacent ranks only.
+//! 3. **Level transition** — ranks materialize the parent-level blocks
+//!    they own and refresh the parent active-set halo; when the coarser
+//!    level would leave a rank with fewer than 2x2 boxes, 2x2 rank groups
+//!    *fold* onto their corner rank, which inherits the group's blocks and
+//!    active sets (Section III-C).
+//!
+//! All data moves through explicit byte messages with per-rank counters,
+//! so the §IV communication bounds (messages = O(log N + log p), words =
+//! O(sqrt(N/p) + log p)) are measured rather than assumed. See DESIGN.md §5
+//! for the simulated-runtime substitution.
+
+use crate::elimination::{
+    apply_output, eliminate_box, BoxElimination, EliminationOutput, FactorError,
+};
+use crate::levels::assemble_parent_block;
+use crate::sequential::{domain_for, factor_top, Factorization};
+use crate::solve::{apply_downward, apply_upward, gather, scatter};
+use crate::stats::FactorStats;
+use crate::store::{ActiveSets, BlockStore};
+use crate::FactorOpts;
+use srsf_geometry::neighbors::near_field;
+use srsf_geometry::point::Point;
+use srsf_geometry::procgrid::ProcessGrid;
+use srsf_geometry::tree::{BoxId, QuadTree};
+use srsf_kernels::kernel::Kernel;
+use srsf_linalg::{Lu, Mat, Scalar};
+use srsf_runtime::codec::{ByteReader, ByteWriter};
+use srsf_runtime::world::{RankCtx, World};
+use srsf_runtime::WorldStats;
+use std::collections::{HashMap, HashSet};
+
+// Message kinds; tag = level * 64 + phase * 8 + kind, with phase in 0..=7.
+const KIND_PHASE_UPDATE: u32 = 0;
+const KIND_FOLD: u32 = 1;
+const KIND_ACT_REFRESH: u32 = 2;
+const KIND_TOP: u32 = 3;
+const KIND_RECORDS: u32 = 4;
+const KIND_SOLVE_UP: u32 = 5;
+const KIND_SOLVE_REQ: u32 = 6;
+const KIND_SOLVE_VAL: u32 = 7;
+
+fn tag(level: u8, phase: u8, kind: u32) -> u32 {
+    debug_assert!(phase < 8 && kind < 8);
+    (level as u32) * 64 + (phase as u32) * 8 + kind
+}
+
+fn put_box(w: &mut ByteWriter, b: &BoxId) {
+    w.put_u64(((b.level as u64) << 48) | ((b.ix as u64) << 24) | b.iy as u64);
+}
+
+fn get_box(r: &mut ByteReader) -> BoxId {
+    let v = r.get_u64();
+    BoxId {
+        level: (v >> 48) as u8,
+        ix: ((v >> 24) & 0xFF_FFFF) as u32,
+        iy: (v & 0xFF_FFFF) as u32,
+    }
+}
+
+fn put_ids(w: &mut ByteWriter, ids: &[u32]) {
+    w.put_u64(ids.len() as u64);
+    for &i in ids {
+        w.put_u64(i as u64);
+    }
+}
+
+fn get_ids(r: &mut ByteReader) -> Vec<u32> {
+    let n = r.get_u64() as usize;
+    (0..n).map(|_| r.get_u64() as u32).collect()
+}
+
+/// Inclusive box-coordinate bounds of a rank's block at a level.
+fn region_of(grid: &ProcessGrid, rank: usize, level: u8) -> (i64, i64, i64, i64) {
+    let qe = grid.effective_q(level);
+    let s = 1u32 << level;
+    let block = (s / qe) as i64;
+    let (ex, ey) = grid.effective_coords(rank, level);
+    let x0 = ex as i64 * block;
+    let y0 = ey as i64 * block;
+    (x0, y0, x0 + block - 1, y0 + block - 1)
+}
+
+/// `true` if `b` is within Chebyshev distance `d` of the rank's region.
+fn box_near_region(b: &BoxId, region: (i64, i64, i64, i64), d: i64) -> bool {
+    let (x0, y0, x1, y1) = region;
+    let bx = b.ix as i64;
+    let by = b.iy as i64;
+    bx >= x0 - d && bx <= x1 + d && by >= y0 - d && by <= y1 + d
+}
+
+/// Owner rank of point `ptid` at `level` (via its ancestor box).
+fn owner_of_point(grid: &ProcessGrid, tree: &QuadTree, pts: &[Point], ptid: u32, level: u8) -> usize {
+    let p = pts[ptid as usize];
+    let s = 1u64 << level;
+    let dom = tree.domain();
+    let inv = s as f64 / dom.side;
+    let ix = (((p.x - dom.lo.x) * inv) as u64).min(s - 1) as u32;
+    let iy = (((p.y - dom.lo.y) * inv) as u64).min(s - 1) as u32;
+    grid.owner(&BoxId { level, ix, iy })
+}
+
+/// Serialize one box's elimination side effects for a tracking rank:
+/// skeleton metadata always, block payloads filtered by the owner rule.
+fn encode_update<T: Scalar>(
+    w: &mut ByteWriter,
+    b: &BoxId,
+    out: &EliminationOutput<T>,
+    skel_ids: &[u32],
+    dst_rank: usize,
+    grid: &ProcessGrid,
+) {
+    put_box(w, b);
+    put_ids(w, &out.skel_positions.iter().map(|&p| p as u32).collect::<Vec<_>>());
+    put_ids(w, skel_ids);
+    let tracked: Vec<&(BoxId, BoxId, Mat<T>)> = out
+        .replaced
+        .iter()
+        .filter(|(x, y, _)| grid.owner(x) == dst_rank || grid.owner(y) == dst_rank)
+        .collect();
+    w.put_u64(tracked.len() as u64);
+    for (x, y, m) in tracked {
+        put_box(w, x);
+        put_box(w, y);
+        w.put_mat(m);
+    }
+    let deltas: Vec<&(BoxId, BoxId, Mat<T>)> = out
+        .deltas
+        .iter()
+        .filter(|(x, y, _)| grid.owner(x) == dst_rank || grid.owner(y) == dst_rank)
+        .collect();
+    w.put_u64(deltas.len() as u64);
+    for (x, y, m) in deltas {
+        put_box(w, x);
+        put_box(w, y);
+        w.put_mat(m);
+    }
+}
+
+/// Apply one received box update, mirroring `apply_output`'s order.
+fn decode_and_apply_update<K: Kernel>(
+    r: &mut ByteReader,
+    store: &mut BlockStore<'_, K>,
+    act: &mut ActiveSets,
+) {
+    let b = get_box(r);
+    let skel_positions: Vec<usize> = get_ids(r).into_iter().map(|v| v as usize).collect();
+    let skel_ids = get_ids(r);
+    let was_eliminated = skel_ids.len() != act.get(&b).len();
+    if was_eliminated {
+        store.shrink_box(&b, &skel_positions);
+    }
+    let n_replaced = r.get_u64() as usize;
+    let mut replaced = Vec::with_capacity(n_replaced);
+    for _ in 0..n_replaced {
+        let x = get_box(r);
+        let y = get_box(r);
+        replaced.push((x, y, r.get_mat::<K::Elem>()));
+    }
+    for (x, y, m) in replaced {
+        store.insert(x, y, m);
+    }
+    act.set(b, skel_ids);
+    let n_deltas = r.get_u64() as usize;
+    for _ in 0..n_deltas {
+        let x = get_box(r);
+        let y = get_box(r);
+        let m: Mat<K::Elem> = r.get_mat();
+        store.add_delta(x, y, &m, act);
+    }
+}
+
+fn encode_record<T: Scalar>(w: &mut ByteWriter, key: u64, rec: &BoxElimination<T>) {
+    w.put_u64(key);
+    put_box(w, &rec.box_id);
+    put_ids(w, &rec.redundant);
+    put_ids(w, &rec.skel);
+    put_ids(w, &rec.nbr);
+    w.put_mat(&rec.t);
+    w.put_mat(&rec.lu.lu);
+    w.put_u64_slice(&rec.lu.piv.iter().map(|&v| v as u64).collect::<Vec<_>>());
+    w.put_mat(&rec.es);
+    w.put_mat(&rec.en);
+    w.put_mat(&rec.fs);
+    w.put_mat(&rec.fnb);
+}
+
+fn decode_record<T: Scalar>(r: &mut ByteReader) -> (u64, BoxElimination<T>) {
+    let key = r.get_u64();
+    let box_id = get_box(r);
+    let redundant = get_ids(r);
+    let skel = get_ids(r);
+    let nbr = get_ids(r);
+    let t = r.get_mat();
+    let lu_mat = r.get_mat();
+    let piv: Vec<usize> = r.get_u64_slice().into_iter().map(|v| v as usize).collect();
+    (
+        key,
+        BoxElimination {
+            box_id,
+            redundant,
+            skel,
+            nbr,
+            t,
+            lu: Lu { lu: lu_mat, piv },
+            es: r.get_mat(),
+            en: r.get_mat(),
+            fs: r.get_mat(),
+            fnb: r.get_mat(),
+        },
+    )
+}
+
+/// Global elimination-order key: level sweep, then phase, then row-major.
+fn order_key(leaf: u8, level: u8, phase: u8, b: &BoxId) -> u64 {
+    (((leaf - level) as u64) << 44) | ((phase as u64) << 40) | b.flat() as u64
+}
+
+/// Per-rank state shared between the factorization and solve passes.
+struct RankState<T> {
+    records: Vec<(u64, BoxElimination<T>)>,
+    /// `(level, phase)` per record, aligned with `records`.
+    record_phase: Vec<(u8, u8)>,
+    /// Post-elimination active sets of *owned* boxes per level.
+    act_end: HashMap<u8, Vec<(BoxId, Vec<u32>)>>,
+    /// Fold bookkeeping for the solve: ids received from each retiring
+    /// member at each fold level.
+    fold_ids: HashMap<(u8, usize), Vec<u32>>,
+    stats: FactorStats,
+}
+
+/// Distributed factorization; returns the factorization assembled on rank
+/// 0 and the per-rank communication statistics.
+pub fn dist_factorize<K: Kernel>(
+    kernel: &K,
+    pts: &[Point],
+    grid: &ProcessGrid,
+    opts: &FactorOpts,
+) -> Result<(Factorization<K::Elem>, WorldStats), FactorError> {
+    let (f, s, _) = dist_factorize_and_solve(kernel, pts, grid, opts, None)?;
+    Ok((f, s))
+}
+
+/// Distributed factorization plus (optionally) one distributed solve.
+pub fn dist_factorize_and_solve<K: Kernel>(
+    kernel: &K,
+    pts: &[Point],
+    grid: &ProcessGrid,
+    opts: &FactorOpts,
+    rhs: Option<&[K::Elem]>,
+) -> Result<(Factorization<K::Elem>, WorldStats, Option<Vec<K::Elem>>), FactorError> {
+    let tree = QuadTree::build(pts, domain_for(pts), opts.leaf_size);
+    let leaf = tree.leaf_level();
+    let lmin = (opts.min_compress_level as u8).min(leaf);
+    let world = World::new(grid.p());
+
+    let (results, _total_stats) = world.run(|ctx| {
+        run_rank(ctx, kernel, pts, &tree, grid, opts, leaf, lmin, rhs)
+    });
+
+    // Report the *algorithmic* per-rank counters (pre record-gather); the
+    // gather that assembles the Factorization on rank 0 is an API artifact
+    // outside Algorithm 2's communication analysis.
+    let mut fact = None;
+    let mut stats = WorldStats::default();
+    for r in results {
+        match r {
+            Ok((rank_stats, payload)) => {
+                stats.per_rank.push(rank_stats);
+                if let Some(p) = payload {
+                    fact = Some(p);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let (f, x) = fact.expect("rank 0 must produce the factorization");
+    Ok((f, stats, x))
+}
+
+type RankOutput<T> =
+    Result<(srsf_runtime::stats::CommStats, Option<(Factorization<T>, Option<Vec<T>>)>), FactorError>;
+
+#[allow(clippy::too_many_arguments)]
+fn run_rank<K: Kernel>(
+    ctx: &mut RankCtx,
+    kernel: &K,
+    pts: &[Point],
+    tree: &QuadTree,
+    grid: &ProcessGrid,
+    opts: &FactorOpts,
+    leaf: u8,
+    lmin: u8,
+    rhs: Option<&[K::Elem]>,
+) -> RankOutput<K::Elem> {
+    let me = ctx.rank();
+    let t_total = std::time::Instant::now();
+    let mut store = BlockStore::new(kernel, pts);
+    let mut act = ActiveSets::new();
+    // Leaf active sets derive from the replicated tree geometry: no
+    // communication needed to initialize the halo.
+    for id in tree.boxes_at_level(leaf) {
+        act.set(id, tree.leaf_points(&id).to_vec());
+    }
+    let mut state = RankState::<K::Elem> {
+        records: Vec::new(),
+        record_phase: Vec::new(),
+        act_end: HashMap::new(),
+        fold_ids: HashMap::new(),
+        stats: FactorStats::new(pts.len(), leaf),
+    };
+
+    if leaf >= lmin && leaf >= 1 {
+        let mut level = leaf;
+        loop {
+            if grid.is_active(me, level) {
+                let (interior, boundary) = grid.classify_level(me, level);
+                run_phase(ctx, grid, tree, &mut store, &mut act, &interior, level, 0, opts, &mut state)?;
+                let my_color = grid.color(me, level);
+                for color in 0..4u8 {
+                    let mine = if color == my_color { boundary.clone() } else { Vec::new() };
+                    run_phase(ctx, grid, tree, &mut store, &mut act, &mine, level, 1 + color, opts, &mut state)?;
+                }
+                let snapshot: Vec<(BoxId, Vec<u32>)> = tree
+                    .boxes_at_level(level)
+                    .filter(|b| grid.owner(b) == me)
+                    .map(|b| (b, act.get(&b).to_vec()))
+                    .collect();
+                state.act_end.insert(level, snapshot);
+            }
+            ctx.barrier();
+            if level == lmin {
+                break;
+            }
+            level_transition(ctx, grid, tree, &mut store, &mut act, level, &mut state);
+            level -= 1;
+        }
+    } else {
+        let snapshot: Vec<(BoxId, Vec<u32>)> = tree
+            .boxes_at_level(leaf)
+            .filter(|b| grid.owner(b) == me)
+            .map(|b| (b, act.get(&b).to_vec()))
+            .collect();
+        state.act_end.insert(leaf, snapshot);
+    }
+
+    // Top gather and dense factorization on rank 0.
+    let top_level = if leaf >= lmin { lmin } else { leaf };
+    let top = gather_top(ctx, grid, tree, &mut store, &mut act, top_level)?;
+    state.stats.total_s = t_total.elapsed().as_secs_f64();
+    // Snapshot the *algorithmic* communication counters here: everything
+    // after this point (solve traffic is reported separately; shipping the
+    // records to rank 0 is an API convenience, not part of Algorithm 2)
+    // must not pollute the §IV bound measurements.
+    let algo_stats = ctx.stats();
+
+    // Optional distributed solve.
+    let t_solve = std::time::Instant::now();
+    let x = rhs.map(|b| {
+        dist_solve(ctx, grid, tree, pts, &state, top.as_ref(), top_level, leaf, lmin, b)
+    });
+    if rhs.is_some() {
+        state.stats.solve_s = t_solve.elapsed().as_secs_f64();
+    }
+    let x = match x {
+        Some(Some(v)) => Some(v),
+        _ => None,
+    };
+
+    // Gather records on rank 0 and assemble the factorization object.
+    let f = gather_factorization(ctx, grid, top, state, pts.len())?;
+    Ok((algo_stats, f.map(|f| (f, x))))
+}
+
+/// Eliminate `boxes` (phase `phase` of `level`), then exchange updates with
+/// the adjacent ranks. Every active rank calls this each phase (possibly
+/// with no boxes) so the message pattern stays globally consistent.
+#[allow(clippy::too_many_arguments)]
+fn run_phase<K: Kernel>(
+    ctx: &mut RankCtx,
+    grid: &ProcessGrid,
+    tree: &QuadTree,
+    store: &mut BlockStore<'_, K>,
+    act: &mut ActiveSets,
+    boxes: &[BoxId],
+    level: u8,
+    phase: u8,
+    opts: &FactorOpts,
+    state: &mut RankState<K::Elem>,
+) -> Result<(), FactorError> {
+    let me = ctx.rank();
+    let neighbors = grid.neighbor_ranks(me, level);
+    let regions: Vec<(usize, (i64, i64, i64, i64))> = neighbors
+        .iter()
+        .map(|&r| (r, region_of(grid, r, level)))
+        .collect();
+
+    // Which boxes each neighbor tracks (within distance 2 of its region).
+    let mut per_dst: HashMap<usize, Vec<usize>> =
+        neighbors.iter().map(|&r| (r, Vec::new())).collect();
+    for (i, b) in boxes.iter().enumerate() {
+        for (r, region) in &regions {
+            if box_near_region(b, *region, 2) {
+                per_dst.get_mut(r).expect("dst").push(i);
+            }
+        }
+    }
+
+    // Eliminate, keeping outputs so tracked ones can be encoded.
+    let mut outputs: Vec<EliminationOutput<K::Elem>> = Vec::with_capacity(boxes.len());
+    for b in boxes {
+        let out = ctx.compute(|| eliminate_box(store, act, tree, b, opts))?;
+        // Record before application mutates `act`.
+        let skel_ids: Vec<u32> = match &out.record {
+            Some(rec) => rec.skel.clone(),
+            None => act.get(b).to_vec(),
+        };
+        ctx.compute(|| apply_output(store, act, b, &out));
+        if let Some(rec) = &out.record {
+            state.stats.add_rank(level, rec.skel.len());
+            state
+                .records
+                .push((order_key(state.stats.leaf_level, level, phase, b), rec.clone()));
+            state.record_phase.push((level, phase));
+        }
+        let _ = skel_ids;
+        outputs.push(out);
+    }
+
+    // One framed message per adjacent rank.
+    for &dst in &neighbors {
+        let idxs = per_dst.remove(&dst).unwrap_or_default();
+        let mut w = ByteWriter::new();
+        w.put_u64(idxs.len() as u64);
+        for i in idxs {
+            let b = &boxes[i];
+            let out = &outputs[i];
+            let skel_ids: Vec<u32> = match &out.record {
+                Some(rec) => rec.skel.clone(),
+                None => act.get(b).to_vec(),
+            };
+            encode_update(&mut w, b, out, &skel_ids, dst, grid);
+        }
+        ctx.send(dst, tag(level, phase, KIND_PHASE_UPDATE), w.finish());
+    }
+    for &src in &neighbors {
+        let payload = ctx.recv(src, tag(level, phase, KIND_PHASE_UPDATE));
+        let mut r = ByteReader::new(payload);
+        let n_updates = r.get_u64();
+        for _ in 0..n_updates {
+            decode_and_apply_update(&mut r, store, act);
+        }
+    }
+    Ok(())
+}
+
+/// Level transition: fold shipments, parent-block materialization, child
+/// cleanup, and the parent active-set halo refresh.
+fn level_transition<K: Kernel>(
+    ctx: &mut RankCtx,
+    grid: &ProcessGrid,
+    tree: &QuadTree,
+    store: &mut BlockStore<'_, K>,
+    act: &mut ActiveSets,
+    child_level: u8,
+    state: &mut RankState<K::Elem>,
+) {
+    let me = ctx.rank();
+    let parent_level = child_level - 1;
+    let child_active = grid.is_active(me, child_level);
+    let parent_active_rank = grid.is_active(me, parent_level);
+    let fold = grid.effective_q(parent_level) < grid.effective_q(child_level);
+
+    if fold && child_active {
+        // The corner rank of my 2x2 group at the parent level.
+        let (x0, y0, _, _) = region_of(grid, me, child_level);
+        let my_first_parent = BoxId {
+            level: parent_level,
+            ix: (x0 / 2) as u32,
+            iy: (y0 / 2) as u32,
+        };
+        let corner = grid.owner(&my_first_parent);
+        if corner != me {
+            // Ship all stored child-level blocks plus all known child
+            // active sets to the corner, then retire.
+            let mut w = ByteWriter::new();
+            let pairs: Vec<_> = store
+                .stored_pairs()
+                .filter(|((a, _), _)| a.level == child_level)
+                .map(|((a, b), m)| (*a, *b, m.clone()))
+                .collect();
+            w.put_u64(pairs.len() as u64);
+            for (a, b, m) in &pairs {
+                put_box(&mut w, a);
+                put_box(&mut w, b);
+                w.put_mat(m);
+            }
+            let acts: Vec<(BoxId, Vec<u32>)> = tree
+                .boxes_at_level(child_level)
+                .filter(|b| !act.get(b).is_empty() || grid.owner(b) == me)
+                .map(|b| (b, act.get(&b).to_vec()))
+                .collect();
+            w.put_u64(acts.len() as u64);
+            for (b, ids) in &acts {
+                put_box(&mut w, b);
+                put_ids(&mut w, ids);
+            }
+            // Also ship the ids this rank still owns (for the solve's fold
+            // value exchange).
+            let owned_ids: Vec<u32> = state
+                .act_end
+                .get(&child_level)
+                .map(|v| v.iter().flat_map(|(_, ids)| ids.iter().copied()).collect())
+                .unwrap_or_default();
+            put_ids(&mut w, &owned_ids);
+            ctx.send(corner, tag(child_level, 5, KIND_FOLD), w.finish());
+        } else {
+            // Receive from the three retiring members of my group.
+            let stride = grid.q() / grid.effective_q(child_level);
+            let (cx, cy) = grid.coords_of(me);
+            for (dx, dy) in [(1u32, 0u32), (0, 1), (1, 1)] {
+                let member = grid.rank_of(cx + dx * stride, cy + dy * stride);
+                let payload = ctx.recv(member, tag(child_level, 5, KIND_FOLD));
+                let mut r = ByteReader::new(payload);
+                let n_pairs = r.get_u64();
+                for _ in 0..n_pairs {
+                    let a = get_box(&mut r);
+                    let b = get_box(&mut r);
+                    let m: Mat<K::Elem> = r.get_mat();
+                    store.insert(a, b, m);
+                }
+                let n_acts = r.get_u64();
+                for _ in 0..n_acts {
+                    let b = get_box(&mut r);
+                    let ids = get_ids(&mut r);
+                    act.set(b, ids);
+                }
+                let fold_ids = get_ids(&mut r);
+                state.fold_ids.insert((child_level, member), fold_ids);
+            }
+        }
+    }
+
+    if parent_active_rank {
+        // Materialize parent pairs (P, Q) at distance <= 1 where I own one
+        // side, assembling from child data.
+        let mut done: HashSet<(BoxId, BoxId)> = HashSet::new();
+        let mut to_insert = Vec::new();
+        let my_parents: Vec<BoxId> = tree
+            .boxes_at_level(parent_level)
+            .filter(|p| grid.owner(p) == me)
+            .collect();
+        for p in &my_parents {
+            let mut targets = vec![*p];
+            targets.extend(near_field(p));
+            for q in targets {
+                for (a, b) in [(*p, q), (q, *p)] {
+                    if !done.insert((a, b)) {
+                        continue;
+                    }
+                    let (blk, any) = assemble_parent_block(store, act, &a, &b);
+                    if any {
+                        to_insert.push((a, b, blk));
+                    }
+                }
+            }
+        }
+        // Parent active sets: every parent whose children I know —
+        // conservatively, my parents and those of adjacent regions.
+        let mut parent_acts = Vec::new();
+        let my_region = region_of(grid, me, parent_level);
+        for p in tree.boxes_at_level(parent_level) {
+            if box_near_region(&p, my_region, 2) {
+                let known = p
+                    .children()
+                    .iter()
+                    .all(|c| !act.get(c).is_empty() || grid.owner(c) == me || true);
+                let _ = known;
+                parent_acts.push((p, crate::levels::parent_active(act, &p)));
+            }
+        }
+        store.drop_level(child_level);
+        act.drop_level(child_level);
+        for (a, b, m) in to_insert {
+            store.insert(a, b, m);
+        }
+        for (p, ids) in parent_acts {
+            act.set(p, ids);
+        }
+        // Halo refresh: authoritative parent active sets to adjacent ranks.
+        let neighbors = grid.neighbor_ranks(me, parent_level);
+        for &dst in &neighbors {
+            let region = region_of(grid, dst, parent_level);
+            let entries: Vec<(BoxId, Vec<u32>)> = my_parents
+                .iter()
+                .filter(|p| box_near_region(p, region, 2))
+                .map(|p| (*p, act.get(p).to_vec()))
+                .collect();
+            let mut w = ByteWriter::new();
+            w.put_u64(entries.len() as u64);
+            for (b, ids) in &entries {
+                put_box(&mut w, b);
+                put_ids(&mut w, ids);
+            }
+            ctx.send(dst, tag(parent_level, 6, KIND_ACT_REFRESH), w.finish());
+        }
+        for &src in &neighbors {
+            let payload = ctx.recv(src, tag(parent_level, 6, KIND_ACT_REFRESH));
+            let mut r = ByteReader::new(payload);
+            let n = r.get_u64();
+            for _ in 0..n {
+                let b = get_box(&mut r);
+                let ids = get_ids(&mut r);
+                act.set(b, ids);
+            }
+        }
+    } else {
+        // Retired ranks drop their child-level data.
+        store.drop_level(child_level);
+        act.drop_level(child_level);
+    }
+    ctx.barrier();
+}
+
+/// Gather the remaining active blocks on rank 0 and factor the top.
+fn gather_top<K: Kernel>(
+    ctx: &mut RankCtx,
+    grid: &ProcessGrid,
+    tree: &QuadTree,
+    store: &mut BlockStore<'_, K>,
+    act: &mut ActiveSets,
+    top_level: u8,
+) -> Result<Option<(Vec<u32>, Lu<K::Elem>)>, FactorError> {
+    let me = ctx.rank();
+    let active = grid.active_ranks(top_level);
+    if me != 0 {
+        if active.contains(&me) {
+            let mut w = ByteWriter::new();
+            // Owned active sets.
+            let owned: Vec<(BoxId, Vec<u32>)> = tree
+                .boxes_at_level(top_level)
+                .filter(|b| grid.owner(b) == me)
+                .map(|b| (b, act.get(&b).to_vec()))
+                .collect();
+            w.put_u64(owned.len() as u64);
+            for (b, ids) in &owned {
+                put_box(&mut w, b);
+                put_ids(&mut w, ids);
+            }
+            // Stored pairs whose row box I own (authoritative, deduped).
+            let pairs: Vec<_> = store
+                .stored_pairs()
+                .filter(|((a, _), _)| a.level == top_level && grid.owner(a) == me)
+                .map(|((a, b), m)| (*a, *b, m.clone()))
+                .collect();
+            w.put_u64(pairs.len() as u64);
+            for (a, b, m) in &pairs {
+                put_box(&mut w, a);
+                put_box(&mut w, b);
+                w.put_mat(m);
+            }
+            ctx.send(0, tag(top_level, 6, KIND_TOP), w.finish());
+        }
+        return Ok(None);
+    }
+    for &src in active.iter().filter(|&&r| r != 0) {
+        let payload = ctx.recv(src, tag(top_level, 6, KIND_TOP));
+        let mut r = ByteReader::new(payload);
+        let n_acts = r.get_u64();
+        for _ in 0..n_acts {
+            let b = get_box(&mut r);
+            let ids = get_ids(&mut r);
+            act.set(b, ids);
+        }
+        let n_pairs = r.get_u64();
+        for _ in 0..n_pairs {
+            let a = get_box(&mut r);
+            let b = get_box(&mut r);
+            let m: Mat<K::Elem> = r.get_mat();
+            store.insert(a, b, m);
+        }
+    }
+    let (top_idx, top_lu) = factor_top(store, act, tree, top_level)
+        .map_err(|box_id| FactorError::SingularDiagonal { box_id })?;
+    Ok(Some((top_idx, top_lu)))
+}
+
+/// Gather all records on rank 0 and assemble the global factorization.
+fn gather_factorization<T: Scalar>(
+    ctx: &mut RankCtx,
+    grid: &ProcessGrid,
+    top: Option<(Vec<u32>, Lu<T>)>,
+    state: RankState<T>,
+    n: usize,
+) -> Result<Option<Factorization<T>>, FactorError> {
+    let me = ctx.rank();
+    if me != 0 {
+        let mut w = ByteWriter::new();
+        w.put_u64(state.records.len() as u64);
+        for (key, rec) in &state.records {
+            encode_record(&mut w, *key, rec);
+        }
+        ctx.send(0, tag(0, 7, KIND_RECORDS), w.finish());
+        return Ok(None);
+    }
+    let mut keyed: Vec<(u64, BoxElimination<T>)> = state.records;
+    for src in 1..grid.p() {
+        let payload = ctx.recv(src, tag(0, 7, KIND_RECORDS));
+        let mut r = ByteReader::new(payload);
+        let n_recs = r.get_u64();
+        for _ in 0..n_recs {
+            keyed.push(decode_record(&mut r));
+        }
+    }
+    keyed.sort_by_key(|(k, _)| *k);
+    let mut stats = state.stats;
+    stats.ranks.clear();
+    let leaf = stats.leaf_level;
+    let records: Vec<BoxElimination<T>> = keyed
+        .into_iter()
+        .map(|(key, rec)| {
+            let level = leaf - ((key >> 44) as u8);
+            stats.add_rank(level, rec.skel.len());
+            rec
+        })
+        .collect();
+    let (top_idx, top_lu) = top.expect("rank 0 holds the top factorization");
+    Ok(Some(Factorization::from_parts(n, records, top_idx, top_lu, stats)))
+}
+
+/// The distributed solve: upward pass with neighbor delta exchange, top
+/// solve on rank 0, downward pass with request/reply value refresh.
+#[allow(clippy::too_many_arguments)]
+fn dist_solve<T: Scalar>(
+    ctx: &mut RankCtx,
+    grid: &ProcessGrid,
+    tree: &QuadTree,
+    pts: &[Point],
+    state: &RankState<T>,
+    top: Option<&(Vec<u32>, Lu<T>)>,
+    top_level: u8,
+    leaf: u8,
+    lmin: u8,
+    b: &[T],
+) -> Option<Vec<T>> {
+    let me = ctx.rank();
+    let mut x = b.to_vec();
+    let levels: Vec<u8> = (lmin..=leaf).rev().collect();
+
+    // ---- Upward pass -----------------------------------------------------
+    for &level in &levels {
+        if grid.is_active(me, level) {
+            let neighbors = grid.neighbor_ranks(me, level);
+            for phase in 0..=4u8 {
+                // Apply my records of this phase; collect deltas on entries
+                // owned by other ranks.
+                let mut remote: HashMap<usize, Vec<(u32, T)>> = HashMap::new();
+                for (i, (_, rec)) in state.records.iter().enumerate() {
+                    if state.record_phase[i] != (level, phase) {
+                        continue;
+                    }
+                    let before: Vec<T> = gather(&x, &rec.nbr);
+                    apply_upward(rec, &mut x);
+                    for (j, &id) in rec.nbr.iter().enumerate() {
+                        let owner = owner_of_point(grid, tree, pts, id, level);
+                        if owner != me {
+                            let delta = x[id as usize] - before[j];
+                            if delta != T::ZERO {
+                                remote.entry(owner).or_default().push((id, delta));
+                            }
+                        }
+                    }
+                }
+                for &dst in &neighbors {
+                    let items = remote.remove(&dst).unwrap_or_default();
+                    let mut w = ByteWriter::new();
+                    w.put_u64(items.len() as u64);
+                    for (id, v) in &items {
+                        w.put_u64(*id as u64);
+                        w.put_scalar(*v);
+                    }
+                    ctx.send(dst, tag(level, phase, KIND_SOLVE_UP), w.finish());
+                }
+                debug_assert!(remote.is_empty(), "delta for a non-adjacent rank");
+                for &src in &neighbors {
+                    let payload = ctx.recv(src, tag(level, phase, KIND_SOLVE_UP));
+                    let mut r = ByteReader::new(payload);
+                    let n_items = r.get_u64();
+                    for _ in 0..n_items {
+                        let id = r.get_u64() as usize;
+                        let v: T = r.get_scalar();
+                        x[id] += v;
+                    }
+                }
+            }
+        }
+        ctx.barrier();
+        // Fold value shipment when the next level retires this rank.
+        if level > lmin {
+            solve_fold_up(ctx, grid, state, level, &mut x);
+        }
+    }
+
+    // ---- Top solve on rank 0 ---------------------------------------------
+    let active_top = grid.active_ranks(top_level);
+    if me == 0 {
+        for &src in active_top.iter().filter(|&&r| r != 0) {
+            let payload = ctx.recv(src, tag(top_level, 6, KIND_SOLVE_VAL));
+            let mut r = ByteReader::new(payload);
+            let ids = get_ids(&mut r);
+            let vals: Vec<T> = r.get_scalar_slice();
+            for (id, v) in ids.iter().zip(vals.iter()) {
+                x[*id as usize] = *v;
+            }
+        }
+        let (top_idx, top_lu) = top.expect("rank 0 has the top");
+        let mut vals = gather(&x, top_idx);
+        top_lu.solve_vec(&mut vals);
+        scatter(&mut x, top_idx, &vals);
+        // Send each active rank back the entries it owns.
+        for &dst in active_top.iter().filter(|&&r| r != 0) {
+            let items: Vec<(u32, T)> = top_idx
+                .iter()
+                .filter(|&&id| owner_of_point(grid, tree, pts, id, top_level) == dst)
+                .map(|&id| (id, x[id as usize]))
+                .collect();
+            let mut w = ByteWriter::new();
+            put_ids(&mut w, &items.iter().map(|(i, _)| *i).collect::<Vec<_>>());
+            w.put_scalar_slice(&items.iter().map(|(_, v)| *v).collect::<Vec<_>>());
+            ctx.send(dst, tag(top_level, 7, KIND_SOLVE_VAL), w.finish());
+        }
+    } else if active_top.contains(&me) {
+        let owned_ids: Vec<u32> = state
+            .act_end
+            .get(&top_level)
+            .map(|v| v.iter().flat_map(|(_, ids)| ids.iter().copied()).collect())
+            .unwrap_or_default();
+        let vals: Vec<T> = gather(&x, &owned_ids);
+        let mut w = ByteWriter::new();
+        put_ids(&mut w, &owned_ids);
+        w.put_scalar_slice(&vals);
+        ctx.send(0, tag(top_level, 6, KIND_SOLVE_VAL), w.finish());
+        let payload = ctx.recv(0, tag(top_level, 7, KIND_SOLVE_VAL));
+        let mut r = ByteReader::new(payload);
+        let ids = get_ids(&mut r);
+        let vals: Vec<T> = r.get_scalar_slice();
+        for (id, v) in ids.iter().zip(vals.iter()) {
+            x[*id as usize] = *v;
+        }
+    }
+    ctx.barrier();
+
+    // ---- Downward pass ----------------------------------------------------
+    for &level in levels.iter().rev() {
+        // Un-fold: corners return the still-active values to members.
+        if level > lmin {
+            solve_fold_down(ctx, grid, state, level, &mut x);
+        }
+        if grid.is_active(me, level) {
+            let neighbors = grid.neighbor_ranks(me, level);
+            for phase in (0..=4u8).rev() {
+                // Refresh remote values my phase records read.
+                let mut needed: HashMap<usize, Vec<u32>> = HashMap::new();
+                for (i, (_, rec)) in state.records.iter().enumerate() {
+                    if state.record_phase[i] != (level, phase) {
+                        continue;
+                    }
+                    for &id in &rec.nbr {
+                        let owner = owner_of_point(grid, tree, pts, id, level);
+                        if owner != me {
+                            needed.entry(owner).or_default().push(id);
+                        }
+                    }
+                }
+                for &dst in &neighbors {
+                    let mut ids = needed.remove(&dst).unwrap_or_default();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    let mut w = ByteWriter::new();
+                    put_ids(&mut w, &ids);
+                    ctx.send(dst, tag(level, phase, KIND_SOLVE_REQ), w.finish());
+                }
+                for &src in &neighbors {
+                    let payload = ctx.recv(src, tag(level, phase, KIND_SOLVE_REQ));
+                    let mut r = ByteReader::new(payload);
+                    let ids = get_ids(&mut r);
+                    let vals: Vec<T> = gather(&x, &ids);
+                    let mut w = ByteWriter::new();
+                    put_ids(&mut w, &ids);
+                    w.put_scalar_slice(&vals);
+                    ctx.send(src, tag(level, phase, KIND_SOLVE_VAL), w.finish());
+                }
+                for &src in &neighbors {
+                    let payload = ctx.recv(src, tag(level, phase, KIND_SOLVE_VAL));
+                    let mut r = ByteReader::new(payload);
+                    let ids = get_ids(&mut r);
+                    let vals: Vec<T> = r.get_scalar_slice();
+                    for (id, v) in ids.iter().zip(vals.iter()) {
+                        x[*id as usize] = *v;
+                    }
+                }
+                // Apply my records of this phase in reverse order.
+                for i in (0..state.records.len()).rev() {
+                    if state.record_phase[i] != (level, phase) {
+                        continue;
+                    }
+                    apply_downward(&state.records[i].1, &mut x);
+                }
+            }
+        }
+        ctx.barrier();
+    }
+
+    // ---- Final gather on rank 0 -------------------------------------------
+    if me == 0 {
+        for src in 1..grid.p() {
+            let payload = ctx.recv(src, tag(1, 7, KIND_SOLVE_VAL));
+            let mut r = ByteReader::new(payload);
+            let ids = get_ids(&mut r);
+            let vals: Vec<T> = r.get_scalar_slice();
+            for (id, v) in ids.iter().zip(vals.iter()) {
+                x[*id as usize] = *v;
+            }
+        }
+        Some(x)
+    } else {
+        // Send every entry of a leaf box I own.
+        let mut ids: Vec<u32> = Vec::new();
+        for b in tree.boxes_at_level(leaf) {
+            if grid.owner(&b) == me {
+                ids.extend_from_slice(tree.leaf_points(&b));
+            }
+        }
+        let vals: Vec<T> = gather(&x, &ids);
+        let mut w = ByteWriter::new();
+        put_ids(&mut w, &ids);
+        w.put_scalar_slice(&vals);
+        ctx.send(0, tag(1, 7, KIND_SOLVE_VAL), w.finish());
+        None
+    }
+}
+
+/// Upward fold in the solve: retiring ranks ship their surviving entries'
+/// values to the corner.
+fn solve_fold_up<T: Scalar>(
+    ctx: &mut RankCtx,
+    grid: &ProcessGrid,
+    state: &RankState<T>,
+    child_level: u8,
+    x: &mut [T],
+) {
+    let me = ctx.rank();
+    let parent_level = child_level - 1;
+    if grid.effective_q(parent_level) >= grid.effective_q(child_level) {
+        return;
+    }
+    if !grid.is_active(me, child_level) {
+        return;
+    }
+    let (x0, y0, _, _) = region_of(grid, me, child_level);
+    let corner = grid.owner(&BoxId {
+        level: parent_level,
+        ix: (x0 / 2) as u32,
+        iy: (y0 / 2) as u32,
+    });
+    if corner != me {
+        let ids: Vec<u32> = state
+            .act_end
+            .get(&child_level)
+            .map(|v| v.iter().flat_map(|(_, ids)| ids.iter().copied()).collect())
+            .unwrap_or_default();
+        let vals: Vec<T> = gather(x, &ids);
+        let mut w = ByteWriter::new();
+        put_ids(&mut w, &ids);
+        w.put_scalar_slice(&vals);
+        ctx.send(corner, tag(child_level, 5, KIND_SOLVE_VAL), w.finish());
+    } else {
+        let stride = grid.q() / grid.effective_q(child_level);
+        let (cx, cy) = grid.coords_of(me);
+        for (dx, dy) in [(1u32, 0u32), (0, 1), (1, 1)] {
+            let member = grid.rank_of(cx + dx * stride, cy + dy * stride);
+            let payload = ctx.recv(member, tag(child_level, 5, KIND_SOLVE_VAL));
+            let mut r = ByteReader::new(payload);
+            let ids = get_ids(&mut r);
+            let vals: Vec<T> = r.get_scalar_slice();
+            for (id, v) in ids.iter().zip(vals.iter()) {
+                x[*id as usize] = *v;
+            }
+        }
+    }
+}
+
+/// Downward un-fold: corners return the surviving entries' values to the
+/// members they absorbed.
+fn solve_fold_down<T: Scalar>(
+    ctx: &mut RankCtx,
+    grid: &ProcessGrid,
+    state: &RankState<T>,
+    child_level: u8,
+    x: &mut [T],
+) {
+    let me = ctx.rank();
+    let parent_level = child_level - 1;
+    if grid.effective_q(parent_level) >= grid.effective_q(child_level) {
+        return;
+    }
+    if !grid.is_active(me, child_level) {
+        return;
+    }
+    let (x0, y0, _, _) = region_of(grid, me, child_level);
+    let corner = grid.owner(&BoxId {
+        level: parent_level,
+        ix: (x0 / 2) as u32,
+        iy: (y0 / 2) as u32,
+    });
+    if corner != me {
+        let ids: Vec<u32> = state
+            .act_end
+            .get(&child_level)
+            .map(|v| v.iter().flat_map(|(_, ids)| ids.iter().copied()).collect())
+            .unwrap_or_default();
+        let payload = ctx.recv(corner, tag(child_level, 6, KIND_SOLVE_VAL));
+        let mut r = ByteReader::new(payload);
+        let got_ids = get_ids(&mut r);
+        debug_assert_eq!(got_ids, ids);
+        let vals: Vec<T> = r.get_scalar_slice();
+        for (id, v) in got_ids.iter().zip(vals.iter()) {
+            x[*id as usize] = *v;
+        }
+    } else {
+        let stride = grid.q() / grid.effective_q(child_level);
+        let (cx, cy) = grid.coords_of(me);
+        for (dx, dy) in [(1u32, 0u32), (0, 1), (1, 1)] {
+            let member = grid.rank_of(cx + dx * stride, cy + dy * stride);
+            let ids = state
+                .fold_ids
+                .get(&(child_level, member))
+                .cloned()
+                .unwrap_or_default();
+            let vals: Vec<T> = gather(x, &ids);
+            let mut w = ByteWriter::new();
+            put_ids(&mut w, &ids);
+            w.put_scalar_slice(&vals);
+            ctx.send(member, tag(child_level, 6, KIND_SOLVE_VAL), w.finish());
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! `srsf-core`: the strong recursive skeletonization factorization (RS-S)
+//! and its parallel variants — the paper's primary contribution.
+//!
+//! The factorization applies approximate block Gaussian elimination to the
+//! dense kernel matrix in a multi-level sweep over a quad-tree (Section II
+//! of the paper): for each box, the interaction with its far field is
+//! compressed with a proxy-accelerated interpolative decomposition, the
+//! redundant degrees of freedom are eliminated, and the Schur-complement
+//! fill-in lands only on neighboring boxes. Three drivers share the same
+//! per-box elimination kernel:
+//!
+//! * [`sequential`] — Algorithm 1: a level-by-level, box-by-box sweep.
+//! * [`colored`] — the shared-memory reference of Section V-C (the paper's
+//!   C++/OpenMP comparison): all boxes of a level are graph-colored and
+//!   same-color boxes are processed concurrently, with snapshot reads and
+//!   additive merge of Schur updates (provably order-equivalent).
+//! * [`distributed`] — Algorithm 2, the contribution: leaf boxes are block
+//!   partitioned over a process grid; *interior* boxes factor with zero
+//!   communication, *boundary* boxes in four process-color rounds with
+//!   neighbor-only update messages; ranks fold by 4 as the tree coarsens.
+//!
+//! Supporting modules: [`store`] (modified-interaction block store with
+//! kernel-on-miss), [`skeletonize`] (proxy ID), [`elimination`] (the strong
+//! skeletonization operator `Z(A; B)` of Eq. 10), [`levels`] (merge /
+//! level-transition logic), [`solve`] (upward/downward substitution passes),
+//! [`stats`] (ranks per level, memory, timing breakdowns).
+
+pub mod colored;
+pub mod distributed;
+pub mod elimination;
+pub mod levels;
+pub mod sequential;
+pub mod skeletonize;
+pub mod solve;
+pub mod stats;
+pub mod store;
+
+pub use sequential::{factorize, Factorization};
+pub use stats::FactorStats;
+
+/// Options controlling the factorization.
+#[derive(Clone, Debug)]
+pub struct FactorOpts {
+    /// Relative tolerance for the interpolative decomposition (paper: ε).
+    pub tol: f64,
+    /// Target number of points per leaf box.
+    pub leaf_size: usize,
+    /// Proxy circle radius as a multiple of the box side (paper: 2.5).
+    pub proxy_radius_factor: f64,
+    /// Minimum number of proxy points on the circle.
+    pub n_proxy_min: usize,
+    /// Extra proxy points per wavelength for oscillatory kernels: the
+    /// effective count is `max(n_proxy_min, ceil(proxy_osc_factor * kappa *
+    /// radius) + 32)` where `kappa` is the kernel's oscillation parameter.
+    pub proxy_osc_factor: f64,
+    /// Coarsest tree level at which compression is applied (paper: 3; the
+    /// remaining active DOFs above it are finished with a dense LU).
+    pub min_compress_level: usize,
+}
+
+impl Default for FactorOpts {
+    fn default() -> Self {
+        Self {
+            tol: 1e-6,
+            leaf_size: 64,
+            proxy_radius_factor: 2.5,
+            n_proxy_min: 64,
+            proxy_osc_factor: 2.0,
+            min_compress_level: 3,
+        }
+    }
+}

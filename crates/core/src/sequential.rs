@@ -1,0 +1,216 @@
+//! Algorithm 1: the sequential multi-level factorization.
+//!
+//! A bottom-up sweep over the quad-tree: every box at every level is
+//! skeletonized and its redundant DOFs eliminated, levels are merged, and
+//! the few DOFs surviving above `min_compress_level` are finished with a
+//! dense pivoted LU. The result approximates `A^{-1}` as the composition
+//! Eq. (12) of per-box operators plus the top solve.
+
+use crate::elimination::{apply_output, eliminate_box, BoxElimination, FactorError};
+use crate::levels::merge_to_parent;
+use crate::solve;
+use crate::stats::FactorStats;
+use crate::store::{ActiveSets, BlockStore};
+use crate::FactorOpts;
+use srsf_geometry::point::{BBox, Point};
+use srsf_geometry::tree::{BoxId, QuadTree};
+use srsf_kernels::kernel::Kernel;
+use srsf_linalg::{LinOp, Lu, Mat, Scalar};
+use std::time::Instant;
+
+/// The strong recursive skeletonization factorization of a kernel matrix.
+///
+/// Stores the per-box elimination records in elimination order plus the
+/// dense factorization of the top block; [`Factorization::solve`] applies
+/// the approximate inverse in O(N).
+pub struct Factorization<T> {
+    pub(crate) n: usize,
+    pub(crate) records: Vec<BoxElimination<T>>,
+    /// Global ids of the DOFs in the dense top block, in assembly order.
+    pub(crate) top_idx: Vec<u32>,
+    pub(crate) top_lu: Lu<T>,
+    pub(crate) stats: FactorStats,
+}
+
+impl<T: Scalar> Factorization<T> {
+    /// Problem size `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Apply the approximate inverse in place: `b := A^{-1} b`.
+    pub fn apply_inverse(&self, b: &mut [T]) {
+        solve::apply_inverse(self, b);
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let mut x = b.to_vec();
+        self.apply_inverse(&mut x);
+        x
+    }
+
+    /// Factorization statistics (ranks per level, timings, memory).
+    pub fn stats(&self) -> &FactorStats {
+        &self.stats
+    }
+
+    /// Number of per-box elimination records.
+    pub fn n_records(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Size of the dense top block.
+    pub fn top_size(&self) -> usize {
+        self.top_idx.len()
+    }
+
+    /// Approximate memory footprint of the factorization in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.records.iter().map(BoxElimination::heap_bytes).sum::<usize>()
+            + self.top_lu.heap_bytes()
+            + self.top_idx.capacity() * 4
+    }
+
+    pub(crate) fn from_parts(
+        n: usize,
+        records: Vec<BoxElimination<T>>,
+        top_idx: Vec<u32>,
+        top_lu: Lu<T>,
+        mut stats: FactorStats,
+    ) -> Self {
+        stats.top_size = top_idx.len();
+        stats.record_bytes = records.iter().map(BoxElimination::heap_bytes).sum::<usize>()
+            + top_lu.heap_bytes();
+        Self {
+            n,
+            records,
+            top_idx,
+            top_lu,
+            stats,
+        }
+    }
+}
+
+impl<T: Scalar> LinOp<T> for Factorization<T> {
+    fn dim(&self) -> usize {
+        self.n
+    }
+    /// Applying the factorization as an operator means applying the
+    /// approximate **inverse** — this is what makes it a preconditioner.
+    fn apply(&self, x: &[T]) -> Vec<T> {
+        self.solve(x)
+    }
+}
+
+/// Pick the tree domain: the unit square when all points fit (the paper's
+/// setting), otherwise the enclosing square.
+pub fn domain_for(pts: &[Point]) -> BBox {
+    if pts.iter().all(|p| BBox::UNIT.contains(p)) {
+        BBox::UNIT
+    } else {
+        BBox::enclosing(pts)
+    }
+}
+
+/// Factor the kernel matrix over `pts` (Algorithm 1).
+pub fn factorize<K: Kernel>(
+    kernel: &K,
+    pts: &[Point],
+    opts: &FactorOpts,
+) -> Result<Factorization<K::Elem>, FactorError> {
+    let tree = QuadTree::build(pts, domain_for(pts), opts.leaf_size);
+    factorize_with_tree(kernel, pts, &tree, opts)
+}
+
+/// Factor against a caller-provided tree (shared by drivers and tests).
+pub fn factorize_with_tree<K: Kernel>(
+    kernel: &K,
+    pts: &[Point],
+    tree: &QuadTree,
+    opts: &FactorOpts,
+) -> Result<Factorization<K::Elem>, FactorError> {
+    let t_total = Instant::now();
+    let n = pts.len();
+    let leaf = tree.leaf_level();
+    let mut stats = FactorStats::new(n, leaf);
+    let mut store = BlockStore::new(kernel, pts);
+    let mut act = ActiveSets::new();
+    for id in tree.boxes_at_level(leaf) {
+        act.set(id, tree.leaf_points(&id).to_vec());
+    }
+
+    let lmin = (opts.min_compress_level as u8).min(leaf);
+    let mut records = Vec::new();
+    if leaf >= lmin && leaf >= 1 {
+        let mut level = leaf;
+        loop {
+            let t0 = Instant::now();
+            for b in tree.boxes_at_level(level) {
+                let out = eliminate_box(&store, &act, tree, &b, opts)?;
+                if let Some(rec) = &out.record {
+                    stats.add_rank(level, rec.skel.len());
+                }
+                apply_output(&mut store, &mut act, &b, &out);
+                if let Some(rec) = out.record {
+                    records.push(rec);
+                }
+            }
+            stats.eliminate_s += t0.elapsed().as_secs_f64();
+            stats.peak_store_bytes = stats.peak_store_bytes.max(store.heap_bytes());
+            if level == lmin {
+                break;
+            }
+            let t1 = Instant::now();
+            merge_to_parent(&mut store, &mut act, tree, level);
+            stats.merge_s += t1.elapsed().as_secs_f64();
+            level -= 1;
+        }
+    }
+
+    // Dense top factorization over the remaining active DOFs.
+    let t2 = Instant::now();
+    let top_level = if leaf >= lmin { lmin } else { leaf };
+    let (top_idx, top_lu) = factor_top(&store, &act, tree, top_level)
+        .map_err(|box_id| FactorError::SingularDiagonal { box_id })?;
+    stats.top_s = t2.elapsed().as_secs_f64();
+    stats.total_s = t_total.elapsed().as_secs_f64();
+
+    Ok(Factorization::from_parts(n, records, top_idx, top_lu, stats))
+}
+
+/// Assemble and LU-factor the dense top block over all boxes at
+/// `top_level`, in row-major box order.
+pub(crate) fn factor_top<K: Kernel>(
+    store: &BlockStore<'_, K>,
+    act: &ActiveSets,
+    tree: &QuadTree,
+    top_level: u8,
+) -> Result<(Vec<u32>, Lu<K::Elem>), BoxId> {
+    let boxes: Vec<BoxId> = tree.boxes_at_level(top_level).collect();
+    let sizes: Vec<usize> = boxes.iter().map(|b| act.get(b).len()).collect();
+    let total: usize = sizes.iter().sum();
+    let mut top_idx = Vec::with_capacity(total);
+    for b in &boxes {
+        top_idx.extend_from_slice(act.get(b));
+    }
+    let mut a = Mat::zeros(total, total);
+    let mut r0 = 0;
+    for (i, bi) in boxes.iter().enumerate() {
+        if sizes[i] == 0 {
+            continue;
+        }
+        let mut c0 = 0;
+        for (j, bj) in boxes.iter().enumerate() {
+            if sizes[j] == 0 {
+                continue;
+            }
+            let blk = store.get(bi, bj, act);
+            a.set_block(r0, c0, &blk);
+            c0 += sizes[j];
+        }
+        r0 += sizes[i];
+    }
+    let lu = Lu::factor(a).map_err(|_| boxes[0])?;
+    Ok((top_idx, lu))
+}

@@ -1,0 +1,100 @@
+//! Factorization statistics: skeleton ranks per level (Figure 9 of the
+//! paper), timing breakdowns (`tcomp`/`tother`), and memory footprint.
+
+use std::collections::BTreeMap;
+
+/// Statistics collected while building a factorization.
+#[derive(Clone, Debug, Default)]
+pub struct FactorStats {
+    /// Problem size `N`.
+    pub n: usize,
+    /// Leaf level of the quad-tree.
+    pub leaf_level: u8,
+    /// Per-level `(boxes skeletonized, sum of skeleton ranks)`.
+    pub ranks: BTreeMap<u8, (usize, usize)>,
+    /// Seconds spent in per-box elimination (ID + Schur updates).
+    pub eliminate_s: f64,
+    /// Seconds spent in level transitions (merging/regrouping).
+    pub merge_s: f64,
+    /// Seconds spent on the dense top-level factorization.
+    pub top_s: f64,
+    /// Total wall time of the factorization.
+    pub total_s: f64,
+    /// Wall time of the (distributed) solve, when one was run.
+    pub solve_s: f64,
+    /// Size of the final dense top block.
+    pub top_size: usize,
+    /// Approximate bytes held by the factorization records.
+    pub record_bytes: usize,
+    /// Peak bytes held by the modified-block store.
+    pub peak_store_bytes: usize,
+}
+
+impl FactorStats {
+    /// Fresh stats for a problem of size `n`.
+    pub fn new(n: usize, leaf_level: u8) -> Self {
+        Self {
+            n,
+            leaf_level,
+            ..Self::default()
+        }
+    }
+
+    /// Record one skeletonized box.
+    pub fn add_rank(&mut self, level: u8, rank: usize) {
+        let e = self.ranks.entry(level).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += rank;
+    }
+
+    /// Average skeleton rank at a level (the quantity plotted in Fig. 9).
+    pub fn avg_rank(&self, level: u8) -> Option<f64> {
+        self.ranks
+            .get(&level)
+            .filter(|(count, _)| *count > 0)
+            .map(|(count, sum)| *sum as f64 / *count as f64)
+    }
+
+    /// `(level, average rank)` rows from coarse to fine.
+    pub fn rank_table(&self) -> Vec<(u8, f64)> {
+        self.ranks
+            .iter()
+            .filter(|(_, (c, _))| *c > 0)
+            .map(|(l, (c, s))| (*l, *s as f64 / *c as f64))
+            .collect()
+    }
+
+    /// The paper's `tother` proxy: time not spent in per-box computation.
+    pub fn other_s(&self) -> f64 {
+        (self.total_s - self.eliminate_s - self.top_s).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_accounting() {
+        let mut s = FactorStats::new(100, 4);
+        s.add_rank(4, 10);
+        s.add_rank(4, 20);
+        s.add_rank(3, 40);
+        assert_eq!(s.avg_rank(4), Some(15.0));
+        assert_eq!(s.avg_rank(3), Some(40.0));
+        assert_eq!(s.avg_rank(2), None);
+        let table = s.rank_table();
+        assert_eq!(table, vec![(3, 40.0), (4, 15.0)]);
+    }
+
+    #[test]
+    fn other_time_nonnegative() {
+        let mut s = FactorStats::new(10, 2);
+        s.total_s = 5.0;
+        s.eliminate_s = 3.0;
+        s.top_s = 1.0;
+        assert!((s.other_s() - 1.0).abs() < 1e-15);
+        s.eliminate_s = 10.0;
+        assert_eq!(s.other_s(), 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Iterative radix-2 Cooley–Tukey FFT over [`c64`].
+//!
+//! A [`Fft`] plan precomputes the bit-reversal permutation and twiddle
+//! factors for a fixed power-of-two length; forward and inverse transforms
+//! then run allocation-free on caller buffers. All grid sizes in the solver
+//! are powers of two (the circulant embedding doubles a power-of-two grid),
+//! so radix-2 suffices.
+
+use srsf_linalg::c64;
+
+/// FFT plan for a fixed power-of-two length.
+#[derive(Clone, Debug)]
+pub struct Fft {
+    n: usize,
+    rev: Vec<u32>,
+    /// Twiddles for the forward transform, grouped per butterfly stage.
+    twiddles: Vec<c64>,
+}
+
+impl Fft {
+    /// Build a plan for length `n` (must be a power of two, `n >= 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        let log2 = n.trailing_zeros();
+        let mut rev = vec![0u32; n];
+        for i in 0..n {
+            rev[i] = (rev[i >> 1] >> 1) | (((i & 1) as u32) << (log2.saturating_sub(1)));
+        }
+        // Stage `s` (half-size m = 2^s) uses twiddles e^{-2 pi i k / 2^{s+1}},
+        // k = 0..m; all stages flattened into one vector (total n - 1 entries).
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut m = 1;
+        while m < n {
+            for k in 0..m {
+                let ang = -core::f64::consts::PI * (k as f64) / (m as f64);
+                twiddles.push(c64::from_polar(1.0, ang));
+            }
+            m <<= 1;
+        }
+        Self { n, rev, twiddles }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` only for the degenerate length-0 plan (not constructible).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn transform(&self, data: &mut [c64], inverse: bool) {
+        let n = self.n;
+        assert_eq!(data.len(), n, "buffer length must match plan");
+        if n == 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterfly stages.
+        let mut m = 1;
+        let mut toff = 0;
+        while m < n {
+            for start in (0..n).step_by(2 * m) {
+                for k in 0..m {
+                    let w = if inverse {
+                        self.twiddles[toff + k].conj()
+                    } else {
+                        self.twiddles[toff + k]
+                    };
+                    let a = data[start + k];
+                    let b = data[start + k + m] * w;
+                    data[start + k] = a + b;
+                    data[start + k + m] = a - b;
+                }
+            }
+            toff += m;
+            m <<= 1;
+        }
+        if inverse {
+            let scale = 1.0 / n as f64;
+            for v in data.iter_mut() {
+                *v = v.scale(scale);
+            }
+        }
+    }
+
+    /// In-place forward DFT (negative-exponent convention, unnormalized).
+    pub fn forward(&self, data: &mut [c64]) {
+        self.transform(data, false);
+    }
+
+    /// In-place inverse DFT (normalized by `1/n`).
+    pub fn inverse(&self, data: &mut [c64]) {
+        self.transform(data, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[c64]) -> Vec<c64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = c64::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * core::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc += v * c64::from_polar(1.0, ang);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<c64> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let re = (state % 1000) as f64 / 500.0 - 1.0;
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let im = (state % 1000) as f64 / 500.0 - 1.0;
+                c64::new(re, im)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 32, 128] {
+            let x = rand_signal(n, n as u64 + 3);
+            let mut y = x.clone();
+            Fft::new(n).forward(&mut y);
+            let want = naive_dft(&x);
+            for (a, b) in y.iter().zip(want.iter()) {
+                assert!((*a - *b).norm() < 1e-10 * (n as f64), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        for n in [2usize, 16, 256, 1024] {
+            let x = rand_signal(n, 77);
+            let plan = Fft::new(n);
+            let mut y = x.clone();
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            for (a, b) in y.iter().zip(x.iter()) {
+                assert!((*a - *b).norm() < 1e-12, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 512;
+        let x = rand_signal(n, 5);
+        let mut y = x.clone();
+        Fft::new(n).forward(&mut y);
+        let ex: f64 = x.iter().map(|v| v.norm_sq()).sum();
+        let ey: f64 = y.iter().map(|v| v.norm_sq()).sum::<f64>() / n as f64;
+        assert!((ex - ey).abs() < 1e-9 * ex);
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let n = 64;
+        let mut x = vec![c64::ZERO; n];
+        x[0] = c64::ONE;
+        Fft::new(n).forward(&mut x);
+        for v in &x {
+            assert!((*v - c64::ONE).norm() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn pure_tone_peaks_at_its_bin() {
+        let n = 128;
+        let bin = 9;
+        let x: Vec<c64> = (0..n)
+            .map(|j| c64::from_polar(1.0, 2.0 * core::f64::consts::PI * (bin * j) as f64 / n as f64))
+            .collect();
+        let mut y = x.clone();
+        Fft::new(n).forward(&mut y);
+        for (k, v) in y.iter().enumerate() {
+            if k == bin {
+                assert!((v.norm() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.norm() < 1e-9, "leakage at bin {k}: {}", v.norm());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        let _ = Fft::new(12);
+    }
+}

@@ -1,0 +1,20 @@
+//! `srsf-fft`: FFT substrate for fast dense-kernel matrix-vector products.
+//!
+//! On a uniform collocation grid the kernel matrix is translation invariant
+//! (block Toeplitz with Toeplitz blocks, up to diagonal corrections and
+//! separable scalings). Embedding the generating symbol into a circulant of
+//! twice the size turns the matvec into two 2-D FFTs — the same trick the
+//! paper uses to evaluate residuals `||Ax - b|| / ||b||` at billion-row
+//! scale without a fast multipole method.
+//!
+//! * [`fft`] — iterative radix-2 complex FFT with precomputed twiddles.
+//! * [`fft2`] — row/column 2-D transforms.
+//! * [`toeplitz`] — the circulant-embedded fast matvec.
+
+pub mod fft;
+pub mod fft2;
+pub mod toeplitz;
+
+pub use fft::Fft;
+pub use fft2::Fft2;
+pub use toeplitz::Toeplitz2D;

@@ -1,0 +1,25 @@
+//! `srsf-geometry`: planar geometry for the hierarchical solver.
+//!
+//! * [`point`] — 2-D points and bounding boxes.
+//! * [`grid`] — the `sqrt(N) x sqrt(N)` uniform collocation grid of the
+//!   paper's experiments (Section V), plus non-uniform generators for tests.
+//! * [`tree`] — the perfect quad-tree of Section II-A with integer box
+//!   coordinates per level.
+//! * [`neighbors`] — near field `N(B)`, distance-2 ring `M(B)` (Definition
+//!   2), and Chebyshev box distance.
+//! * [`proxy`] — proxy-circle discretizations (radius `2.5 L`, Section II-C).
+//! * [`procgrid`] — the process grid: block partition of boxes onto ranks,
+//!   interior/boundary classification, and the 4-coloring of Figure 5 (plus
+//!   a distance-3 9-coloring used by the lock-free shared-memory ablation).
+
+pub mod grid;
+pub mod neighbors;
+pub mod point;
+pub mod procgrid;
+pub mod proxy;
+pub mod tree;
+
+pub use grid::UnitGrid;
+pub use point::Point;
+pub use procgrid::ProcessGrid;
+pub use tree::{BoxId, QuadTree};

@@ -1,0 +1,130 @@
+//! 2-D points and axis-aligned bounding boxes.
+
+/// A point in the plane.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct from coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+/// Axis-aligned square bounding box given by its lower-left corner and side.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BBox {
+    /// Lower-left corner.
+    pub lo: Point,
+    /// Side length (squares only: the quad-tree halves sides exactly).
+    pub side: f64,
+}
+
+impl BBox {
+    /// The unit square `[0,1]^2`.
+    pub const UNIT: BBox = BBox {
+        lo: Point::new(0.0, 0.0),
+        side: 1.0,
+    };
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(self.lo.x + 0.5 * self.side, self.lo.y + 0.5 * self.side)
+    }
+
+    /// `true` if `p` lies inside (half-open: lower edges in, upper out).
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.lo.x
+            && p.x < self.lo.x + self.side
+            && p.y >= self.lo.y
+            && p.y < self.lo.y + self.side
+    }
+
+    /// Smallest enclosing square of a point set (with a tiny margin so that
+    /// every point satisfies the half-open containment test).
+    pub fn enclosing(points: &[Point]) -> BBox {
+        assert!(!points.is_empty());
+        let mut lo = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut hi = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            lo.x = lo.x.min(p.x);
+            lo.y = lo.y.min(p.y);
+            hi.x = hi.x.max(p.x);
+            hi.y = hi.y.max(p.y);
+        }
+        let extent = (hi.x - lo.x).max(hi.y - lo.y);
+        let margin = 1e-12 * (1.0 + lo.x.abs() + lo.y.abs() + extent);
+        BBox {
+            lo,
+            side: extent * (1.0 + 1e-12) + margin,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn bbox_contains_half_open() {
+        let b = BBox::UNIT;
+        assert!(b.contains(&Point::new(0.0, 0.0)));
+        assert!(b.contains(&Point::new(0.999, 0.5)));
+        assert!(!b.contains(&Point::new(1.0, 0.5)));
+        assert!(!b.contains(&Point::new(-0.1, 0.5)));
+        assert_eq!(b.center(), Point::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn enclosing_box_covers_all_points() {
+        let pts = vec![
+            Point::new(0.1, 0.9),
+            Point::new(-2.0, 0.3),
+            Point::new(1.5, -0.7),
+        ];
+        let b = BBox::enclosing(&pts);
+        for p in &pts {
+            assert!(b.contains(p), "{p:?} not in {b:?}");
+        }
+        // Square: side covers the larger extent.
+        assert!(b.side >= 3.5);
+    }
+
+    #[test]
+    fn enclosing_degenerate_single_point() {
+        let pts = vec![Point::new(0.5, 0.5)];
+        let b = BBox::enclosing(&pts);
+        assert!(b.contains(&pts[0]));
+    }
+}

@@ -1,0 +1,86 @@
+//! Proxy circles (Section II-C of the paper).
+//!
+//! The far-field interaction of a box `B` is compressed against a small
+//! ring of "proxy" points on a circle of radius `2.5 L` around the box
+//! center (`L` = box side). The circle lies inside the distance-2 ring
+//! `M(B)`, so together `[A_{M,B}; K_{proxy,B}]` captures all of `A_{F,B}`
+//! up to the compression tolerance. The point count is `O(1)` for smooth
+//! kernels and scales with `kappa * radius` for oscillatory ones (the
+//! circle must resolve the kernel's wavelength).
+
+use crate::point::Point;
+
+/// Equispaced points on the circle of given `center` and `radius`.
+pub fn proxy_circle(center: Point, radius: f64, n: usize) -> Vec<Point> {
+    assert!(n >= 1 && radius > 0.0);
+    (0..n)
+        .map(|k| {
+            let ang = 2.0 * core::f64::consts::PI * k as f64 / n as f64;
+            Point::new(center.x + radius * ang.cos(), center.y + radius * ang.sin())
+        })
+        .collect()
+}
+
+/// Proxy point count rule: `max(n_min, ceil(osc_factor * kappa * radius) + 32)`.
+///
+/// For `kappa = 0` (Laplace) this is just `n_min`; for Helmholtz it keeps a
+/// fixed number of points per wavelength along the circle.
+pub fn proxy_count(n_min: usize, osc_factor: f64, kappa: f64, radius: f64) -> usize {
+    let osc = (osc_factor * kappa * radius).ceil() as usize + 32;
+    n_min.max(osc)
+}
+
+/// Check that a circle of `radius` around a box of side `L` stays strictly
+/// inside the distance-2 ring: the ring's inner boundary is at distance
+/// `1.5 L` from the center (edge of the neighbor layer) and its outer
+/// boundary at `2.5 L` … `3.5 L` depending on direction; the paper's
+/// `2.5 L` radius fits within the diagonal extent `2.5·sqrt(2) ≈ 3.54 L`
+/// while staying outside the near field.
+pub fn radius_is_admissible(radius_factor: f64) -> bool {
+    radius_factor > 1.5 && radius_factor <= 2.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circle_points_on_circle() {
+        let c = Point::new(0.3, -0.2);
+        let pts = proxy_circle(c, 2.0, 17);
+        assert_eq!(pts.len(), 17);
+        for p in &pts {
+            assert!((p.dist(&c) - 2.0).abs() < 1e-12);
+        }
+        // distinct points
+        for i in 1..pts.len() {
+            assert!(pts[i].dist(&pts[0]) > 1e-9);
+        }
+    }
+
+    #[test]
+    fn first_point_on_positive_x_axis() {
+        let pts = proxy_circle(Point::new(0.0, 0.0), 1.5, 8);
+        assert!((pts[0].x - 1.5).abs() < 1e-15);
+        assert!(pts[0].y.abs() < 1e-15);
+    }
+
+    #[test]
+    fn count_rule() {
+        // Laplace: kappa = 0 -> minimum.
+        assert_eq!(proxy_count(64, 2.0, 0.0, 0.3), 64);
+        // Oscillatory: grows linearly with kappa * radius.
+        let n1 = proxy_count(64, 2.0, 100.0, 0.5);
+        let n2 = proxy_count(64, 2.0, 200.0, 0.5);
+        assert!(n1 >= 132);
+        assert!(n2 >= 2 * n1 - 64 - 40);
+    }
+
+    #[test]
+    fn paper_radius_admissible() {
+        assert!(radius_is_admissible(2.5));
+        assert!(radius_is_admissible(2.0));
+        assert!(!radius_is_admissible(1.0)); // inside the near field
+        assert!(!radius_is_admissible(3.0)); // pokes past M in axis directions
+    }
+}

@@ -1,0 +1,40 @@
+//! Operator abstraction — re-exported from `srsf-linalg` so every crate
+//! shares one `LinOp` trait (dense, FFT-fast, and factorization operators
+//! all implement it).
+
+pub use srsf_linalg::op::{relative_residual, DenseOp, LinOp};
+
+/// An identity "preconditioner", handy for writing unpreconditioned and
+/// preconditioned solves through one code path.
+pub struct IdentityOp {
+    n: usize,
+}
+
+impl IdentityOp {
+    /// Identity on `n`-vectors.
+    pub fn new(n: usize) -> Self {
+        Self { n }
+    }
+}
+
+impl<T: srsf_linalg::Scalar> LinOp<T> for IdentityOp {
+    fn dim(&self) -> usize {
+        self.n
+    }
+    fn apply(&self, x: &[T]) -> Vec<T> {
+        x.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let id = IdentityOp::new(3);
+        let x = vec![1.0, -2.0, 0.5];
+        assert_eq!(LinOp::<f64>::apply(&id, &x), x);
+        assert_eq!(LinOp::<f64>::dim(&id), 3);
+    }
+}

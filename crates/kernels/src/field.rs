@@ -1,0 +1,143 @@
+//! Incident waves, right-hand sides, and scattered/total fields for the
+//! Lippmann–Schwinger experiments (Figure 7 of the paper).
+
+use crate::helmholtz::HelmholtzKernel;
+use srsf_fft::toeplitz::Toeplitz2D;
+use srsf_geometry::grid::UnitGrid;
+use srsf_geometry::point::Point;
+use srsf_linalg::c64;
+use srsf_special::bessel::{j0, y0};
+use srsf_special::singular::helmholtz_self_integral;
+
+/// Incident plane wave `u_in(x) = e^{i kappa d·x}` with unit direction `d`.
+pub fn plane_wave(pts: &[Point], kappa: f64, dir: (f64, f64)) -> Vec<c64> {
+    let norm = (dir.0 * dir.0 + dir.1 * dir.1).sqrt();
+    let (dx, dy) = (dir.0 / norm, dir.1 / norm);
+    pts.iter()
+        .map(|p| c64::from_polar(1.0, kappa * (dx * p.x + dy * p.y)))
+        .collect()
+}
+
+/// Right-hand side of the symmetrized Lippmann–Schwinger system:
+/// `rhs_i = -kappa^2 sqrt(b_i) u_in(x_i)` (solve `A mu = rhs`, then
+/// `sigma = sqrt(b) mu`).
+pub fn lippmann_schwinger_rhs(kernel: &HelmholtzKernel, _pts: &[Point], uin: &[c64]) -> Vec<c64> {
+    let k2 = kernel.wavenumber() * kernel.wavenumber();
+    uin.iter()
+        .enumerate()
+        .map(|(i, u)| u.scale(-k2 * kernel.sqrt_b(i)))
+        .collect()
+}
+
+/// Recover the physical density `sigma = sqrt(b) mu` from the symmetrized
+/// unknown.
+pub fn sigma_from_mu(kernel: &HelmholtzKernel, mu: &[c64]) -> Vec<c64> {
+    mu.iter()
+        .enumerate()
+        .map(|(i, m)| m.scale(kernel.sqrt_b(i)))
+        .collect()
+}
+
+/// Total field on the grid:
+/// `u = u_in + ∫ K(x,y) sigma(y) dy ≈ u_in + h^2 Σ_j (i/4) H0(κ r) σ_j`,
+/// with the self-cell integral used on the diagonal. O(N log N) via the
+/// circulant embedding.
+pub fn total_field_on_grid(grid: &UnitGrid, kappa: f64, sigma: &[c64], uin: &[c64]) -> Vec<c64> {
+    assert_eq!(sigma.len(), grid.n());
+    assert_eq!(uin.len(), grid.n());
+    let h = grid.h();
+    let w = h * h;
+    let toeplitz = Toeplitz2D::new(grid.side(), |dx, dy| {
+        if dx == 0 && dy == 0 {
+            c64::ZERO
+        } else {
+            let r = h * ((dx * dx + dy * dy) as f64).sqrt();
+            let z = kappa * r;
+            c64::new(-0.25 * y0(z), 0.25 * j0(z)).scale(w)
+        }
+    });
+    let (sr, si) = helmholtz_self_integral(kappa, h);
+    let self_term = c64::new(sr, si);
+    let mut u = toeplitz.apply(sigma);
+    for (ui, (s, inc)) in u.iter_mut().zip(sigma.iter().zip(uin.iter())) {
+        *ui += self_term * *s + *inc;
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_wave_unit_modulus_and_phase() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.5, 0.5)];
+        let u = plane_wave(&pts, 2.0 * core::f64::consts::PI, (1.0, 0.0));
+        for v in &u {
+            assert!((v.norm() - 1.0).abs() < 1e-14);
+        }
+        // Full wavelength along x: back to phase 0.
+        assert!((u[1] - u[0]).norm() < 1e-12);
+        assert_eq!(u[0], c64::ONE);
+    }
+
+    #[test]
+    fn plane_wave_direction_normalized() {
+        let pts = vec![Point::new(1.0, 1.0)];
+        let a = plane_wave(&pts, 3.0, (2.0, 0.0));
+        let b = plane_wave(&pts, 3.0, (1.0, 0.0));
+        assert!((a[0] - b[0]).norm() < 1e-14);
+    }
+
+    #[test]
+    fn rhs_and_sigma_scalings() {
+        let grid = UnitGrid::new(8);
+        let k = HelmholtzKernel::new(&grid, 5.0);
+        let pts = grid.points();
+        let uin = plane_wave(&pts, 5.0, (1.0, 0.0));
+        let rhs = lippmann_schwinger_rhs(&k, &pts, &uin);
+        // center has b ~ 1 so |rhs| ~ kappa^2 there
+        let ic = grid.n() / 2 + grid.side() / 2;
+        assert!((rhs[ic].norm() - 25.0 * k.sqrt_b(ic)).abs() < 1e-10);
+        let mu: Vec<c64> = (0..grid.n()).map(|i| c64::new(i as f64, 1.0)).collect();
+        let sigma = sigma_from_mu(&k, &mu);
+        assert!((sigma[ic] - mu[ic].scale(k.sqrt_b(ic))).norm() < 1e-15);
+    }
+
+    #[test]
+    fn zero_density_total_field_is_incident() {
+        let grid = UnitGrid::new(8);
+        let pts = grid.points();
+        let uin = plane_wave(&pts, 10.0, (1.0, 0.0));
+        let sigma = vec![c64::ZERO; grid.n()];
+        let u = total_field_on_grid(&grid, 10.0, &sigma, &uin);
+        for (a, b) in u.iter().zip(uin.iter()) {
+            assert!((*a - *b).norm() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn total_field_matches_direct_sum() {
+        let grid = UnitGrid::new(8);
+        let pts = grid.points();
+        let kappa = 7.0;
+        let uin = plane_wave(&pts, kappa, (0.0, 1.0));
+        let sigma: Vec<c64> = (0..grid.n())
+            .map(|i| c64::new((i % 5) as f64 - 2.0, (i % 3) as f64))
+            .collect();
+        let fast = total_field_on_grid(&grid, kappa, &sigma, &uin);
+        let h = grid.h();
+        let (sr, si) = helmholtz_self_integral(kappa, h);
+        for i in 0..grid.n() {
+            let mut acc = uin[i] + c64::new(sr, si) * sigma[i];
+            for j in 0..grid.n() {
+                if i == j {
+                    continue;
+                }
+                let z = kappa * pts[i].dist(&pts[j]);
+                acc += c64::new(-0.25 * y0(z), 0.25 * j0(z)).scale(h * h) * sigma[j];
+            }
+            assert!((fast[i] - acc).norm() < 1e-10, "mismatch at {i}");
+        }
+    }
+}

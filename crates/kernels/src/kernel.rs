@@ -1,0 +1,54 @@
+//! The kernel abstraction consumed by the factorization.
+//!
+//! A [`Kernel`] produces matrix entries of the discretized integral
+//! operator, *including every scaling the discretization introduces*
+//! (quadrature weights `h^2`, density factors `sqrt(b_i b_j)`, …), plus the
+//! interactions against off-grid proxy points needed by the compression
+//! step. Entries are indexed against a shared point slice, which must be
+//! the same slice handed to the factorization.
+
+use srsf_geometry::point::Point;
+use srsf_linalg::{Mat, Scalar};
+
+/// A discretized integral-equation kernel.
+pub trait Kernel: Send + Sync {
+    /// Matrix element type (`f64` for Laplace, `c64` for Helmholtz).
+    type Elem: Scalar;
+
+    /// Off-diagonal entry `A[i,j]`, `i != j`.
+    fn entry(&self, pts: &[Point], i: usize, j: usize) -> Self::Elem;
+
+    /// Diagonal entry `A[i,i]` (the singular self-interaction integral).
+    fn diag(&self, pts: &[Point], i: usize) -> Self::Elem;
+
+    /// Interaction with an off-grid proxy point `y` as the *row* and grid
+    /// point `j` as the *column*: the row block `K_{proxy,B}` of Eq. (7).
+    /// Includes the column's scalings but treats the proxy as unweighted.
+    fn proxy_row(&self, pts: &[Point], y: Point, j: usize) -> Self::Elem;
+
+    /// Interaction with grid point `i` as the *row* and proxy `y` as the
+    /// *column* — the transposed-side block `K_{B,proxy}`.
+    fn proxy_col(&self, pts: &[Point], i: usize, y: Point) -> Self::Elem;
+
+    /// Oscillation parameter (`kappa` for Helmholtz, 0 for Laplace); drives
+    /// the proxy point-count rule.
+    fn kappa(&self) -> f64 {
+        0.0
+    }
+
+    /// `A[i,j]` with the diagonal case folded in.
+    fn entry_or_diag(&self, pts: &[Point], i: usize, j: usize) -> Self::Elem {
+        if i == j {
+            self.diag(pts, i)
+        } else {
+            self.entry(pts, i, j)
+        }
+    }
+
+    /// Assemble the dense block `A[rows, cols]`.
+    fn block(&self, pts: &[Point], rows: &[usize], cols: &[usize]) -> Mat<Self::Elem> {
+        Mat::from_fn(rows.len(), cols.len(), |i, j| {
+            self.entry_or_diag(pts, rows[i], cols[j])
+        })
+    }
+}

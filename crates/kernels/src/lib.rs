@@ -1,0 +1,34 @@
+//! `srsf-kernels`: integral-equation kernels and matrix assembly.
+//!
+//! Defines the [`kernel::Kernel`] abstraction the factorization consumes and
+//! its two concrete instances from the paper's experiments:
+//!
+//! * [`laplace`] — the first-kind volume IE for the 2-D Laplace equation
+//!   (Eqs. 14–17): `A_ij = -(h^2 / 2π) ln ||x_i - x_j||` with a closed-form
+//!   singular diagonal.
+//! * [`helmholtz`] — the Lippmann–Schwinger equation (Eqs. 18–21):
+//!   `A_ij = h^2 κ^2 sqrt(b_i b_j) (i/4) H0^(1)(κ r)` with a Gaussian-bump
+//!   scattering potential.
+//!
+//! Plus the operators used to validate and benchmark:
+//!
+//! * [`assemble`] — dense block assembly and a dense reference operator.
+//! * [`fast_op`] — the FFT-based fast matvec (translation-invariant part via
+//!   circulant embedding, diagonal and `sqrt(b)` scalings applied around it).
+//! * [`field`] — incident plane waves and total-field evaluation (Figure 7).
+//! * [`util`] — seeded random vectors and small helpers shared by tests,
+//!   examples and the bench harness.
+
+pub mod assemble;
+pub mod fast_op;
+pub mod field;
+pub mod helmholtz;
+pub mod kernel;
+pub mod laplace;
+pub mod util;
+
+pub use assemble::{assemble_block, assemble_dense, DenseKernelOp};
+pub use fast_op::FastKernelOp;
+pub use helmholtz::{gaussian_bump, HelmholtzKernel};
+pub use kernel::Kernel;
+pub use laplace::LaplaceKernel;

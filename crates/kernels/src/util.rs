@@ -1,0 +1,58 @@
+//! Small shared helpers for tests, examples and the bench harness.
+
+use srsf_linalg::Scalar;
+
+/// Deterministic pseudo-random vector with entries uniform in `[0, 1)`
+/// (complex types get independent real and imaginary parts) — the paper's
+/// "standard uniform random vector" right-hand sides, reproducible by seed.
+pub fn random_vector<T: Scalar>(n: usize, seed: u64) -> Vec<T> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| {
+            let re = next();
+            let im = if T::IS_COMPLEX { next() } else { 0.0 };
+            T::from_re_im(re, im)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srsf_linalg::c64;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<f64> = random_vector(50, 1);
+        let b: Vec<f64> = random_vector(50, 1);
+        let c: Vec<f64> = random_vector(50, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn in_unit_interval() {
+        let v: Vec<f64> = random_vector(1000, 9);
+        for x in &v {
+            assert!((0.0..1.0).contains(x));
+        }
+        // Mean roughly 1/2 (sanity, not a statistical test).
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn complex_gets_both_parts() {
+        let v: Vec<c64> = random_vector(100, 3);
+        assert!(v.iter().any(|z| z.im != 0.0));
+        for z in &v {
+            assert!((0.0..1.0).contains(&z.re) && (0.0..1.0).contains(&z.im));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! `srsf-linalg`: dense linear-algebra substrate for the srsf solver.
+//!
+//! The strong recursive skeletonization factorization needs a small but
+//! complete set of dense kernels over both real (`f64`) and complex
+//! ([`c64`]) scalars:
+//!
+//! * a column-major dense matrix type [`Mat`],
+//! * matrix multiplication (plain / adjoint variants) in [`gemm`],
+//! * partially pivoted LU ([`lu`]) and triangular solves ([`triangular`]),
+//! * Householder QR and greedy column-pivoted QR ([`qr`]),
+//! * the interpolative decomposition ([`id`]) used for skeletonization,
+//! * BLAS-1 style vector helpers ([`vecops`]).
+//!
+//! Everything is written from scratch: the Rust ecosystem's hierarchical
+//! linear-algebra support is thin, and the approved dependency set for this
+//! reproduction does not include a BLAS binding. The implementations favour
+//! clarity and cache-friendly loops (contiguous column access) over
+//! hand-tuned micro-kernels; at the block sizes appearing in the solver
+//! (tens to a few hundreds) they are well within a small constant of tuned
+//! code.
+
+pub mod complex;
+pub mod gemm;
+pub mod id;
+pub mod lu;
+pub mod mat;
+pub mod norms;
+pub mod op;
+pub mod qr;
+pub mod scalar;
+pub mod triangular;
+pub mod vecops;
+
+pub use complex::c64;
+pub use id::{interp_decomp, IdResult};
+pub use lu::Lu;
+pub use mat::Mat;
+pub use op::{relative_residual, DenseOp, LinOp};
+pub use qr::{cpqr, householder_qr, Cpqr};
+pub use scalar::Scalar;

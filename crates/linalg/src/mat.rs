@@ -1,0 +1,431 @@
+//! Column-major dense matrix.
+//!
+//! Column-major storage matches the access pattern of every kernel in this
+//! crate (Householder reflections, triangular solves and GEMM all sweep down
+//! columns), so the innermost loops are contiguous.
+
+use crate::scalar::Scalar;
+use core::fmt;
+use core::ops::{Index, IndexMut};
+
+/// Dense `nrows x ncols` matrix stored column-major.
+#[derive(Clone, PartialEq)]
+pub struct Mat<T> {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Mat<T> {
+    /// All-zero matrix. Zero-sized dimensions are allowed and useful: boxes
+    /// with no redundant points produce genuinely empty blocks.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            data: vec![T::ZERO; nrows * ncols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::ONE;
+        }
+        m
+    }
+
+    /// Build entry-wise from a function of `(row, col)`.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for j in 0..ncols {
+            for i in 0..nrows {
+                data.push(f(i, j));
+            }
+        }
+        Self { nrows, ncols, data }
+    }
+
+    /// Wrap an existing column-major buffer.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            nrows * ncols,
+            "buffer length {} != {nrows}x{ncols}",
+            data.len()
+        );
+        Self { nrows, ncols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `true` if either dimension is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nrows == 0 || self.ncols == 0
+    }
+
+    /// Raw column-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Raw mutable column-major slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Contiguous view of column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[T] {
+        debug_assert!(j < self.ncols);
+        &self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Mutable view of column `j`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
+        debug_assert!(j < self.ncols);
+        &mut self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Two disjoint mutable column views (`j1 != j2`), used by pivoting swaps.
+    pub fn cols_mut_pair(&mut self, j1: usize, j2: usize) -> (&mut [T], &mut [T]) {
+        assert_ne!(j1, j2);
+        let n = self.nrows;
+        let (lo, hi) = if j1 < j2 { (j1, j2) } else { (j2, j1) };
+        let (a, b) = self.data.split_at_mut(hi * n);
+        let first = &mut a[lo * n..(lo + 1) * n];
+        let second = &mut b[..n];
+        if j1 < j2 {
+            (first, second)
+        } else {
+            (second, first)
+        }
+    }
+
+    /// Swap two columns.
+    pub fn swap_cols(&mut self, j1: usize, j2: usize) {
+        if j1 == j2 {
+            return;
+        }
+        let (a, b) = self.cols_mut_pair(j1, j2);
+        a.swap_with_slice(b);
+    }
+
+    /// Swap two rows.
+    pub fn swap_rows(&mut self, i1: usize, i2: usize) {
+        if i1 == i2 {
+            return;
+        }
+        for j in 0..self.ncols {
+            self.data.swap(j * self.nrows + i1, j * self.nrows + i2);
+        }
+    }
+
+    /// Plain transpose.
+    pub fn transpose(&self) -> Mat<T> {
+        Mat::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
+    }
+
+    /// Conjugate transpose (adjoint). Equal to [`Mat::transpose`] for reals.
+    pub fn adjoint(&self) -> Mat<T> {
+        Mat::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Gather the submatrix `self[rows, cols]`.
+    pub fn select(&self, rows: &[usize], cols: &[usize]) -> Mat<T> {
+        let mut out = Mat::zeros(rows.len(), cols.len());
+        for (jj, &j) in cols.iter().enumerate() {
+            let src = self.col(j);
+            let dst = out.col_mut(jj);
+            for (ii, &i) in rows.iter().enumerate() {
+                dst[ii] = src[i];
+            }
+        }
+        out
+    }
+
+    /// Contiguous block copy `self[r0..r0+nr, c0..c0+nc]`.
+    pub fn block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> Mat<T> {
+        assert!(r0 + nr <= self.nrows && c0 + nc <= self.ncols);
+        let mut out = Mat::zeros(nr, nc);
+        for j in 0..nc {
+            let src = &self.col(c0 + j)[r0..r0 + nr];
+            out.col_mut(j).copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Write `block` into `self` starting at `(r0, c0)`.
+    pub fn set_block(&mut self, r0: usize, c0: usize, block: &Mat<T>) {
+        assert!(r0 + block.nrows <= self.nrows && c0 + block.ncols <= self.ncols);
+        for j in 0..block.ncols {
+            let dst_col = self.col_mut(c0 + j);
+            dst_col[r0..r0 + block.nrows].copy_from_slice(block.col(j));
+        }
+    }
+
+    /// `self += alpha * other`, entry-wise.
+    pub fn axpy(&mut self, alpha: T, other: &Mat<T>) {
+        assert_eq!(self.nrows, other.nrows);
+        assert_eq!(self.ncols, other.ncols);
+        for (d, s) in self.data.iter_mut().zip(other.data.iter()) {
+            *d += alpha * *s;
+        }
+    }
+
+    /// Scale every entry by `alpha`.
+    pub fn scale_assign(&mut self, alpha: T) {
+        for d in self.data.iter_mut() {
+            *d *= alpha;
+        }
+    }
+
+    /// Stack vertically: `[self; bottom]`.
+    pub fn vstack(&self, bottom: &Mat<T>) -> Mat<T> {
+        assert_eq!(self.ncols, bottom.ncols, "vstack: column mismatch");
+        let mut out = Mat::zeros(self.nrows + bottom.nrows, self.ncols);
+        for j in 0..self.ncols {
+            out.col_mut(j)[..self.nrows].copy_from_slice(self.col(j));
+            out.col_mut(j)[self.nrows..].copy_from_slice(bottom.col(j));
+        }
+        out
+    }
+
+    /// Stack horizontally: `[self, right]`.
+    pub fn hstack(&self, right: &Mat<T>) -> Mat<T> {
+        assert_eq!(self.nrows, right.nrows, "hstack: row mismatch");
+        let mut data = Vec::with_capacity((self.ncols + right.ncols) * self.nrows);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&right.data);
+        Mat::from_vec(self.nrows, self.ncols + right.ncols, data)
+    }
+
+    /// Matrix-vector product `y = self * x`.
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.ncols);
+        let mut y = vec![T::ZERO; self.nrows];
+        self.matvec_acc_into(x, &mut y);
+        y
+    }
+
+    /// `y += self * x`.
+    pub fn matvec_acc_into(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        for j in 0..self.ncols {
+            let xj = x[j];
+            if xj == T::ZERO {
+                continue;
+            }
+            let col = self.col(j);
+            for i in 0..self.nrows {
+                y[i] += col[i] * xj;
+            }
+        }
+    }
+
+    /// `y -= self * x`.
+    pub fn matvec_sub_into(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        for j in 0..self.ncols {
+            let xj = x[j];
+            if xj == T::ZERO {
+                continue;
+            }
+            let col = self.col(j);
+            for i in 0..self.nrows {
+                y[i] -= col[i] * xj;
+            }
+        }
+    }
+
+    /// `y += self^H * x` (adjoint matvec).
+    pub fn adjoint_matvec_acc_into(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.nrows);
+        assert_eq!(y.len(), self.ncols);
+        for j in 0..self.ncols {
+            let col = self.col(j);
+            let mut acc = T::ZERO;
+            for i in 0..self.nrows {
+                acc += col[i].conj() * x[i];
+            }
+            y[j] += acc;
+        }
+    }
+
+    /// Approximate number of heap bytes held by the matrix.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * core::mem::size_of::<T>()
+    }
+}
+
+impl<T: Scalar> Index<(usize, usize)> for Mat<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        &self.data[j * self.nrows + i]
+    }
+}
+
+impl<T: Scalar> IndexMut<(usize, usize)> for Mat<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        &mut self.data[j * self.nrows + i]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mat<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.nrows, self.ncols)?;
+        let show_rows = self.nrows.min(8);
+        let show_cols = self.ncols.min(8);
+        for i in 0..show_rows {
+            write!(f, "  ")?;
+            for j in 0..show_cols {
+                write!(f, "{:?} ", self.data[j * self.nrows + i])?;
+            }
+            writeln!(f, "{}", if self.ncols > show_cols { "..." } else { "" })?;
+        }
+        if self.nrows > show_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c64;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Mat::from_fn(3, 2, |i, j| (10 * i + j) as f64);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 2);
+        assert_eq!(m[(2, 1)], 21.0);
+        assert_eq!(m.col(1), &[1.0, 11.0, 21.0]);
+        let id: Mat<f64> = Mat::identity(3);
+        assert_eq!(id[(0, 0)], 1.0);
+        assert_eq!(id[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn zero_sized_matrices_are_fine() {
+        let m: Mat<f64> = Mat::zeros(0, 5);
+        assert!(m.is_empty());
+        let v = m.matvec(&[1.0; 5]);
+        assert!(v.is_empty());
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 5);
+        assert_eq!(t.ncols(), 0);
+        let s = m.select(&[], &[1, 2]);
+        assert_eq!(s.nrows(), 0);
+        assert_eq!(s.ncols(), 2);
+    }
+
+    #[test]
+    fn transpose_and_adjoint() {
+        let m = Mat::from_fn(2, 3, |i, j| c64::new(i as f64, j as f64));
+        let t = m.transpose();
+        let a = m.adjoint();
+        assert_eq!(t[(2, 1)], m[(1, 2)]);
+        assert_eq!(a[(2, 1)], m[(1, 2)].conj());
+        // (A^H)^H == A
+        let back = a.adjoint();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn select_and_block() {
+        let m = Mat::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let s = m.select(&[3, 0], &[1, 2]);
+        assert_eq!(s[(0, 0)], m[(3, 1)]);
+        assert_eq!(s[(1, 1)], m[(0, 2)]);
+        let b = m.block(1, 2, 2, 2);
+        assert_eq!(b[(0, 0)], m[(1, 2)]);
+        assert_eq!(b[(1, 1)], m[(2, 3)]);
+        let mut z = Mat::zeros(4, 4);
+        z.set_block(1, 2, &b);
+        assert_eq!(z[(2, 3)], m[(2, 3)]);
+        assert_eq!(z[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn swap_rows_cols() {
+        let mut m = Mat::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let orig = m.clone();
+        m.swap_cols(0, 2);
+        assert_eq!(m[(1, 0)], orig[(1, 2)]);
+        m.swap_cols(0, 2);
+        m.swap_rows(0, 1);
+        assert_eq!(m[(0, 2)], orig[(1, 2)]);
+        m.swap_rows(0, 0); // no-op
+        m.swap_cols(1, 1); // no-op
+    }
+
+    #[test]
+    fn stack_operations() {
+        let a = Mat::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = Mat::from_fn(1, 2, |_, j| (10 + j) as f64);
+        let v = a.vstack(&b);
+        assert_eq!(v.nrows(), 3);
+        assert_eq!(v[(2, 1)], 11.0);
+        let c = Mat::from_fn(2, 1, |i, _| (20 + i) as f64);
+        let h = a.hstack(&c);
+        assert_eq!(h.ncols(), 3);
+        assert_eq!(h[(1, 2)], 21.0);
+    }
+
+    #[test]
+    fn matvec_variants() {
+        let m = Mat::from_fn(2, 3, |i, j| (i * 3 + j + 1) as f64);
+        let x = [1.0, 0.0, -1.0];
+        let y = m.matvec(&x);
+        assert_eq!(y, vec![1.0 - 3.0, 4.0 - 6.0]);
+        let mut acc = vec![1.0, 1.0];
+        m.matvec_acc_into(&x, &mut acc);
+        assert_eq!(acc, vec![-1.0, -1.0]);
+        let mut sub = vec![0.0, 0.0];
+        m.matvec_sub_into(&x, &mut sub);
+        assert_eq!(sub, vec![2.0, 2.0]);
+        let mut at = vec![0.0; 3];
+        m.adjoint_matvec_acc_into(&[1.0, 1.0], &mut at);
+        assert_eq!(at, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Mat::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = Mat::identity(2);
+        a.axpy(2.0, &b);
+        assert_eq!(a[(0, 0)], 2.0);
+        assert_eq!(a[(1, 1)], 4.0);
+        a.scale_assign(0.5);
+        assert_eq!(a[(1, 1)], 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Mat::<f64>::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+}

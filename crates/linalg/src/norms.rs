@@ -1,0 +1,90 @@
+//! Matrix norms and comparison helpers.
+
+use crate::mat::Mat;
+use crate::scalar::Scalar;
+
+/// Frobenius norm.
+pub fn fro_norm<T: Scalar>(a: &Mat<T>) -> f64 {
+    a.as_slice().iter().map(|v| v.abs_sq()).sum::<f64>().sqrt()
+}
+
+/// Largest entry modulus.
+pub fn max_abs<T: Scalar>(a: &Mat<T>) -> f64 {
+    a.as_slice().iter().map(|v| v.abs()).fold(0.0, f64::max)
+}
+
+/// Induced 1-norm (max column sum).
+pub fn one_norm<T: Scalar>(a: &Mat<T>) -> f64 {
+    (0..a.ncols())
+        .map(|j| a.col(j).iter().map(|v| v.abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Induced infinity-norm (max row sum).
+pub fn inf_norm<T: Scalar>(a: &Mat<T>) -> f64 {
+    let mut sums = vec![0.0; a.nrows()];
+    for j in 0..a.ncols() {
+        for (i, v) in a.col(j).iter().enumerate() {
+            sums[i] += v.abs();
+        }
+    }
+    sums.into_iter().fold(0.0, f64::max)
+}
+
+/// Largest entry-wise difference.
+pub fn max_abs_diff<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> f64 {
+    assert_eq!(a.nrows(), b.nrows());
+    assert_eq!(a.ncols(), b.ncols());
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice().iter())
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Relative Frobenius difference `||a - b||_F / max(||b||_F, eps)`.
+pub fn rel_fro_diff<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> f64 {
+    assert_eq!(a.nrows(), b.nrows());
+    assert_eq!(a.ncols(), b.ncols());
+    let num = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice().iter())
+        .map(|(x, y)| (*x - *y).abs_sq())
+        .sum::<f64>()
+        .sqrt();
+    num / fro_norm(b).max(f64::MIN_POSITIVE.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c64;
+
+    #[test]
+    fn norms_on_known_matrix() {
+        let a = Mat::from_vec(2, 2, vec![3.0, 0.0, -4.0, 0.0]); // cols [3,0],[-4,0]
+        assert_eq!(fro_norm(&a), 5.0);
+        assert_eq!(max_abs(&a), 4.0);
+        assert_eq!(one_norm(&a), 4.0);
+        assert_eq!(inf_norm(&a), 7.0);
+    }
+
+    #[test]
+    fn complex_norms() {
+        let a = Mat::from_vec(1, 1, vec![c64::new(3.0, 4.0)]);
+        assert_eq!(fro_norm(&a), 5.0);
+        assert_eq!(one_norm(&a), 5.0);
+        assert_eq!(inf_norm(&a), 5.0);
+    }
+
+    #[test]
+    fn diffs() {
+        let a = Mat::identity(2);
+        let mut b: Mat<f64> = Mat::identity(2);
+        b[(0, 1)] = 1e-3;
+        assert!((max_abs_diff(&a, &b) - 1e-3).abs() < 1e-18);
+        assert!(rel_fro_diff(&a, &a) == 0.0);
+        assert!(rel_fro_diff(&a, &b) > 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Abstract linear operators on vectors.
+//!
+//! Lives in the linalg crate so dense operators (here), FFT fast operators
+//! (`srsf-kernels`), and the factorization-as-preconditioner
+//! (`srsf-core`) can all implement one trait consumed by the Krylov
+//! solvers (`srsf-iterative`).
+
+use crate::mat::Mat;
+use crate::scalar::Scalar;
+use crate::vecops::nrm2;
+
+/// A square linear operator `y = A x`.
+pub trait LinOp<T: Scalar>: Sync {
+    /// Problem dimension.
+    fn dim(&self) -> usize;
+    /// Apply the operator.
+    fn apply(&self, x: &[T]) -> Vec<T>;
+}
+
+/// A dense matrix as a [`LinOp`].
+pub struct DenseOp<T> {
+    mat: Mat<T>,
+}
+
+impl<T: Scalar> DenseOp<T> {
+    /// Wrap a square matrix.
+    pub fn new(mat: Mat<T>) -> Self {
+        assert_eq!(mat.nrows(), mat.ncols(), "LinOp requires a square matrix");
+        Self { mat }
+    }
+
+    /// Borrow the underlying matrix.
+    pub fn mat(&self) -> &Mat<T> {
+        &self.mat
+    }
+}
+
+impl<T: Scalar> LinOp<T> for DenseOp<T> {
+    fn dim(&self) -> usize {
+        self.mat.nrows()
+    }
+    fn apply(&self, x: &[T]) -> Vec<T> {
+        self.mat.matvec(x)
+    }
+}
+
+/// `||A x - b|| / ||b||` — the `relres` metric reported throughout the
+/// paper's tables.
+pub fn relative_residual<T: Scalar>(a: &dyn LinOp<T>, x: &[T], b: &[T]) -> f64 {
+    assert_eq!(x.len(), b.len());
+    let ax = a.apply(x);
+    let num = ax
+        .iter()
+        .zip(b.iter())
+        .map(|(p, q)| (*p - *q).abs_sq())
+        .sum::<f64>()
+        .sqrt();
+    num / nrm2(b).max(f64::MIN_POSITIVE.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_op_applies() {
+        let m = Mat::from_fn(3, 3, |i, j| if i == j { 2.0 } else { 0.0 });
+        let op = DenseOp::new(m);
+        assert_eq!(op.dim(), 3);
+        assert_eq!(op.apply(&[1.0, 2.0, 3.0]), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn residual_zero_for_exact_solution() {
+        let m = Mat::from_fn(2, 2, |i, j| ((i + 1) * (j + 2)) as f64 + if i == j { 3.0 } else { 0.0 });
+        let x = vec![1.0, -1.0];
+        let b = m.matvec(&x);
+        let op = DenseOp::new(m);
+        assert!(relative_residual(&op, &x, &b) < 1e-15);
+        // Perturbed solution has nonzero residual.
+        let x2 = vec![1.1, -1.0];
+        assert!(relative_residual(&op, &x2, &b) > 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dense_op_rejects_rectangular() {
+        let _ = DenseOp::new(Mat::<f64>::zeros(2, 3));
+    }
+}

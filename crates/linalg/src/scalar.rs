@@ -1,0 +1,151 @@
+//! The [`Scalar`] abstraction shared by every numeric routine in the solver.
+//!
+//! The factorization is generic over the matrix element type: the Laplace
+//! kernel produces real matrices, the Helmholtz kernel complex ones. The
+//! trait deliberately exposes only the operations the solver needs, so both
+//! `f64` and [`crate::c64`] implement it without dead weight.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Field element usable throughout the solver (either `f64` or [`crate::c64`]).
+///
+/// Semantics follow complex arithmetic conventions: [`Scalar::conj`] is the
+/// complex conjugate (identity for reals), [`Scalar::abs`] the modulus, and
+/// dot products conjugate their first argument.
+pub trait Scalar:
+    Copy
+    + Clone
+    + Send
+    + Sync
+    + 'static
+    + PartialEq
+    + fmt::Debug
+    + fmt::Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum<Self>
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// `true` if the type carries an imaginary part.
+    const IS_COMPLEX: bool;
+
+    /// Embed a real number.
+    fn from_f64(x: f64) -> Self;
+    /// Build from real and imaginary parts (imaginary part ignored for `f64`).
+    fn from_re_im(re: f64, im: f64) -> Self;
+    /// Complex conjugate (identity on reals).
+    fn conj(self) -> Self;
+    /// Modulus |z|.
+    fn abs(self) -> f64;
+    /// Squared modulus |z|^2, computed without the square root.
+    fn abs_sq(self) -> f64;
+    /// Real part.
+    fn re(self) -> f64;
+    /// Imaginary part (0 for reals).
+    fn im(self) -> f64;
+    /// Multiply by a real scale factor.
+    fn scale(self, s: f64) -> Self;
+    /// Principal square root.
+    fn sqrt(self) -> Self;
+    /// `true` unless NaN/inf has crept in.
+    fn is_finite(self) -> bool;
+
+    /// Multiplicative inverse.
+    #[inline]
+    fn recip(self) -> Self {
+        Self::ONE / self
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const IS_COMPLEX: bool = false;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn from_re_im(re: f64, _im: f64) -> Self {
+        re
+    }
+    #[inline]
+    fn conj(self) -> Self {
+        self
+    }
+    #[inline]
+    fn abs(self) -> f64 {
+        f64::abs(self)
+    }
+    #[inline]
+    fn abs_sq(self) -> f64 {
+        self * self
+    }
+    #[inline]
+    fn re(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn im(self) -> f64 {
+        0.0
+    }
+    #[inline]
+    fn scale(self, s: f64) -> Self {
+        self * s
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_axioms<T: Scalar>(a: T, b: T) {
+        assert_eq!(a + T::ZERO, a);
+        assert_eq!(a * T::ONE, a);
+        let c = a * b;
+        assert!((c.abs() - a.abs() * b.abs()).abs() < 1e-12 * (1.0 + c.abs()));
+        assert!((a.abs_sq() - a.abs() * a.abs()).abs() < 1e-12 * (1.0 + a.abs_sq()));
+    }
+
+    #[test]
+    fn f64_scalar_axioms() {
+        generic_axioms(3.5f64, -2.0f64);
+        assert_eq!(2.0f64.conj(), 2.0);
+        assert_eq!((-3.0f64).abs(), 3.0);
+        assert_eq!(4.0f64.sqrt(), 2.0);
+        assert_eq!(2.0f64.recip(), 0.5);
+        assert_eq!(f64::from_re_im(1.5, 99.0), 1.5);
+        assert_eq!(1.5f64.re(), 1.5);
+        assert_eq!(1.5f64.im(), 0.0);
+        assert!(!f64::IS_COMPLEX);
+    }
+
+    #[test]
+    fn f64_scale_and_finite() {
+        assert_eq!(3.0f64.scale(0.5), 1.5);
+        assert!(1.0f64.is_finite());
+        assert!(!(f64::NAN).is_finite());
+        assert!(!(f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,242 @@
+//! Triangular solves (TRSM/TRSV equivalents).
+//!
+//! The elimination step of the factorization needs all four orientations:
+//! `L^{-1} B` and `U^{-1} B` for building the coupling matrices, and
+//! `B U^{-1}` / `B L^{-1}` for the Schur factors multiplied from the right.
+
+use crate::mat::Mat;
+use crate::scalar::Scalar;
+
+/// In-place `b := L^{-1} b` with `L` lower triangular (vector RHS).
+pub fn solve_lower_vec<T: Scalar>(l: &Mat<T>, unit_diag: bool, b: &mut [T]) {
+    let n = l.nrows();
+    assert_eq!(l.ncols(), n);
+    assert_eq!(b.len(), n);
+    for j in 0..n {
+        if !unit_diag {
+            b[j] = b[j] / l[(j, j)];
+        }
+        let bj = b[j];
+        if bj == T::ZERO {
+            continue;
+        }
+        let col = l.col(j);
+        for i in (j + 1)..n {
+            b[i] -= col[i] * bj;
+        }
+    }
+}
+
+/// In-place `b := U^{-1} b` with `U` upper triangular (vector RHS).
+pub fn solve_upper_vec<T: Scalar>(u: &Mat<T>, unit_diag: bool, b: &mut [T]) {
+    let n = u.nrows();
+    assert_eq!(u.ncols(), n);
+    assert_eq!(b.len(), n);
+    for j in (0..n).rev() {
+        if !unit_diag {
+            b[j] = b[j] / u[(j, j)];
+        }
+        let bj = b[j];
+        if bj == T::ZERO {
+            continue;
+        }
+        let col = u.col(j);
+        for i in 0..j {
+            b[i] -= col[i] * bj;
+        }
+    }
+}
+
+/// In-place `B := L^{-1} B`, matrix RHS.
+pub fn solve_lower_mat<T: Scalar>(l: &Mat<T>, unit_diag: bool, b: &mut Mat<T>) {
+    assert_eq!(l.nrows(), b.nrows());
+    for j in 0..b.ncols() {
+        solve_lower_vec(l, unit_diag, b.col_mut(j));
+    }
+}
+
+/// In-place `B := U^{-1} B`, matrix RHS.
+pub fn solve_upper_mat<T: Scalar>(u: &Mat<T>, unit_diag: bool, b: &mut Mat<T>) {
+    assert_eq!(u.nrows(), b.nrows());
+    for j in 0..b.ncols() {
+        solve_upper_vec(u, unit_diag, b.col_mut(j));
+    }
+}
+
+/// In-place `B := B U^{-1}` (upper triangular from the right).
+///
+/// Column `j` of the result depends on result columns `< j`:
+/// `X[:,j] = (B[:,j] - sum_{l<j} X[:,l] U[l,j]) / U[j,j]`.
+pub fn solve_upper_right_mat<T: Scalar>(b: &mut Mat<T>, u: &Mat<T>, unit_diag: bool) {
+    let n = u.nrows();
+    assert_eq!(u.ncols(), n);
+    assert_eq!(b.ncols(), n);
+    let m = b.nrows();
+    for j in 0..n {
+        let ucol: Vec<T> = u.col(j).to_vec();
+        for l in 0..j {
+            let s = ucol[l];
+            if s == T::ZERO {
+                continue;
+            }
+            let (xl, xj) = b.cols_mut_pair(l, j);
+            for i in 0..m {
+                xj[i] -= xl[i] * s;
+            }
+        }
+        if !unit_diag {
+            let d = ucol[j];
+            for v in b.col_mut(j) {
+                *v = *v / d;
+            }
+        }
+    }
+}
+
+/// In-place `B := B L^{-1}` (lower triangular from the right).
+pub fn solve_lower_right_mat<T: Scalar>(b: &mut Mat<T>, l: &Mat<T>, unit_diag: bool) {
+    let n = l.nrows();
+    assert_eq!(l.ncols(), n);
+    assert_eq!(b.ncols(), n);
+    let m = b.nrows();
+    for j in (0..n).rev() {
+        let lcol: Vec<T> = l.col(j).to_vec();
+        for k in (j + 1)..n {
+            let s = lcol[k];
+            if s == T::ZERO {
+                continue;
+            }
+            let (xk, xj) = b.cols_mut_pair(k, j);
+            for i in 0..m {
+                xj[i] -= xk[i] * s;
+            }
+        }
+        if !unit_diag {
+            let d = lcol[j];
+            for v in b.col_mut(j) {
+                *v = *v / d;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c64;
+    use crate::gemm::matmul;
+    use crate::norms::max_abs_diff;
+
+    fn lower(n: usize) -> Mat<f64> {
+        Mat::from_fn(n, n, |i, j| {
+            if i > j {
+                0.3 * (i as f64 - j as f64)
+            } else if i == j {
+                2.0 + i as f64
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn upper(n: usize) -> Mat<f64> {
+        lower(n).transpose()
+    }
+
+    #[test]
+    fn lower_vec_roundtrip() {
+        let l = lower(5);
+        let x: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
+        let mut b = l.matvec(&x);
+        solve_lower_vec(&l, false, &mut b);
+        for (a, e) in b.iter().zip(x.iter()) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn upper_vec_roundtrip() {
+        let u = upper(5);
+        let x: Vec<f64> = (0..5).map(|i| (i * i) as f64 * 0.1 - 1.0).collect();
+        let mut b = u.matvec(&x);
+        solve_upper_vec(&u, false, &mut b);
+        for (a, e) in b.iter().zip(x.iter()) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unit_diagonal_variants() {
+        let mut l = lower(4);
+        for i in 0..4 {
+            l[(i, i)] = 1.0;
+        }
+        let x = vec![1.0, -2.0, 0.5, 3.0];
+        let mut b = l.matvec(&x);
+        solve_lower_vec(&l, true, &mut b);
+        for (a, e) in b.iter().zip(x.iter()) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matrix_left_solves() {
+        let l = lower(4);
+        let u = upper(4);
+        let x = Mat::from_fn(4, 3, |i, j| (i + j) as f64 - 1.5);
+        let mut bl = matmul(&l, &x);
+        solve_lower_mat(&l, false, &mut bl);
+        assert!(max_abs_diff(&bl, &x) < 1e-12);
+        let mut bu = matmul(&u, &x);
+        solve_upper_mat(&u, false, &mut bu);
+        assert!(max_abs_diff(&bu, &x) < 1e-12);
+    }
+
+    #[test]
+    fn matrix_right_solves() {
+        let u = upper(4);
+        let x = Mat::from_fn(3, 4, |i, j| (2 * i + j) as f64 * 0.25 - 1.0);
+        let mut b = matmul(&x, &u);
+        solve_upper_right_mat(&mut b, &u, false);
+        assert!(max_abs_diff(&b, &x) < 1e-12);
+
+        let l = lower(4);
+        let mut b2 = matmul(&x, &l);
+        solve_lower_right_mat(&mut b2, &l, false);
+        assert!(max_abs_diff(&b2, &x) < 1e-12);
+    }
+
+    #[test]
+    fn right_solves_unit_diag() {
+        let mut u = upper(4);
+        let mut l = lower(4);
+        for i in 0..4 {
+            u[(i, i)] = 1.0;
+            l[(i, i)] = 1.0;
+        }
+        let x = Mat::from_fn(2, 4, |i, j| (i * 4 + j) as f64 * 0.1);
+        let mut b = matmul(&x, &u);
+        solve_upper_right_mat(&mut b, &u, true);
+        assert!(max_abs_diff(&b, &x) < 1e-12);
+        let mut b2 = matmul(&x, &l);
+        solve_lower_right_mat(&mut b2, &l, true);
+        assert!(max_abs_diff(&b2, &x) < 1e-12);
+    }
+
+    #[test]
+    fn complex_triangular() {
+        let l = Mat::from_fn(3, 3, |i, j| {
+            if i >= j {
+                c64::new(1.0 + i as f64, 0.5 * j as f64)
+            } else {
+                c64::ZERO
+            }
+        });
+        let x = vec![c64::new(1.0, 1.0), c64::new(-1.0, 0.0), c64::new(0.0, 2.0)];
+        let mut b = l.matvec(&x);
+        solve_lower_vec(&l, false, &mut b);
+        for (a, e) in b.iter().zip(x.iter()) {
+            assert!((*a - *e).norm() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Byte-level encoding of scalars, vectors and matrices for message
+//! payloads.
+//!
+//! Messages between ranks carry only bytes (as they would over a real
+//! interconnect); this module provides the little-endian wire format used
+//! by the distributed factorization: `u64` sizes/ids, raw `f64` data, and
+//! matrices as `(nrows, ncols, column-major data)`. Complex scalars encode
+//! as interleaved `(re, im)` pairs.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use srsf_linalg::{Mat, Scalar};
+
+/// Append-only wire-format writer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: BytesMut,
+}
+
+impl ByteWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self { buf: BytesMut::new() }
+    }
+
+    /// Write an unsigned 64-bit integer.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Write a double.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Write a scalar (1 or 2 doubles).
+    pub fn put_scalar<T: Scalar>(&mut self, v: T) {
+        self.buf.put_f64_le(v.re());
+        if T::IS_COMPLEX {
+            self.buf.put_f64_le(v.im());
+        }
+    }
+
+    /// Write a length-prefixed slice of `u64`.
+    pub fn put_u64_slice(&mut self, v: &[u64]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.put_u64(x);
+        }
+    }
+
+    /// Write a length-prefixed scalar slice.
+    pub fn put_scalar_slice<T: Scalar>(&mut self, v: &[T]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.put_scalar(x);
+        }
+    }
+
+    /// Write a matrix as `(nrows, ncols, column-major entries)`.
+    pub fn put_mat<T: Scalar>(&mut self, m: &Mat<T>) {
+        self.put_u64(m.nrows() as u64);
+        self.put_u64(m.ncols() as u64);
+        for &x in m.as_slice() {
+            self.put_scalar(x);
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish and freeze the payload.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Sequential wire-format reader.
+#[derive(Debug)]
+pub struct ByteReader {
+    buf: Bytes,
+}
+
+impl ByteReader {
+    /// Wrap a payload.
+    pub fn new(buf: Bytes) -> Self {
+        Self { buf }
+    }
+
+    /// Read an unsigned 64-bit integer.
+    pub fn get_u64(&mut self) -> u64 {
+        self.buf.get_u64_le()
+    }
+
+    /// Read a double.
+    pub fn get_f64(&mut self) -> f64 {
+        self.buf.get_f64_le()
+    }
+
+    /// Read a scalar.
+    pub fn get_scalar<T: Scalar>(&mut self) -> T {
+        let re = self.buf.get_f64_le();
+        let im = if T::IS_COMPLEX { self.buf.get_f64_le() } else { 0.0 };
+        T::from_re_im(re, im)
+    }
+
+    /// Read a length-prefixed `u64` slice.
+    pub fn get_u64_slice(&mut self) -> Vec<u64> {
+        let n = self.get_u64() as usize;
+        (0..n).map(|_| self.get_u64()).collect()
+    }
+
+    /// Read a length-prefixed scalar slice.
+    pub fn get_scalar_slice<T: Scalar>(&mut self) -> Vec<T> {
+        let n = self.get_u64() as usize;
+        (0..n).map(|_| self.get_scalar()).collect()
+    }
+
+    /// Read a matrix.
+    pub fn get_mat<T: Scalar>(&mut self) -> Mat<T> {
+        let nrows = self.get_u64() as usize;
+        let ncols = self.get_u64() as usize;
+        let data: Vec<T> = (0..nrows * ncols).map(|_| self.get_scalar()).collect();
+        Mat::from_vec(nrows, ncols, data)
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srsf_linalg::c64;
+
+    #[test]
+    fn round_trip_primitives() {
+        let mut w = ByteWriter::new();
+        w.put_u64(42);
+        w.put_f64(-1.5);
+        w.put_u64_slice(&[1, 2, 3]);
+        let mut r = ByteReader::new(w.finish());
+        assert_eq!(r.get_u64(), 42);
+        assert_eq!(r.get_f64(), -1.5);
+        assert_eq!(r.get_u64_slice(), vec![1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn round_trip_real_matrix() {
+        let m = Mat::from_fn(3, 2, |i, j| (i * 10 + j) as f64 - 5.0);
+        let mut w = ByteWriter::new();
+        w.put_mat(&m);
+        let mut r = ByteReader::new(w.finish());
+        let back: Mat<f64> = r.get_mat();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn round_trip_complex() {
+        let m = Mat::from_fn(2, 4, |i, j| c64::new(i as f64, -(j as f64)));
+        let v = vec![c64::new(1.0, 2.0), c64::new(-3.0, 0.5)];
+        let mut w = ByteWriter::new();
+        w.put_mat(&m);
+        w.put_scalar_slice(&v);
+        let mut r = ByteReader::new(w.finish());
+        let back: Mat<c64> = r.get_mat();
+        let backv: Vec<c64> = r.get_scalar_slice();
+        assert_eq!(back, m);
+        assert_eq!(backv, v);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn empty_matrix_round_trip() {
+        let m: Mat<f64> = Mat::zeros(0, 5);
+        let mut w = ByteWriter::new();
+        w.put_mat(&m);
+        let mut r = ByteReader::new(w.finish());
+        let back: Mat<f64> = r.get_mat();
+        assert_eq!(back.nrows(), 0);
+        assert_eq!(back.ncols(), 5);
+    }
+
+    #[test]
+    fn sizes_as_expected() {
+        let mut w = ByteWriter::new();
+        assert!(w.is_empty());
+        w.put_scalar(1.0f64);
+        assert_eq!(w.len(), 8);
+        w.put_scalar(c64::ONE);
+        assert_eq!(w.len(), 24);
+    }
+}

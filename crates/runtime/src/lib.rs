@@ -1,0 +1,29 @@
+//! `srsf-runtime`: a simulated distributed-memory runtime.
+//!
+//! **Substitution note (see DESIGN.md §5).** The paper runs on up to 1024
+//! processes of NERSC Perlmutter via Julia's `Distributed.jl`. Rust MPI
+//! bindings are immature and this reproduction targets a single host, so
+//! the distributed algorithm runs against this crate instead: every rank is
+//! an OS thread with its own address space discipline (ranks only share
+//! data through explicit messages), point-to-point channels carry typed
+//! byte payloads, and per-rank counters record exactly the quantities the
+//! paper analyzes in §IV — message counts and word volumes.
+//!
+//! * [`world`] — spawn a `p`-rank world, each rank running a closure
+//!   against a [`world::RankCtx`] handle (send / recv / barrier).
+//! * [`stats`] — per-rank communication and compute accounting.
+//! * [`netmodel`] — an α–β (latency–bandwidth) network cost model with
+//!   intra-node and inter-node presets, used to reproduce the paper's
+//!   "1 process per compute node" experiment (Table VII).
+//! * [`codec`] — serialization of scalar matrices/vectors into byte
+//!   payloads (`bytes`-based, no copies on the receive path beyond the
+//!   channel transfer).
+
+pub mod codec;
+pub mod netmodel;
+pub mod stats;
+pub mod world;
+
+pub use netmodel::NetworkModel;
+pub use stats::{CommStats, WorldStats};
+pub use world::{RankCtx, World};

@@ -1,0 +1,69 @@
+//! α–β (latency–bandwidth) network cost model.
+//!
+//! Used to reproduce Table VII of the paper ("1 process per compute node"):
+//! the same algorithm and traffic, costed under shared-memory vs
+//! network-interconnect parameters. The presets are representative of a
+//! modern HPC system (Slingshot-class interconnect) and of intra-node
+//! shared memory; absolute values are documented modeling constants, and
+//! the experiments report both raw counters and modeled times.
+
+/// Linear cost model: `time = alpha * messages + beta * words`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// Per-message latency in seconds.
+    pub alpha_s: f64,
+    /// Per-word (8-byte) transfer time in seconds.
+    pub beta_s_per_word: f64,
+}
+
+impl NetworkModel {
+    /// Custom model.
+    pub fn new(alpha_s: f64, beta_s_per_word: f64) -> Self {
+        Self { alpha_s, beta_s_per_word }
+    }
+
+    /// Ranks packed on one node: sub-microsecond latency, memory-bus-class
+    /// bandwidth (~20 GB/s effective per pair).
+    pub fn intra_node() -> Self {
+        Self {
+            alpha_s: 5e-7,
+            beta_s_per_word: 4e-10,
+        }
+    }
+
+    /// One rank per node over the interconnect: ~2 µs latency, ~10 GB/s
+    /// effective point-to-point bandwidth.
+    pub fn inter_node() -> Self {
+        Self {
+            alpha_s: 2e-6,
+            beta_s_per_word: 8e-10,
+        }
+    }
+
+    /// Cost of moving `words` 8-byte words in `msgs` messages.
+    pub fn cost(&self, msgs: u64, words: u64) -> f64 {
+        self.alpha_s * msgs as f64 + self.beta_s_per_word * words as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_linear() {
+        let m = NetworkModel::new(1e-6, 1e-9);
+        assert_eq!(m.cost(0, 0), 0.0);
+        let one = m.cost(1, 1000);
+        assert!((one - (1e-6 + 1e-6)).abs() < 1e-18);
+        assert!((m.cost(2, 2000) - 2.0 * one).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inter_node_slower_than_intra() {
+        let intra = NetworkModel::intra_node();
+        let inter = NetworkModel::inter_node();
+        assert!(inter.cost(10, 10_000) > intra.cost(10, 10_000));
+        assert!(inter.alpha_s > intra.alpha_s);
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-rank communication and compute accounting.
+//!
+//! Section IV of the paper analyzes the parallel algorithm in terms of the
+//! number of messages and the number of words moved per process. The
+//! runtime records exactly those quantities, so the bounds
+//! `msgs = O(log N + log p)` and `words = O(sqrt(N/p) + log p)` (Eq. 13)
+//! can be measured rather than assumed.
+
+use crate::netmodel::NetworkModel;
+
+/// Counters for one rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CommStats {
+    /// Point-to-point messages sent.
+    pub msgs_sent: u64,
+    /// 8-byte words sent (payload volume).
+    pub words_sent: u64,
+    /// Seconds spent in local computation (explicitly timed sections).
+    pub compute_s: f64,
+    /// Seconds spent blocked in `recv` / barriers.
+    pub wait_s: f64,
+}
+
+impl CommStats {
+    /// Accumulate another rank-phase into this one.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.msgs_sent += other.msgs_sent;
+        self.words_sent += other.words_sent;
+        self.compute_s += other.compute_s;
+        self.wait_s += other.wait_s;
+    }
+
+    /// Modeled network time for this rank's traffic under `model`.
+    pub fn modeled_comm_s(&self, model: &NetworkModel) -> f64 {
+        model.cost(self.msgs_sent, self.words_sent)
+    }
+}
+
+/// Counters for a whole world (one entry per rank).
+#[derive(Clone, Debug, Default)]
+pub struct WorldStats {
+    /// Per-rank statistics, indexed by rank.
+    pub per_rank: Vec<CommStats>,
+}
+
+impl WorldStats {
+    /// Largest message count over ranks (the bound in §IV is per process).
+    pub fn max_msgs(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.msgs_sent).max().unwrap_or(0)
+    }
+
+    /// Largest word count over ranks.
+    pub fn max_words(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.words_sent).max().unwrap_or(0)
+    }
+
+    /// Total messages across ranks.
+    pub fn total_msgs(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.msgs_sent).sum()
+    }
+
+    /// Total words across ranks.
+    pub fn total_words(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.words_sent).sum()
+    }
+
+    /// Critical-path estimate: the slowest rank's compute time plus its
+    /// modeled network time. This is the "parallel time" reported by the
+    /// scaling harnesses on hosts with fewer cores than simulated ranks
+    /// (see DESIGN.md §5).
+    pub fn critical_path_s(&self, model: &NetworkModel) -> f64 {
+        self.per_rank
+            .iter()
+            .map(|r| r.compute_s + r.modeled_comm_s(model))
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest per-rank compute time (the `tcomp` column of the tables).
+    pub fn max_compute_s(&self) -> f64 {
+        self.per_rank.iter().map(|r| r.compute_s).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CommStats {
+            msgs_sent: 2,
+            words_sent: 100,
+            compute_s: 1.0,
+            wait_s: 0.5,
+        };
+        let b = CommStats {
+            msgs_sent: 3,
+            words_sent: 50,
+            compute_s: 0.25,
+            wait_s: 0.25,
+        };
+        a.merge(&b);
+        assert_eq!(a.msgs_sent, 5);
+        assert_eq!(a.words_sent, 150);
+        assert!((a.compute_s - 1.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn world_aggregates() {
+        let w = WorldStats {
+            per_rank: vec![
+                CommStats { msgs_sent: 5, words_sent: 10, compute_s: 2.0, wait_s: 0.0 },
+                CommStats { msgs_sent: 7, words_sent: 4, compute_s: 1.0, wait_s: 0.0 },
+            ],
+        };
+        assert_eq!(w.max_msgs(), 7);
+        assert_eq!(w.max_words(), 10);
+        assert_eq!(w.total_msgs(), 12);
+        assert_eq!(w.total_words(), 14);
+        assert_eq!(w.max_compute_s(), 2.0);
+        let model = NetworkModel::new(1.0, 0.1);
+        // rank0: 2.0 + 5 + 1.0 = 8; rank1: 1.0 + 7 + 0.4 = 8.4
+        assert!((w.critical_path_s(&model) - 8.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_world() {
+        let w = WorldStats::default();
+        assert_eq!(w.max_msgs(), 0);
+        assert_eq!(w.critical_path_s(&NetworkModel::intra_node()), 0.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! The rank world: `p` simulated processes over OS threads.
+//!
+//! Each rank runs a user closure against a [`RankCtx`] that exposes the
+//! message-passing surface (tagged point-to-point send/recv, barrier) and
+//! the accounting hooks. Ranks share no mutable state: all coordination
+//! goes through byte messages, so the algorithm code is structured exactly
+//! as an MPI program would be — the property that makes this an honest
+//! stand-in for the paper's multi-node runs (DESIGN.md §5).
+//!
+//! Deadlock discipline: the factorization's protocol is bulk-synchronous
+//! (compute phases separated by barriers; every `recv` has a matching
+//! `send` issued in the same round), and `recv` carries a generous timeout
+//! so protocol bugs surface as panics rather than hangs.
+
+use crate::stats::{CommStats, WorldStats};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// A tagged point-to-point message.
+#[derive(Clone, Debug)]
+struct Msg {
+    src: usize,
+    tag: u32,
+    payload: Bytes,
+}
+
+/// Per-rank handle: rank id, world size, channels, counters.
+pub struct RankCtx {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Msg>>,
+    receiver: Receiver<Msg>,
+    /// Messages received but not yet claimed by a matching `recv`.
+    pending: Vec<Msg>,
+    barrier: Arc<Barrier>,
+    stats: CommStats,
+    recv_timeout: Duration,
+}
+
+impl RankCtx {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size `p`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `payload` to rank `dst` under `tag`. Counts one message and
+    /// `ceil(len/8)` words.
+    pub fn send(&mut self, dst: usize, tag: u32, payload: Bytes) {
+        assert!(dst < self.size, "rank {dst} out of range");
+        assert_ne!(dst, self.rank, "self-sends are a protocol bug");
+        self.stats.msgs_sent += 1;
+        self.stats.words_sent += (payload.len() as u64).div_ceil(8);
+        self.senders[dst]
+            .send(Msg { src: self.rank, tag, payload })
+            .expect("receiver hung up");
+    }
+
+    /// Blocking receive of the next message from `src` with `tag`.
+    /// Out-of-order messages are buffered, so rank pairs can interleave
+    /// tags freely.
+    pub fn recv(&mut self, src: usize, tag: u32) -> Bytes {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)
+        {
+            return self.pending.swap_remove(pos).payload;
+        }
+        let start = Instant::now();
+        loop {
+            let m = self
+                .receiver
+                .recv_timeout(self.recv_timeout)
+                .unwrap_or_else(|_| {
+                    panic!(
+                        "rank {} timed out waiting for (src={src}, tag={tag})",
+                        self.rank
+                    )
+                });
+            if m.src == src && m.tag == tag {
+                self.stats.wait_s += start.elapsed().as_secs_f64();
+                return m.payload;
+            }
+            self.pending.push(m);
+        }
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&mut self) {
+        let start = Instant::now();
+        self.barrier.wait();
+        self.stats.wait_s += start.elapsed().as_secs_f64();
+    }
+
+    /// Run `f` and account its wall time as local computation.
+    pub fn compute<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        self.stats.compute_s += start.elapsed().as_secs_f64();
+        r
+    }
+
+    /// Current counters (snapshot).
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+}
+
+/// A world of `p` ranks.
+pub struct World {
+    p: usize,
+    recv_timeout: Duration,
+}
+
+impl World {
+    /// Create a world with `p` ranks.
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1);
+        Self {
+            p,
+            recv_timeout: Duration::from_secs(120),
+        }
+    }
+
+    /// Override the receive timeout (tests use short ones).
+    pub fn with_recv_timeout(mut self, t: Duration) -> Self {
+        self.recv_timeout = t;
+        self
+    }
+
+    /// Run `f(rank_ctx)` on every rank concurrently; returns the per-rank
+    /// results and the communication statistics.
+    pub fn run<R, F>(&self, f: F) -> (Vec<R>, WorldStats)
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Send + Sync,
+    {
+        let p = self.p;
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded::<Msg>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let barrier = Arc::new(Barrier::new(p));
+        let f = &f;
+        let mut ctxs: Vec<RankCtx> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| RankCtx {
+                rank,
+                size: p,
+                senders: senders.clone(),
+                receiver,
+                pending: Vec::new(),
+                barrier: barrier.clone(),
+                stats: CommStats::default(),
+                recv_timeout: self.recv_timeout,
+            })
+            .collect();
+        drop(senders);
+
+        let mut out: Vec<Option<(R, CommStats)>> = (0..p).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, mut ctx) in ctxs.drain(..).enumerate() {
+                handles.push((
+                    rank,
+                    scope.spawn(move |_| {
+                        let r = f(&mut ctx);
+                        (r, ctx.stats)
+                    }),
+                ));
+            }
+            for (rank, h) in handles {
+                out[rank] = Some(h.join().expect("rank panicked"));
+            }
+        })
+        .expect("world scope panicked");
+
+        let mut results = Vec::with_capacity(p);
+        let mut stats = WorldStats::default();
+        for slot in out {
+            let (r, s) = slot.expect("missing rank result");
+            results.push(r);
+            stats.per_rank.push(s);
+        }
+        (results, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{ByteReader, ByteWriter};
+
+    #[test]
+    fn single_rank_world() {
+        let (results, stats) = World::new(1).run(|ctx| {
+            assert_eq!(ctx.rank(), 0);
+            assert_eq!(ctx.size(), 1);
+            ctx.compute(|| 7 * 6)
+        });
+        assert_eq!(results, vec![42]);
+        assert_eq!(stats.per_rank.len(), 1);
+        assert_eq!(stats.total_msgs(), 0);
+        assert!(stats.per_rank[0].compute_s >= 0.0);
+    }
+
+    #[test]
+    fn ring_pass() {
+        let p = 4;
+        let (results, stats) = World::new(p).run(|ctx| {
+            let me = ctx.rank();
+            let next = (me + 1) % ctx.size();
+            let prev = (me + ctx.size() - 1) % ctx.size();
+            let mut w = ByteWriter::new();
+            w.put_u64(me as u64);
+            ctx.send(next, 0, w.finish());
+            let mut r = ByteReader::new(ctx.recv(prev, 0));
+            r.get_u64()
+        });
+        assert_eq!(results, vec![3, 0, 1, 2]);
+        assert_eq!(stats.total_msgs(), 4);
+        // one u64 payload = 1 word each
+        assert_eq!(stats.total_words(), 4);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let (results, _) = World::new(2).run(|ctx| {
+            if ctx.rank() == 0 {
+                // Send tag 2 first, then tag 1.
+                let mut w = ByteWriter::new();
+                w.put_u64(222);
+                ctx.send(1, 2, w.finish());
+                let mut w = ByteWriter::new();
+                w.put_u64(111);
+                ctx.send(1, 1, w.finish());
+                0
+            } else {
+                // Receive in the opposite order.
+                let a = ByteReader::new(ctx.recv(0, 1)).get_u64();
+                let b = ByteReader::new(ctx.recv(0, 2)).get_u64();
+                assert_eq!((a, b), (111, 222));
+                1
+            }
+        });
+        assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let p = 4;
+        World::new(p).run(|ctx| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier every rank must see all increments.
+            assert_eq!(counter.load(Ordering::SeqCst), p);
+        });
+    }
+
+    #[test]
+    fn word_counting_rounds_up() {
+        let (_, stats) = World::new(2).run(|ctx| {
+            if ctx.rank() == 0 {
+                let mut w = ByteWriter::new();
+                w.put_u64(1); // 8 bytes
+                w.put_u64(2); // 16 bytes total
+                ctx.send(1, 0, w.finish());
+            } else {
+                ctx.recv(0, 0);
+            }
+        });
+        assert_eq!(stats.per_rank[0].msgs_sent, 1);
+        assert_eq!(stats.per_rank[0].words_sent, 2);
+        assert_eq!(stats.per_rank[1].msgs_sent, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn recv_timeout_panics_rather_than_hangs() {
+        World::new(2)
+            .with_recv_timeout(Duration::from_millis(50))
+            .run(|ctx| {
+                if ctx.rank() == 1 {
+                    let _ = ctx.recv(0, 9); // never sent
+                }
+            });
+    }
+}

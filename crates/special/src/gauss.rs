@@ -1,0 +1,174 @@
+//! Gauss–Legendre quadrature with nodes computed at runtime.
+//!
+//! Nodes are the roots of the Legendre polynomial `P_n`, found by Newton
+//! iteration from the Chebyshev-like initial guess; weights follow from the
+//! derivative. Computing them at runtime avoids tabulated constants and
+//! supports any order, which the proxy-circle discretization and the smooth
+//! parts of the singular diagonal integrals rely on.
+
+/// An `n`-point Gauss–Legendre rule on `[-1, 1]`.
+#[derive(Clone, Debug)]
+pub struct GaussLegendre {
+    /// Nodes in increasing order.
+    pub nodes: Vec<f64>,
+    /// Positive weights summing to 2.
+    pub weights: Vec<f64>,
+}
+
+impl GaussLegendre {
+    /// Build the `n`-point rule (`n >= 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "Gauss-Legendre order must be at least 1");
+        let mut nodes = vec![0.0; n];
+        let mut weights = vec![0.0; n];
+        let m = n.div_ceil(2);
+        for i in 0..m {
+            // Initial guess for the i-th root (descending), then Newton.
+            let mut x = (core::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+            let mut dp = 0.0;
+            for _ in 0..100 {
+                // Evaluate P_n(x) and P_n'(x) by the three-term recurrence.
+                let mut p0 = 1.0;
+                let mut p1 = x;
+                for k in 2..=n {
+                    let kf = k as f64;
+                    let p2 = ((2.0 * kf - 1.0) * x * p1 - (kf - 1.0) * p0) / kf;
+                    p0 = p1;
+                    p1 = p2;
+                }
+                let pn = if n == 1 { x } else { p1 };
+                let pn1 = if n == 1 { 1.0 } else { p0 };
+                dp = n as f64 * (x * pn - pn1) / (x * x - 1.0);
+                let dx = pn / dp;
+                x -= dx;
+                if dx.abs() < 1e-15 {
+                    break;
+                }
+            }
+            let w = 2.0 / ((1.0 - x * x) * dp * dp);
+            nodes[i] = -x;
+            nodes[n - 1 - i] = x;
+            weights[i] = w;
+            weights[n - 1 - i] = w;
+        }
+        if n % 2 == 1 {
+            // The middle node of odd rules is exactly zero.
+            nodes[n / 2] = 0.0;
+        }
+        Self { nodes, weights }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` for the (impossible) empty rule; kept for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Integrate `f` over `[a, b]`.
+    pub fn integrate(&self, a: f64, b: f64, mut f: impl FnMut(f64) -> f64) -> f64 {
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        let mut acc = 0.0;
+        for (x, w) in self.nodes.iter().zip(self.weights.iter()) {
+            acc += w * f(mid + half * x);
+        }
+        acc * half
+    }
+
+    /// Tensor-product integration of `f(x, y)` over `[ax,bx] x [ay,by]`.
+    pub fn integrate_2d(
+        &self,
+        (ax, bx): (f64, f64),
+        (ay, by): (f64, f64),
+        mut f: impl FnMut(f64, f64) -> f64,
+    ) -> f64 {
+        let hx = 0.5 * (bx - ax);
+        let mx = 0.5 * (ax + bx);
+        let hy = 0.5 * (by - ay);
+        let my = 0.5 * (ay + by);
+        let mut acc = 0.0;
+        for (xi, wi) in self.nodes.iter().zip(self.weights.iter()) {
+            let x = mx + hx * xi;
+            let mut row = 0.0;
+            for (yj, wj) in self.nodes.iter().zip(self.weights.iter()) {
+                row += wj * f(x, my + hy * yj);
+            }
+            acc += wi * row;
+        }
+        acc * hx * hy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_two_and_nodes_symmetric() {
+        for n in [1, 2, 3, 5, 8, 16, 33, 64] {
+            let g = GaussLegendre::new(n);
+            let sum: f64 = g.weights.iter().sum();
+            assert!((sum - 2.0).abs() < 1e-13, "n={n}: weight sum {sum}");
+            for i in 0..n {
+                assert!(
+                    (g.nodes[i] + g.nodes[n - 1 - i]).abs() < 1e-13,
+                    "n={n}: nodes not symmetric"
+                );
+                assert!(g.weights[i] > 0.0);
+            }
+            for i in 1..n {
+                assert!(g.nodes[i] > g.nodes[i - 1], "nodes must increase");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_for_polynomials_up_to_degree_2n_minus_1() {
+        for n in [2usize, 4, 7] {
+            let g = GaussLegendre::new(n);
+            for d in 0..(2 * n) {
+                let got = g.integrate(-1.0, 1.0, |x| x.powi(d as i32));
+                let want = if d % 2 == 0 { 2.0 / (d as f64 + 1.0) } else { 0.0 };
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "n={n}, degree {d}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_16pt_extreme_node() {
+        // x_max of the 16-point rule (reference: 0.9894009349916499).
+        let g = GaussLegendre::new(16);
+        assert!((g.nodes[15] - 0.989_400_934_991_649_9).abs() < 1e-13);
+        assert!((g.weights[15] - 0.027_152_459_411_754_095).abs() < 1e-13);
+    }
+
+    #[test]
+    fn integrates_smooth_functions() {
+        let g = GaussLegendre::new(24);
+        let got = g.integrate(0.0, 1.0, |x| (3.0 * x).exp());
+        let want = ((3.0f64).exp() - 1.0) / 3.0;
+        assert!((got - want).abs() < 1e-12);
+        let got2 = g.integrate(0.0, core::f64::consts::PI, f64::sin);
+        assert!((got2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tensor_2d_rule() {
+        let g = GaussLegendre::new(20);
+        // ∫∫ x^2 y^3 over [0,1]x[0,2] = (1/3)(16/4) = 4/3
+        let got = g.integrate_2d((0.0, 1.0), (0.0, 2.0), |x, y| x * x * y * y * y);
+        assert!((got - 4.0 / 3.0).abs() < 1e-12);
+        // Separable exponential.
+        let got2 = g.integrate_2d((0.0, 1.0), (0.0, 1.0), |x, y| (x + y).exp());
+        let e = core::f64::consts::E;
+        let want = (e - 1.0) * (e - 1.0);
+        assert!((got2 - want).abs() < 1e-12);
+    }
+}

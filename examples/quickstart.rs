@@ -1,0 +1,45 @@
+//! Quickstart: factor and solve a 2-D Laplace volume integral equation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use srsf::prelude::*;
+
+fn main() {
+    // 64x64 collocation grid on the unit square (N = 4096 unknowns).
+    let grid = UnitGrid::new(64);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+
+    // Factor A ~= (compressed inverse) at tolerance 1e-6.
+    let opts = FactorOpts { tol: 1e-6, ..FactorOpts::default() };
+    let t0 = std::time::Instant::now();
+    let f = factorize(&kernel, &pts, &opts).expect("factorization");
+    println!(
+        "factored N = {} in {:.2}s ({} box eliminations, top block {}, {:.1} MB)",
+        f.n(),
+        t0.elapsed().as_secs_f64(),
+        f.n_records(),
+        f.top_size(),
+        f.memory_bytes() as f64 / 1e6
+    );
+
+    // Solve against a random right-hand side.
+    let b = random_vector::<f64>(grid.n(), 7);
+    let t1 = std::time::Instant::now();
+    let x = f.solve(&b);
+    println!("solved one RHS in {:.4}s", t1.elapsed().as_secs_f64());
+
+    // Verify with the O(N log N) FFT operator.
+    let a = FastKernelOp::laplace(&kernel, &grid);
+    let relres = relative_residual(&a, &x, &b);
+    println!("relative residual ||Ax - b||/||b|| = {relres:.3e}");
+    assert!(relres < 1e-4);
+
+    // Skeleton ranks per level (the structure behind the O(N) cost).
+    println!("\naverage skeleton rank per level:");
+    for (level, rank) in f.stats().rank_table() {
+        println!("  level {level}: {rank:.1}");
+    }
+}

@@ -1,0 +1,78 @@
+//! # srsf — strong recursive skeletonization factorization
+//!
+//! A distributed-memory-parallel **O(N) direct solver** for the dense linear
+//! systems arising from planar integral equations, reproducing
+//! *"An O(N) distributed-memory parallel direct solver for planar integral
+//! equations"* (Liang, Chen, Martinsson, Biros; IPDPS 2024,
+//! arXiv:2310.15458) in Rust.
+//!
+//! This facade crate re-exports the workspace's subsystems:
+//!
+//! * [`linalg`] — dense kernels: `Mat`, LU, CPQR, interpolative decomposition.
+//! * [`special`] — Bessel/Hankel functions, Gauss–Legendre and adaptive
+//!   quadrature, singular self-interaction integrals.
+//! * [`fft`] — radix-2 FFT and circulant-embedded fast kernel matvec.
+//! * [`geometry`] — quad-trees, near-field/distance-2 neighborhoods, proxy
+//!   circles, process grids.
+//! * [`kernels`] — the 2-D Laplace and Helmholtz (Lippmann–Schwinger)
+//!   kernels and matrix assembly.
+//! * [`runtime`] — a simulated distributed-memory runtime (ranks as threads,
+//!   explicit messages, communication counters, α–β network model).
+//! * [`core`] — the factorization itself: sequential, shared-memory
+//!   box-colored, and distributed-memory process-colored variants.
+//! * [`iterative`] — CG / preconditioned CG / GMRES for the accuracy and
+//!   iteration-count experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use srsf::prelude::*;
+//!
+//! // 32x32 collocation grid for the 2-D Laplace volume integral equation.
+//! let grid = UnitGrid::new(32);
+//! let kernel = LaplaceKernel::new(&grid);
+//! let opts = FactorOpts { tol: 1e-6, ..FactorOpts::default() };
+//! let f = factorize(&kernel, &grid.points(), &opts).unwrap();
+//!
+//! // Solve against a random right-hand side and check the residual.
+//! let b = random_vector::<f64>(grid.n(), 7);
+//! let x = f.solve(&b);
+//! let op = DenseKernelOp::new(&kernel, &grid.points());
+//! assert!(relative_residual(&op, &x, &b) < 1e-4);
+//! ```
+
+pub use srsf_core as core;
+pub use srsf_fft as fft;
+pub use srsf_geometry as geometry;
+pub use srsf_iterative as iterative;
+pub use srsf_kernels as kernels;
+pub use srsf_linalg as linalg;
+pub use srsf_runtime as runtime;
+pub use srsf_special as special;
+
+/// Convenient glob-import surface for examples and downstream users.
+pub mod prelude {
+    pub use srsf_core::{
+        colored::{colored_factorize, ColorScheme},
+        distributed::{dist_factorize, dist_factorize_and_solve},
+        factorize,
+        sequential::Factorization,
+        stats::FactorStats,
+        FactorOpts,
+    };
+    pub use srsf_geometry::{grid::UnitGrid, point::Point, tree::QuadTree};
+    pub use srsf_iterative::{
+        cg::{cg, pcg},
+        gmres::{gmres, GmresOpts},
+        op::{relative_residual, DenseOp, LinOp},
+    };
+    pub use srsf_kernels::{
+        assemble::DenseKernelOp,
+        fast_op::FastKernelOp,
+        helmholtz::{gaussian_bump, HelmholtzKernel},
+        kernel::Kernel,
+        laplace::LaplaceKernel,
+        util::random_vector,
+    };
+    pub use srsf_linalg::{c64, Mat, Scalar};
+}

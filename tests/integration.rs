@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: factorization + FFT operators + Krylov
+//! solvers + the simulated distributed runtime working together, at the
+//! scale of the paper's small configurations.
+
+use srsf::geometry::procgrid::ProcessGrid;
+use srsf::iterative::cg::{cg, pcg};
+use srsf::iterative::gmres::{gmres, GmresOpts};
+use srsf::prelude::*;
+
+#[test]
+fn laplace_end_to_end_direct_and_preconditioned() {
+    let grid = UnitGrid::new(64); // N = 4096
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    let fast = FastKernelOp::laplace(&kernel, &grid);
+    let b = random_vector::<f64>(grid.n(), 1);
+
+    let opts = FactorOpts { tol: 1e-6, ..FactorOpts::default() };
+    let f = factorize(&kernel, &pts, &opts).unwrap();
+    // Direct solve accuracy against the FFT matvec.
+    let x = f.solve(&b);
+    let r = relative_residual(&fast, &x, &b);
+    assert!(r < 1e-4, "direct relres {r:.2e}");
+    // Preconditioned CG reaches 1e-12 in a near-constant iteration count.
+    let res = pcg(&fast, &f, &b, 1e-12, 100);
+    assert!(res.converged);
+    assert!(res.iterations <= 15, "nit = {}", res.iterations);
+}
+
+#[test]
+fn unpreconditioned_cg_is_painfully_slow_and_pcg_is_not() {
+    // The paper's motivation: cond(A) ~ O(N) for the first-kind system.
+    let grid = UnitGrid::new(32);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    let fast = FastKernelOp::laplace(&kernel, &grid);
+    let b = random_vector::<f64>(grid.n(), 2);
+    let plain = cg(&fast, &b, 1e-10, 5000);
+    let opts = FactorOpts { tol: 1e-6, ..FactorOpts::default() };
+    let f = factorize(&kernel, &pts, &opts).unwrap();
+    let pre = pcg(&fast, &f, &b, 1e-10, 100);
+    assert!(pre.converged);
+    assert!(
+        plain.iterations > 10 * pre.iterations,
+        "CG {} vs PCG {}",
+        plain.iterations,
+        pre.iterations
+    );
+}
+
+#[test]
+fn helmholtz_gmres_preconditioning() {
+    let grid = UnitGrid::new(64);
+    let kappa = 20.0;
+    let kernel = HelmholtzKernel::new(&grid, kappa);
+    let pts = grid.points();
+    let fast = FastKernelOp::helmholtz(&kernel, &grid);
+    let b = random_vector::<c64>(grid.n(), 4);
+    let opts = FactorOpts { tol: 1e-6, ..FactorOpts::default() };
+    let f = factorize(&kernel, &pts, &opts).unwrap();
+    let pre = gmres(&fast, Some(&f), &b, &GmresOpts { restart: 30, tol: 1e-12, max_iters: 100 });
+    assert!(pre.converged, "relres {:.2e}", pre.relres);
+    assert!(pre.iterations <= 10, "nit = {}", pre.iterations);
+}
+
+#[test]
+fn distributed_matches_sequential_through_public_api() {
+    let grid = UnitGrid::new(32);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    let opts = FactorOpts { tol: 1e-8, leaf_size: 16, ..FactorOpts::default() };
+    let b = random_vector::<f64>(grid.n(), 6);
+
+    let fs = factorize(&kernel, &pts, &opts).unwrap();
+    let (fd, stats, xd) =
+        dist_factorize_and_solve(&kernel, &pts, &ProcessGrid::new(4), &opts, Some(&b)).unwrap();
+    let xd = xd.unwrap();
+    let xs = fs.solve(&b);
+    // Same accuracy class; both within tolerance of each other's solution.
+    let rel = srsf::linalg::vecops::rel_diff(&xd, &xs);
+    assert!(rel < 1e-4, "dist vs seq solutions differ by {rel:.2e}");
+    let xg = fd.solve(&b);
+    assert!(srsf::linalg::vecops::rel_diff(&xd, &xg) < 1e-10);
+    // Neighbor-only traffic: on a 2x2 grid every rank has <= 3 neighbors,
+    // and everyone communicated.
+    for s in &stats.per_rank {
+        assert!(s.msgs_sent > 0);
+    }
+}
+
+#[test]
+fn rank_growth_matches_figure9_shape() {
+    // Figure 9's two claims at laptop scale: (a) Laplace skeleton ranks at
+    // a fixed box population are constant as N grows (the O(N) basis);
+    // (b) Helmholtz ranks at fixed N grow with the frequency.
+    let opts = FactorOpts { tol: 1e-6, leaf_size: 16, ..FactorOpts::default() };
+    let mut laplace_leaf_ranks = Vec::new();
+    for side in [32usize, 64] {
+        let grid = UnitGrid::new(side);
+        let pts = grid.points();
+        let lk = LaplaceKernel::new(&grid);
+        let lf = factorize(&lk, &pts, &opts).unwrap();
+        let leaf = lf.stats().leaf_level;
+        laplace_leaf_ranks.push(lf.stats().avg_rank(leaf).unwrap());
+    }
+    let growth = laplace_leaf_ranks[1] / laplace_leaf_ranks[0];
+    assert!(
+        (0.8..1.25).contains(&growth),
+        "Laplace leaf rank should be N-independent: {laplace_leaf_ranks:?}"
+    );
+
+    let grid = UnitGrid::new(64);
+    let pts = grid.points();
+    let mut helm_ranks = Vec::new();
+    for kappa in [12.6f64, 50.0] {
+        let hk = HelmholtzKernel::new(&grid, kappa);
+        let hf = factorize(&hk, &pts, &opts).unwrap();
+        helm_ranks.push(hf.stats().avg_rank(3).unwrap());
+    }
+    assert!(
+        helm_ranks[1] > 1.15 * helm_ranks[0],
+        "higher frequency must need larger skeletons: {helm_ranks:?}"
+    );
+}
+
+#[test]
+fn solve_then_multiply_roundtrip_many_rhs() {
+    let grid = UnitGrid::new(32);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    let fast = FastKernelOp::laplace(&kernel, &grid);
+    let opts = FactorOpts { tol: 1e-9, leaf_size: 32, ..FactorOpts::default() };
+    let f = factorize(&kernel, &pts, &opts).unwrap();
+    for seed in 0..8 {
+        let b = random_vector::<f64>(grid.n(), seed);
+        let x = f.solve(&b);
+        assert!(relative_residual(&fast, &x, &b) < 1e-6, "seed {seed}");
+    }
+}
