@@ -1,8 +1,11 @@
-//! Criterion microbenchmarks: the solver's computational primitives plus
-//! end-to-end factor/solve at small sizes.
+//! Microbenchmarks: the solver's computational primitives plus end-to-end
+//! factor/solve at small sizes.
+//!
+//! Self-contained harness (`harness = false`): each case is run in a
+//! calibrated loop and reported as median / mean wall time per iteration.
+//! Filter cases by substring: `cargo bench -- fft`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use srsf_core::{factorize, FactorOpts};
+use srsf_core::{Driver, Solver};
 use srsf_fft::fft::Fft;
 use srsf_geometry::grid::UnitGrid;
 use srsf_kernels::assemble::assemble_block;
@@ -12,107 +15,137 @@ use srsf_kernels::laplace::LaplaceKernel;
 use srsf_kernels::util::random_vector;
 use srsf_linalg::{c64, interp_decomp, LinOp, Mat};
 use srsf_special::bessel::{j0, y0};
+use std::time::{Duration, Instant};
 
-fn bench_bessel(c: &mut Criterion) {
-    c.bench_function("bessel/hankel0_sweep", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            let mut x = 0.05;
-            while x < 60.0 {
-                acc += j0(x) + y0(x);
-                x += 0.37;
-            }
-            std::hint::black_box(acc)
-        })
-    });
+/// Run `f` repeatedly for roughly `budget`, after a warmup pass, and print
+/// per-iteration statistics.
+fn bench<R>(filter: &Option<String>, name: &str, mut f: impl FnMut() -> R) {
+    if let Some(pat) = filter {
+        if !name.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let budget = Duration::from_millis(500);
+    // Warmup + calibration: how many iterations fit in the budget?
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    let once = t0.elapsed();
+    let iters = (budget.as_secs_f64() / once.as_secs_f64().max(1e-9)).clamp(1.0, 10_000.0) as usize;
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<32} {:>12} {:>14} {:>14}",
+        iters,
+        fmt_s(median),
+        fmt_s(mean)
+    );
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft");
+fn fmt_s(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} us", s * 1e6)
+    }
+}
+
+fn main() {
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    println!(
+        "{:<32} {:>12} {:>14} {:>14}",
+        "benchmark", "iters", "median", "mean"
+    );
+
+    bench(&filter, "bessel/hankel0_sweep", || {
+        let mut acc = 0.0;
+        let mut x = 0.05;
+        while x < 60.0 {
+            acc += j0(x) + y0(x);
+            x += 0.37;
+        }
+        acc
+    });
+
     for n in [256usize, 4096] {
         let plan = Fft::new(n);
         let x: Vec<c64> = (0..n).map(|i| c64::new(i as f64, -(i as f64))).collect();
-        g.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
-            b.iter(|| {
-                let mut y = x.clone();
-                plan.forward(&mut y);
-                std::hint::black_box(y)
-            })
+        bench(&filter, &format!("fft/forward_{n}"), || {
+            let mut y = x.clone();
+            plan.forward(&mut y);
+            y
         });
     }
-    g.finish();
-}
 
-fn bench_id(c: &mut Criterion) {
-    // Proxy-shaped compression: tall smooth-kernel matrix.
-    let src: Vec<f64> = (0..64).map(|i| i as f64 / 64.0).collect();
-    let trg: Vec<f64> = (0..400).map(|i| 3.0 + i as f64 / 400.0).collect();
-    let a = Mat::from_fn(400, 64, |i, j| 1.0 / (trg[i] - src[j]));
-    c.bench_function("id/proxy_shaped_400x64", |b| {
-        b.iter(|| std::hint::black_box(interp_decomp(a.clone(), 1e-6, usize::MAX)))
-    });
-}
+    {
+        // Proxy-shaped compression: tall smooth-kernel matrix.
+        let src: Vec<f64> = (0..64).map(|i| i as f64 / 64.0).collect();
+        let trg: Vec<f64> = (0..400).map(|i| 3.0 + i as f64 / 400.0).collect();
+        let a = Mat::from_fn(400, 64, |i, j| 1.0 / (trg[i] - src[j]));
+        bench(&filter, "id/proxy_shaped_400x64", || {
+            interp_decomp(a.clone(), 1e-6, usize::MAX)
+        });
+    }
 
-fn bench_assembly(c: &mut Criterion) {
-    let grid = UnitGrid::new(64);
-    let laplace = LaplaceKernel::new(&grid);
-    let helmholtz = HelmholtzKernel::new(&grid, 25.0);
-    let pts = grid.points();
-    let rows: Vec<usize> = (0..256).collect();
-    let cols: Vec<usize> = (1000..1064).collect();
-    c.bench_function("assembly/laplace_256x64", |b| {
-        b.iter(|| std::hint::black_box(assemble_block(&laplace, &pts, &rows, &cols)))
-    });
-    c.bench_function("assembly/helmholtz_256x64", |b| {
-        b.iter(|| std::hint::black_box(assemble_block(&helmholtz, &pts, &rows, &cols)))
-    });
-}
+    {
+        let grid = UnitGrid::new(64);
+        let laplace = LaplaceKernel::new(&grid);
+        let helmholtz = HelmholtzKernel::new(&grid, 25.0);
+        let pts = grid.points();
+        let rows: Vec<usize> = (0..256).collect();
+        let cols: Vec<usize> = (1000..1064).collect();
+        bench(&filter, "assembly/laplace_256x64", || {
+            assemble_block(&laplace, &pts, &rows, &cols)
+        });
+        bench(&filter, "assembly/helmholtz_256x64", || {
+            assemble_block(&helmholtz, &pts, &rows, &cols)
+        });
+    }
 
-fn bench_factorize(c: &mut Criterion) {
-    let mut g = c.benchmark_group("factorize");
-    g.sample_size(10);
     for side in [32usize, 64] {
         let grid = UnitGrid::new(side);
         let kernel = LaplaceKernel::new(&grid);
         let pts = grid.points();
-        let opts = FactorOpts { tol: 1e-6, leaf_size: 64, ..FactorOpts::default() };
-        g.bench_with_input(BenchmarkId::new("laplace", side * side), &side, |b, _| {
-            b.iter(|| std::hint::black_box(factorize(&kernel, &pts, &opts).unwrap()))
-        });
+        bench(
+            &filter,
+            &format!("factorize/laplace_{}", side * side),
+            || {
+                Solver::builder(&kernel, &pts)
+                    .tol(1e-6)
+                    .leaf_size(64)
+                    .driver(Driver::Sequential)
+                    .build()
+                    .unwrap()
+            },
+        );
     }
-    g.finish();
-}
 
-fn bench_solve(c: &mut Criterion) {
-    let grid = UnitGrid::new(64);
-    let kernel = LaplaceKernel::new(&grid);
-    let pts = grid.points();
-    let opts = FactorOpts { tol: 1e-6, leaf_size: 64, ..FactorOpts::default() };
-    let f = factorize(&kernel, &pts, &opts).unwrap();
-    let b = random_vector::<f64>(grid.n(), 3);
-    c.bench_function("solve/laplace_4096", |bch| {
-        bch.iter(|| std::hint::black_box(f.solve(&b)))
-    });
-}
+    {
+        let grid = UnitGrid::new(64);
+        let kernel = LaplaceKernel::new(&grid);
+        let pts = grid.points();
+        let f = Solver::builder(&kernel, &pts)
+            .tol(1e-6)
+            .leaf_size(64)
+            .build()
+            .unwrap();
+        let b = random_vector::<f64>(grid.n(), 3);
+        bench(&filter, "solve/laplace_4096", || f.solve(&b));
+    }
 
-fn bench_fast_matvec(c: &mut Criterion) {
-    let grid = UnitGrid::new(64);
-    let kernel = LaplaceKernel::new(&grid);
-    let fast = FastKernelOp::laplace(&kernel, &grid);
-    let x = random_vector::<f64>(grid.n(), 4);
-    c.bench_function("fast_matvec/laplace_4096", |b| {
-        b.iter(|| std::hint::black_box(fast.apply(&x)))
-    });
+    {
+        let grid = UnitGrid::new(64);
+        let kernel = LaplaceKernel::new(&grid);
+        let fast = FastKernelOp::laplace(&kernel, &grid);
+        let x = random_vector::<f64>(grid.n(), 4);
+        bench(&filter, "fast_matvec/laplace_4096", || fast.apply(&x));
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_bessel,
-    bench_fft,
-    bench_id,
-    bench_assembly,
-    bench_factorize,
-    bench_solve,
-    bench_fast_matvec
-);
-criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! proxy point count, leaf size, and the box-coloring scheme.
 
 use srsf_bench::rule;
-use srsf_core::colored::{colored_factorize, ColorScheme};
-use srsf_core::{factorize, FactorOpts};
+use srsf_core::colored::ColorScheme;
+use srsf_core::{Driver, FactorOpts, Solver};
 use srsf_geometry::grid::UnitGrid;
 use srsf_kernels::fast_op::FastKernelOp;
 use srsf_kernels::laplace::LaplaceKernel;
@@ -17,7 +17,10 @@ fn run(opts: &FactorOpts, side: usize) -> (f64, f64, f64) {
     let fast = FastKernelOp::laplace(&kernel, &grid);
     let b = random_vector::<f64>(grid.n(), 5);
     let t = Instant::now();
-    let f = factorize(&kernel, &pts, opts).unwrap();
+    let f = Solver::builder(&kernel, &pts)
+        .opts(opts.clone())
+        .build()
+        .unwrap();
     let tfact = t.elapsed().as_secs_f64();
     let rel = srsf_linalg::relative_residual(&fast, &f.solve(&b), &b);
     let leaf_rank = f.stats().avg_rank(f.stats().leaf_level).unwrap_or(0.0);
@@ -29,28 +32,39 @@ fn main() {
     println!("Ablations (Laplace, N = {side}^2, eps = 1e-6)\n");
 
     println!("A. proxy radius factor (paper: 2.5 L; must stay inside M(B))");
-    println!("{:>8} {:>10} {:>10} {:>10}", "factor", "tfact[s]", "relres", "leaf rank");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "factor", "tfact[s]", "relres", "leaf rank"
+    );
     rule(44);
     for factor in [1.75, 2.0, 2.25, 2.5] {
-        let opts = FactorOpts { tol: 1e-6, proxy_radius_factor: factor, ..FactorOpts::default() };
+        let opts = FactorOpts::default()
+            .with_tol(1e-6)
+            .with_proxy_radius_factor(factor);
         let (t, r, k) = run(&opts, side);
         println!("{:>8.2} {:>10.3} {:>10.2e} {:>10.1}", factor, t, r, k);
     }
 
     println!("\nB. proxy point count");
-    println!("{:>8} {:>10} {:>10} {:>10}", "n_proxy", "tfact[s]", "relres", "leaf rank");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "n_proxy", "tfact[s]", "relres", "leaf rank"
+    );
     rule(44);
     for n in [16usize, 32, 64, 128] {
-        let opts = FactorOpts { tol: 1e-6, n_proxy_min: n, ..FactorOpts::default() };
+        let opts = FactorOpts::default().with_tol(1e-6).with_n_proxy_min(n);
         let (t, r, k) = run(&opts, side);
         println!("{:>8} {:>10.3} {:>10.2e} {:>10.1}", n, t, r, k);
     }
 
     println!("\nC. leaf size (points per leaf box)");
-    println!("{:>8} {:>10} {:>10} {:>10}", "leaf", "tfact[s]", "relres", "leaf rank");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "leaf", "tfact[s]", "relres", "leaf rank"
+    );
     rule(44);
     for leaf in [16usize, 32, 64, 128] {
-        let opts = FactorOpts { tol: 1e-6, leaf_size: leaf, ..FactorOpts::default() };
+        let opts = FactorOpts::default().with_tol(1e-6).with_leaf_size(leaf);
         let (t, r, k) = run(&opts, side);
         println!("{:>8} {:>10.3} {:>10.2e} {:>10.1}", leaf, t, r, k);
     }
@@ -64,9 +78,13 @@ fn main() {
     let fast = FastKernelOp::laplace(&kernel, &grid);
     let b = random_vector::<f64>(grid.n(), 5);
     for (name, scheme) in [("4", ColorScheme::Four), ("9", ColorScheme::Nine)] {
-        let opts = FactorOpts { tol: 1e-6, ..FactorOpts::default() };
+        let opts = FactorOpts::default().with_tol(1e-6);
         let t = Instant::now();
-        let f = colored_factorize(&kernel, &pts, &opts, scheme, 2).unwrap();
+        let f = Solver::builder(&kernel, &pts)
+            .opts(opts)
+            .driver(Driver::Colored { scheme, threads: 2 })
+            .build()
+            .unwrap();
         let tf = t.elapsed().as_secs_f64();
         let r = srsf_linalg::relative_residual(&fast, &f.solve(&b), &b);
         println!("{:>8} {:>10.3} {:>10.2e}", name, tf, r);

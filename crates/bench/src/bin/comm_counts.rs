@@ -6,7 +6,7 @@ use srsf_core::FactorOpts;
 use srsf_runtime::NetworkModel;
 
 fn main() {
-    let opts = FactorOpts { tol: 1e-6, leaf_size: 64, ..FactorOpts::default() };
+    let opts = FactorOpts::default().with_tol(1e-6).with_leaf_size(64);
     let model = NetworkModel::intra_node();
     println!("Communication-bound validation (Eq. 13): Laplace, eps = 1e-6");
     println!(

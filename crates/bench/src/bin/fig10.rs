@@ -3,9 +3,8 @@
 //! (the plot form of Table VI).
 
 use srsf_bench::rule;
-use srsf_core::colored::{colored_factorize, ColorScheme};
-use srsf_core::distributed::dist_factorize;
-use srsf_core::FactorOpts;
+use srsf_core::colored::ColorScheme;
+use srsf_core::{Driver, FactorOpts, Solver};
 use srsf_geometry::grid::UnitGrid;
 use srsf_geometry::procgrid::ProcessGrid;
 use srsf_kernels::helmholtz::HelmholtzKernel;
@@ -19,23 +18,35 @@ fn main() {
     println!("Figure 10 reproduction: tfact vs cores, shared (box-colored) vs distributed");
     println!("Helmholtz kappa = 25, N = {side}^2");
     for eps in [1e-3, 1e-6] {
-        let opts = FactorOpts { tol: eps, leaf_size: 64, ..FactorOpts::default() };
+        let opts = FactorOpts::default().with_tol(eps).with_leaf_size(64);
         println!("\n  eps = {eps:.0e}");
         println!("{:>5} {:>14} {:>14}", "p", "shared[s]", "distributed[s]");
         rule(36);
         for p in [1usize, 4] {
             let t0 = Instant::now();
-            let _ = colored_factorize(&kernel, &pts, &opts, ColorScheme::Four, p).unwrap();
+            let _ = Solver::builder(&kernel, &pts)
+                .opts(opts.clone())
+                .driver(Driver::Colored {
+                    scheme: ColorScheme::Four,
+                    threads: p,
+                })
+                .build()
+                .unwrap();
             let shared = t0.elapsed().as_secs_f64();
-            let dist = if p == 1 {
-                let t = Instant::now();
-                let _ = srsf_core::factorize(&kernel, &pts, &opts).unwrap();
-                t.elapsed().as_secs_f64()
+            let driver = if p == 1 {
+                Driver::Sequential
             } else {
-                let t = Instant::now();
-                let _ = dist_factorize(&kernel, &pts, &ProcessGrid::new(p), &opts).unwrap();
-                t.elapsed().as_secs_f64()
+                Driver::Distributed {
+                    grid: ProcessGrid::new(p),
+                }
             };
+            let t = Instant::now();
+            let _ = Solver::builder(&kernel, &pts)
+                .opts(opts.clone())
+                .driver(driver)
+                .build()
+                .unwrap();
+            let dist = t.elapsed().as_secs_f64();
             println!("{:>5} {:>14.3} {:>14.3}", p, shared, dist);
         }
     }

@@ -9,12 +9,15 @@ use srsf_core::FactorOpts;
 use srsf_runtime::NetworkModel;
 
 fn main() {
-    let opts = FactorOpts { tol: 1e-6, leaf_size: 64, ..FactorOpts::default() };
+    let opts = FactorOpts::default().with_tol(1e-6).with_leaf_size(64);
     let model = NetworkModel::intra_node();
     let large = is_large();
 
     println!("Figure 6a reproduction: strong scaling (N fixed, p grows)");
-    println!("{:>8} {:>5} {:>12} {:>10}", "N", "p", "tmodel[s]", "twall[s]");
+    println!(
+        "{:>8} {:>5} {:>12} {:>10}",
+        "N", "p", "tmodel[s]", "twall[s]"
+    );
     rule(40);
     let sides: &[usize] = if large { &[128, 256] } else { &[64, 128] };
     for &side in sides {
@@ -36,7 +39,10 @@ fn main() {
 
     println!();
     println!("Figure 6b reproduction: weak scaling (N/p fixed)");
-    println!("{:>8} {:>8} {:>5} {:>12} {:>10}", "N/p", "N", "p", "tmodel[s]", "twall[s]");
+    println!(
+        "{:>8} {:>8} {:>5} {:>12} {:>10}",
+        "N/p", "N", "p", "tmodel[s]", "twall[s]"
+    );
     rule(48);
     let base: &[usize] = if large { &[64, 128] } else { &[32, 64] };
     for &per in base {

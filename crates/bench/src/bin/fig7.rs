@@ -4,7 +4,7 @@
 //! Writes `fig7_potential.pgm` and `fig7_field.pgm` (portable graymaps)
 //! plus `fig7_field.csv` into `bench_out/`.
 
-use srsf_core::{factorize, FactorOpts};
+use srsf_core::{FactorOpts, Solver};
 use srsf_geometry::grid::UnitGrid;
 use srsf_kernels::field::{lippmann_schwinger_rhs, plane_wave, sigma_from_mu, total_field_on_grid};
 use srsf_kernels::helmholtz::{gaussian_bump, HelmholtzKernel};
@@ -33,8 +33,11 @@ fn main() {
     let pts = grid.points();
     println!("Figure 7 reproduction: kappa = {kappa}, {side}x{side} grid");
 
-    let opts = FactorOpts { tol: 1e-6, ..FactorOpts::default() };
-    let f = factorize(&kernel, &pts, &opts).expect("factorization");
+    let opts = FactorOpts::default().with_tol(1e-6);
+    let f = Solver::builder(&kernel, &pts)
+        .opts(opts)
+        .build()
+        .expect("factorization");
     let uin = plane_wave(&pts, kappa, (1.0, 0.0)); // traveling left to right
     let rhs = lippmann_schwinger_rhs(&kernel, &pts, &uin);
     let mu = f.solve(&rhs);
@@ -50,7 +53,12 @@ fn main() {
     let mut csv = std::fs::File::create("bench_out/fig7_field.csv").expect("csv");
     writeln!(csv, "x,y,b,re_u,im_u").unwrap();
     for (i, p) in pts.iter().enumerate() {
-        writeln!(csv, "{},{},{},{},{}", p.x, p.y, potential[i], u[i].re, u[i].im).unwrap();
+        writeln!(
+            csv,
+            "{},{},{},{},{}",
+            p.x, p.y, potential[i], u[i].re, u[i].im
+        )
+        .unwrap();
     }
 
     let max_amp = u.iter().map(|z| z.norm()).fold(0.0, f64::max);

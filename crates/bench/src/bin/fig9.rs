@@ -7,14 +7,14 @@
 //! kappa for the high-frequency runs.
 
 use srsf_bench::{is_large, rule, sweep_sides};
-use srsf_core::{factorize, FactorOpts};
+use srsf_core::{FactorOpts, Solver};
 use srsf_geometry::grid::UnitGrid;
 use srsf_kernels::helmholtz::HelmholtzKernel;
 use srsf_kernels::laplace::LaplaceKernel;
 
 fn rank_table_for(name: &str, sides: &[usize], make_kappa: impl Fn(usize) -> Option<f64>) {
     println!("{name}");
-    let opts = FactorOpts { tol: 1e-6, leaf_size: 64, ..FactorOpts::default() };
+    let opts = FactorOpts::default().with_tol(1e-6).with_leaf_size(64);
     // Collect per-side rank tables.
     let mut tables = Vec::new();
     for &side in sides {
@@ -23,11 +23,21 @@ fn rank_table_for(name: &str, sides: &[usize], make_kappa: impl Fn(usize) -> Opt
         let stats = match make_kappa(side) {
             None => {
                 let k = LaplaceKernel::new(&grid);
-                factorize(&k, &pts, &opts).unwrap().stats().clone()
+                Solver::builder(&k, &pts)
+                    .opts(opts.clone())
+                    .build()
+                    .unwrap()
+                    .stats()
+                    .clone()
             }
             Some(kappa) => {
                 let k = HelmholtzKernel::new(&grid, kappa);
-                factorize(&k, &pts, &opts).unwrap().stats().clone()
+                Solver::builder(&k, &pts)
+                    .opts(opts.clone())
+                    .build()
+                    .unwrap()
+                    .stats()
+                    .clone()
             }
         };
         tables.push((side, stats));
@@ -65,5 +75,7 @@ fn main() {
     rank_table_for("Helmholtz (kappa = pi*sqrt(N)/16)", &sides, |side| {
         Some(core::f64::consts::PI * side as f64 / 16.0)
     });
-    println!("(paper: Fig. 9 — Laplace/fixed-kappa ranks ~constant in N; O(sqrt(N))-kappa ranks grow)");
+    println!(
+        "(paper: Fig. 9 — Laplace/fixed-kappa ranks ~constant in N; O(sqrt(N))-kappa ranks grow)"
+    );
 }

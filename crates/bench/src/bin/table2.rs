@@ -9,7 +9,7 @@ use srsf_core::FactorOpts;
 use srsf_runtime::NetworkModel;
 
 fn main() {
-    let opts = FactorOpts { tol: 1e-6, leaf_size: 64, ..FactorOpts::default() };
+    let opts = FactorOpts::default().with_tol(1e-6).with_leaf_size(64);
     let model = NetworkModel::intra_node();
     println!("Table II reproduction: 2-D Laplace kernel, eps = 1e-6");
     println!(

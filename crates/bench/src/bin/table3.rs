@@ -14,7 +14,7 @@ fn main() {
     );
     rule(60);
     for eps in [1e-6, 1e-9, 1e-12] {
-        let opts = FactorOpts { tol: eps, leaf_size: 64, ..FactorOpts::default() };
+        let opts = FactorOpts::default().with_tol(eps).with_leaf_size(64);
         for side in sweep_sides(is_large()) {
             let c = run_laplace_case(side, 1, &opts, &model);
             let (nit, _) = laplace_pcg_iters(side, &opts, 1e-12);

@@ -6,7 +6,7 @@ use srsf_core::FactorOpts;
 use srsf_runtime::NetworkModel;
 
 fn main() {
-    let opts = FactorOpts { tol: 1e-6, leaf_size: 64, ..FactorOpts::default() };
+    let opts = FactorOpts::default().with_tol(1e-6).with_leaf_size(64);
     let model = NetworkModel::intra_node();
     let kappa = 25.0;
     println!("Table IV reproduction: 2-D Helmholtz kernel, kappa = 25, eps = 1e-6");
@@ -32,5 +32,7 @@ fn main() {
         }
         rule(84);
     }
-    println!("(paper: Table IV — Helmholtz tfact larger than Laplace at equal N; Hankel evals dominate)");
+    println!(
+        "(paper: Table IV — Helmholtz tfact larger than Laplace at equal N; Hankel evals dominate)"
+    );
 }

@@ -7,7 +7,7 @@ use srsf_core::FactorOpts;
 use srsf_runtime::NetworkModel;
 
 fn main() {
-    let opts = FactorOpts { tol: 1e-6, leaf_size: 64, ..FactorOpts::default() };
+    let opts = FactorOpts::default().with_tol(1e-6).with_leaf_size(64);
     let model = NetworkModel::intra_node();
     let cap = 4000;
     println!("Table V reproduction: Helmholtz, kappa = pi*sqrt(N)/16 (32 pts/wavelength)");

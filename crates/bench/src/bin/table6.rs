@@ -6,15 +6,15 @@
 //! comparison isolates the parallel schedule, exactly as in the paper.
 
 use srsf_bench::rule;
-use srsf_core::colored::{colored_factorize, ColorScheme};
-use srsf_core::distributed::dist_factorize_and_solve;
-use srsf_core::FactorOpts;
+use srsf_core::colored::ColorScheme;
+use srsf_core::{Driver, FactorOpts, Solver};
 use srsf_geometry::grid::UnitGrid;
 use srsf_geometry::procgrid::ProcessGrid;
+use srsf_iterative::gmres::GmresOpts;
+use srsf_iterative::precond::gmres_factorized;
 use srsf_kernels::fast_op::FastKernelOp;
 use srsf_kernels::helmholtz::HelmholtzKernel;
 use srsf_kernels::util::random_vector;
-use srsf_iterative::gmres::{gmres, GmresOpts};
 use srsf_linalg::c64;
 use std::time::Instant;
 
@@ -31,15 +31,30 @@ fn main() {
     println!("(distributed), Helmholtz kappa = 25, N = {side}^2");
     println!(
         "{:>9} {:>3} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10} {:>4}",
-        "eps", "p", "sh tfact", "sh tsolve", "sh relres", "di tfact", "di tsolve", "di relres", "nit"
+        "eps",
+        "p",
+        "sh tfact",
+        "sh tsolve",
+        "sh relres",
+        "di tfact",
+        "di tsolve",
+        "di relres",
+        "nit"
     );
     rule(96);
     for eps in [1e-3, 1e-6, 1e-9, 1e-12] {
-        let opts = FactorOpts { tol: eps, leaf_size: 64, ..FactorOpts::default() };
+        let opts = FactorOpts::default().with_tol(eps).with_leaf_size(64);
         for p in [1usize, 4] {
             // Shared-memory reference: box coloring with p worker threads.
             let t0 = Instant::now();
-            let fsh = colored_factorize(&kernel, &pts, &opts, ColorScheme::Four, p).unwrap();
+            let fsh = Solver::builder(&kernel, &pts)
+                .opts(opts.clone())
+                .driver(Driver::Colored {
+                    scheme: ColorScheme::Four,
+                    threads: p,
+                })
+                .build()
+                .unwrap();
             let sh_fact = t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
             let xsh = fsh.solve(&b);
@@ -49,7 +64,10 @@ fn main() {
             // Distributed: p simulated ranks.
             let (di_fact, di_solve, di_rel, fdi) = if p == 1 {
                 let t = Instant::now();
-                let f = srsf_core::factorize(&kernel, &pts, &opts).unwrap();
+                let f = Solver::builder(&kernel, &pts)
+                    .opts(opts.clone())
+                    .build()
+                    .unwrap();
                 let tf = t.elapsed().as_secs_f64();
                 let t = Instant::now();
                 let x = f.solve(&b);
@@ -58,15 +76,31 @@ fn main() {
             } else {
                 let pg = ProcessGrid::new(p);
                 let t = Instant::now();
-                let (f, _, x) =
-                    dist_factorize_and_solve(&kernel, &pts, &pg, &opts, Some(&b)).unwrap();
+                let (f, x) = Solver::builder(&kernel, &pts)
+                    .opts(opts.clone())
+                    .driver(Driver::Distributed { grid: pg })
+                    .build_with_solution(&b)
+                    .unwrap();
                 let total = t.elapsed().as_secs_f64();
                 let ts = f.stats().solve_s;
-                let x = x.unwrap();
-                (total - ts, ts, srsf_linalg::relative_residual(&fast, &x, &b), f)
+                (
+                    total - ts,
+                    ts,
+                    srsf_linalg::relative_residual(&fast, &x, &b),
+                    f,
+                )
             };
-            let nit = gmres(&fast, Some(&fdi), &b, &GmresOpts { restart: 30, tol: 1e-12, max_iters: 200 })
-                .iterations;
+            let nit = gmres_factorized(
+                &fast,
+                &fdi,
+                &b,
+                &GmresOpts {
+                    restart: 30,
+                    tol: 1e-12,
+                    max_iters: 200,
+                },
+            )
+            .iterations;
             println!(
                 "{:>9.0e} {:>3} | {:>10.3} {:>10.4} {:>10.2e} | {:>10.3} {:>10.4} {:>10.2e} {:>4}",
                 eps, p, sh_fact, sh_solve, sh_rel, di_fact, di_solve, di_rel, nit

@@ -12,7 +12,7 @@ use srsf_core::FactorOpts;
 use srsf_runtime::NetworkModel;
 
 fn main() {
-    let opts = FactorOpts { tol: 1e-6, leaf_size: 64, ..FactorOpts::default() };
+    let opts = FactorOpts::default().with_tol(1e-6).with_leaf_size(64);
     let kappa = 25.0;
     println!("Table VII reproduction: packed (intra-node) vs 1-process-per-node (inter-node)");
     println!("Helmholtz kappa = 25, eps = 1e-6");

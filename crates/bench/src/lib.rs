@@ -9,13 +9,11 @@
 //! crossovers) are made on the critical path, with wall time shown for
 //! transparency.
 
-use srsf_core::distributed::dist_factorize_and_solve;
-use srsf_core::sequential::Factorization;
-use srsf_core::{factorize, FactorOpts};
+use srsf_core::{Driver, FactorOpts, Solver};
 use srsf_geometry::grid::UnitGrid;
 use srsf_geometry::procgrid::ProcessGrid;
-use srsf_iterative::cg::pcg;
 use srsf_iterative::gmres::{gmres, GmresOpts};
+use srsf_iterative::precond::{gmres_factorized, pcg_factorized};
 use srsf_kernels::fast_op::FastKernelOp;
 use srsf_kernels::helmholtz::HelmholtzKernel;
 use srsf_kernels::laplace::LaplaceKernel;
@@ -82,7 +80,7 @@ pub fn run_helmholtz_case(
     finish_case(side, p, f, x, stats, walls, &fast, &b, model)
 }
 
-type FactorOutcome<T> = (Factorization<T>, Vec<T>, WorldStats, (f64, f64));
+type FactorOutcome<T> = (Solver<T>, Vec<T>, WorldStats, (f64, f64));
 
 fn factor_and_solve<K: srsf_kernels::kernel::Kernel>(
     kernel: &K,
@@ -93,7 +91,10 @@ fn factor_and_solve<K: srsf_kernels::kernel::Kernel>(
 ) -> FactorOutcome<K::Elem> {
     if p == 1 {
         let t0 = Instant::now();
-        let f = factorize(kernel, pts, opts).expect("factorization");
+        let f = Solver::builder(kernel, pts)
+            .opts(opts.clone())
+            .build()
+            .expect("factorization");
         let tfact = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
         let x = f.solve(b);
@@ -109,12 +110,16 @@ fn factor_and_solve<K: srsf_kernels::kernel::Kernel>(
     } else {
         let grid = ProcessGrid::new(p);
         let t0 = Instant::now();
-        let (f, stats, x) = dist_factorize_and_solve(kernel, pts, &grid, opts, Some(b))
+        let (f, x) = Solver::builder(kernel, pts)
+            .opts(opts.clone())
+            .driver(Driver::Distributed { grid })
+            .build_with_solution(b)
             .expect("distributed factorization");
         let total = t0.elapsed().as_secs_f64();
         let tsolve = f.stats().solve_s;
         let tfact = (total - tsolve).max(0.0);
-        (f, x.expect("solution"), stats, (tfact, tsolve))
+        let stats = f.comm_stats().expect("distributed comm stats").clone();
+        (f, x, stats, (tfact, tsolve))
     }
 }
 
@@ -122,7 +127,7 @@ fn factor_and_solve<K: srsf_kernels::kernel::Kernel>(
 fn finish_case<T: Scalar>(
     side: usize,
     p: usize,
-    f: Factorization<T>,
+    f: Solver<T>,
     x: Vec<T>,
     stats: WorldStats,
     (tfact_wall, tsolve): (f64, f64),
@@ -155,10 +160,13 @@ pub fn laplace_pcg_iters(side: usize, opts: &FactorOpts, tol: f64) -> (usize, f6
     let grid = UnitGrid::new(side);
     let kernel = LaplaceKernel::new(&grid);
     let pts = grid.points();
-    let f = factorize(&kernel, &pts, opts).expect("factorization");
+    let f = Solver::builder(&kernel, &pts)
+        .opts(opts.clone())
+        .build()
+        .expect("factorization");
     let fast = FastKernelOp::laplace(&kernel, &grid);
     let b = random_vector::<f64>(grid.n(), 77);
-    let res = pcg(&fast, &f, &b, tol, 200);
+    let res = pcg_factorized(&fast, &f, &b, tol, 200);
     (res.iterations, res.relres)
 }
 
@@ -175,20 +183,31 @@ pub fn helmholtz_gmres_iters(
     let grid = UnitGrid::new(side);
     let kernel = HelmholtzKernel::new(&grid, kappa);
     let pts = grid.points();
-    let f = factorize(&kernel, &pts, opts).expect("factorization");
+    let f = Solver::builder(&kernel, &pts)
+        .opts(opts.clone())
+        .build()
+        .expect("factorization");
     let fast = FastKernelOp::helmholtz(&kernel, &grid);
     let b = random_vector::<c64>(grid.n(), 77);
-    let pre = gmres(
+    let pre = gmres_factorized(
         &fast,
-        Some(&f),
+        &f,
         &b,
-        &GmresOpts { restart: 30, tol, max_iters: 500 },
+        &GmresOpts {
+            restart: 30,
+            tol,
+            max_iters: 500,
+        },
     );
     let un = gmres(
         &fast,
         None,
         &b,
-        &GmresOpts { restart: 20, tol, max_iters: cap },
+        &GmresOpts {
+            restart: 20,
+            tol,
+            max_iters: cap,
+        },
     );
     (pre.iterations, un.iterations, un.converged)
 }
@@ -235,7 +254,7 @@ mod tests {
 
     #[test]
     fn small_laplace_case_runs() {
-        let opts = FactorOpts { tol: 1e-6, leaf_size: 16, ..FactorOpts::default() };
+        let opts = FactorOpts::default().with_tol(1e-6).with_leaf_size(16);
         let c = run_laplace_case(32, 1, &opts, &NetworkModel::intra_node());
         assert!(c.relres < 1e-4, "relres {}", c.relres);
         assert!(c.tfact_wall > 0.0);

@@ -24,14 +24,18 @@ use crate::sequential::{domain_for, factor_top, Factorization};
 use crate::stats::FactorStats;
 use crate::store::{ActiveSets, BlockStore};
 use crate::FactorOpts;
-pub use srsf_geometry::procgrid::BoxColoring as ColorScheme;
 use srsf_geometry::point::Point;
+pub use srsf_geometry::procgrid::BoxColoring as ColorScheme;
 use srsf_geometry::tree::{BoxId, QuadTree};
 use srsf_kernels::kernel::Kernel;
 use std::time::Instant;
 
 /// Factor with the box-colored parallel schedule using `n_threads` worker
 /// threads per color round.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Solver::builder(kernel, pts).driver(Driver::Colored { .. }).build()` instead"
+)]
 pub fn colored_factorize<K: Kernel>(
     kernel: &K,
     pts: &[Point],
@@ -39,8 +43,21 @@ pub fn colored_factorize<K: Kernel>(
     scheme: ColorScheme,
     n_threads: usize,
 ) -> Result<Factorization<K::Elem>, FactorError> {
-    assert!(n_threads >= 1);
     let tree = QuadTree::build(pts, domain_for(pts), opts.leaf_size);
+    colored_factorize_with_tree(kernel, pts, &tree, opts, scheme, n_threads)
+}
+
+/// Factor with the box-colored schedule against a caller-provided tree
+/// (the driver entry point used by `Solver`).
+pub(crate) fn colored_factorize_with_tree<K: Kernel>(
+    kernel: &K,
+    pts: &[Point],
+    tree: &QuadTree,
+    opts: &FactorOpts,
+    scheme: ColorScheme,
+    n_threads: usize,
+) -> Result<Factorization<K::Elem>, FactorError> {
+    assert!(n_threads >= 1);
     let t_total = Instant::now();
     let n = pts.len();
     let leaf = tree.leaf_level();
@@ -62,9 +79,9 @@ pub fn colored_factorize<K: Kernel>(
                     .boxes_at_level(level)
                     .filter(|b| scheme.color(b) == color)
                     .collect();
-                let outputs = eliminate_color_round(&store, &act, &tree, &boxes, opts, n_threads)?;
+                let outputs = eliminate_color_round(&store, &act, tree, &boxes, opts, n_threads)?;
                 // Deterministic merge in row-major box order.
-                for (b, out) in boxes.iter().zip(outputs.into_iter()) {
+                for (b, out) in boxes.iter().zip(outputs) {
                     if let Some(rec) = &out.record {
                         stats.add_rank(level, rec.skel.len());
                     }
@@ -80,7 +97,7 @@ pub fn colored_factorize<K: Kernel>(
                 break;
             }
             let t1 = Instant::now();
-            merge_to_parent(&mut store, &mut act, &tree, level);
+            merge_to_parent(&mut store, &mut act, tree, level);
             stats.merge_s += t1.elapsed().as_secs_f64();
             level -= 1;
         }
@@ -88,11 +105,13 @@ pub fn colored_factorize<K: Kernel>(
 
     let t2 = Instant::now();
     let top_level = if leaf >= lmin { lmin } else { leaf };
-    let (top_idx, top_lu) = factor_top(&store, &act, &tree, top_level)
+    let (top_idx, top_lu) = factor_top(&store, &act, tree, top_level)
         .map_err(|box_id| FactorError::SingularDiagonal { box_id })?;
     stats.top_s = t2.elapsed().as_secs_f64();
     stats.total_s = t_total.elapsed().as_secs_f64();
-    Ok(Factorization::from_parts(n, records, top_idx, top_lu, stats))
+    Ok(Factorization::from_parts(
+        n, records, top_idx, top_lu, stats,
+    ))
 }
 
 /// Snapshot-compute the eliminations of one color round across threads,
@@ -115,7 +134,7 @@ fn eliminate_color_round<K: Kernel>(
     let chunk = boxes.len().div_ceil(n_threads);
     let mut slots: Vec<Option<Result<EliminationOutput<K::Elem>, FactorError>>> =
         (0..boxes.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest = slots.as_mut_slice();
         let mut start = 0;
         for _ in 0..n_threads {
@@ -127,14 +146,13 @@ fn eliminate_color_round<K: Kernel>(
             rest = tail;
             let boxes_chunk = &boxes[start..start + take];
             start += take;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, b) in head.iter_mut().zip(boxes_chunk.iter()) {
                     *slot = Some(eliminate_box(store, act, tree, b, opts));
                 }
             });
         }
-    })
-    .expect("color-round scope panicked");
+    });
     slots
         .into_iter()
         .map(|s| s.expect("missing elimination output"))

@@ -101,7 +101,13 @@ fn box_near_region(b: &BoxId, region: (i64, i64, i64, i64), d: i64) -> bool {
 }
 
 /// Owner rank of point `ptid` at `level` (via its ancestor box).
-fn owner_of_point(grid: &ProcessGrid, tree: &QuadTree, pts: &[Point], ptid: u32, level: u8) -> usize {
+fn owner_of_point(
+    grid: &ProcessGrid,
+    tree: &QuadTree,
+    pts: &[Point],
+    ptid: u32,
+    level: u8,
+) -> usize {
     let p = pts[ptid as usize];
     let s = 1u64 << level;
     let dom = tree.domain();
@@ -122,7 +128,13 @@ fn encode_update<T: Scalar>(
     grid: &ProcessGrid,
 ) {
     put_box(w, b);
-    put_ids(w, &out.skel_positions.iter().map(|&p| p as u32).collect::<Vec<_>>());
+    put_ids(
+        w,
+        &out.skel_positions
+            .iter()
+            .map(|&p| p as u32)
+            .collect::<Vec<_>>(),
+    );
     put_ids(w, skel_ids);
     let tracked: Vec<&(BoxId, BoxId, Mat<T>)> = out
         .replaced
@@ -227,6 +239,10 @@ fn order_key(leaf: u8, level: u8, phase: u8, b: &BoxId) -> u64 {
     (((leaf - level) as u64) << 44) | ((phase as u64) << 40) | b.flat() as u64
 }
 
+/// A factorization gathered on rank 0, the per-rank communication
+/// counters, and (when a right-hand side was supplied) the solution.
+type DistOutcome<T> = Result<(Factorization<T>, WorldStats, Option<Vec<T>>), FactorError>;
+
 /// Per-rank state shared between the factorization and solve passes.
 struct RankState<T> {
     records: Vec<(u64, BoxElimination<T>)>,
@@ -242,32 +258,54 @@ struct RankState<T> {
 
 /// Distributed factorization; returns the factorization assembled on rank
 /// 0 and the per-rank communication statistics.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Solver::builder(kernel, pts).driver(Driver::Distributed { grid }).build()` instead"
+)]
 pub fn dist_factorize<K: Kernel>(
     kernel: &K,
     pts: &[Point],
     grid: &ProcessGrid,
     opts: &FactorOpts,
 ) -> Result<(Factorization<K::Elem>, WorldStats), FactorError> {
-    let (f, s, _) = dist_factorize_and_solve(kernel, pts, grid, opts, None)?;
+    let tree = QuadTree::build(pts, domain_for(pts), opts.leaf_size);
+    let (f, s, _) = dist_factorize_with_tree(kernel, pts, &tree, grid, opts, None)?;
     Ok((f, s))
 }
 
 /// Distributed factorization plus (optionally) one distributed solve.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Solver::builder(kernel, pts).driver(Driver::Distributed { grid }) \
+            .build_with_solution(rhs)` instead"
+)]
 pub fn dist_factorize_and_solve<K: Kernel>(
     kernel: &K,
     pts: &[Point],
     grid: &ProcessGrid,
     opts: &FactorOpts,
     rhs: Option<&[K::Elem]>,
-) -> Result<(Factorization<K::Elem>, WorldStats, Option<Vec<K::Elem>>), FactorError> {
+) -> DistOutcome<K::Elem> {
     let tree = QuadTree::build(pts, domain_for(pts), opts.leaf_size);
+    dist_factorize_with_tree(kernel, pts, &tree, grid, opts, rhs)
+}
+
+/// Distributed factorization against a caller-provided tree (the driver
+/// entry point used by `Solver`).
+pub(crate) fn dist_factorize_with_tree<K: Kernel>(
+    kernel: &K,
+    pts: &[Point],
+    tree: &QuadTree,
+    grid: &ProcessGrid,
+    opts: &FactorOpts,
+    rhs: Option<&[K::Elem]>,
+) -> DistOutcome<K::Elem> {
     let leaf = tree.leaf_level();
     let lmin = (opts.min_compress_level as u8).min(leaf);
     let world = World::new(grid.p());
 
-    let (results, _total_stats) = world.run(|ctx| {
-        run_rank(ctx, kernel, pts, &tree, grid, opts, leaf, lmin, rhs)
-    });
+    let (results, _total_stats) =
+        world.run(|ctx| run_rank(ctx, kernel, pts, tree, grid, opts, leaf, lmin, rhs));
 
     // Report the *algorithmic* per-rank counters (pre record-gather); the
     // gather that assembles the Factorization on rank 0 is an API artifact
@@ -289,8 +327,13 @@ pub fn dist_factorize_and_solve<K: Kernel>(
     Ok((f, stats, x))
 }
 
-type RankOutput<T> =
-    Result<(srsf_runtime::stats::CommStats, Option<(Factorization<T>, Option<Vec<T>>)>), FactorError>;
+type RankOutput<T> = Result<
+    (
+        srsf_runtime::stats::CommStats,
+        Option<(Factorization<T>, Option<Vec<T>>)>,
+    ),
+    FactorError,
+>;
 
 #[allow(clippy::too_many_arguments)]
 fn run_rank<K: Kernel>(
@@ -326,11 +369,28 @@ fn run_rank<K: Kernel>(
         loop {
             if grid.is_active(me, level) {
                 let (interior, boundary) = grid.classify_level(me, level);
-                run_phase(ctx, grid, tree, &mut store, &mut act, &interior, level, 0, opts, &mut state)?;
+                run_phase(
+                    ctx, grid, tree, &mut store, &mut act, &interior, level, 0, opts, &mut state,
+                )?;
                 let my_color = grid.color(me, level);
                 for color in 0..4u8 {
-                    let mine = if color == my_color { boundary.clone() } else { Vec::new() };
-                    run_phase(ctx, grid, tree, &mut store, &mut act, &mine, level, 1 + color, opts, &mut state)?;
+                    let mine = if color == my_color {
+                        boundary.clone()
+                    } else {
+                        Vec::new()
+                    };
+                    run_phase(
+                        ctx,
+                        grid,
+                        tree,
+                        &mut store,
+                        &mut act,
+                        &mine,
+                        level,
+                        1 + color,
+                        opts,
+                        &mut state,
+                    )?;
                 }
                 let snapshot: Vec<(BoxId, Vec<u32>)> = tree
                     .boxes_at_level(level)
@@ -368,7 +428,18 @@ fn run_rank<K: Kernel>(
     // Optional distributed solve.
     let t_solve = std::time::Instant::now();
     let x = rhs.map(|b| {
-        dist_solve(ctx, grid, tree, pts, &state, top.as_ref(), top_level, leaf, lmin, b)
+        dist_solve(
+            ctx,
+            grid,
+            tree,
+            pts,
+            &state,
+            top.as_ref(),
+            top_level,
+            leaf,
+            lmin,
+            b,
+        )
     });
     if rhs.is_some() {
         state.stats.solve_s = t_solve.elapsed().as_secs_f64();
@@ -429,9 +500,10 @@ fn run_phase<K: Kernel>(
         ctx.compute(|| apply_output(store, act, b, &out));
         if let Some(rec) = &out.record {
             state.stats.add_rank(level, rec.skel.len());
-            state
-                .records
-                .push((order_key(state.stats.leaf_level, level, phase, b), rec.clone()));
+            state.records.push((
+                order_key(state.stats.leaf_level, level, phase, b),
+                rec.clone(),
+            ));
             state.record_phase.push((level, phase));
         }
         let _ = skel_ids;
@@ -582,11 +654,6 @@ fn level_transition<K: Kernel>(
         let my_region = region_of(grid, me, parent_level);
         for p in tree.boxes_at_level(parent_level) {
             if box_near_region(&p, my_region, 2) {
-                let known = p
-                    .children()
-                    .iter()
-                    .all(|c| !act.get(c).is_empty() || grid.owner(c) == me || true);
-                let _ = known;
                 parent_acts.push((p, crate::levels::parent_active(act, &p)));
             }
         }
@@ -633,6 +700,9 @@ fn level_transition<K: Kernel>(
     ctx.barrier();
 }
 
+/// The dense top factorization (index map + LU), present on rank 0 only.
+type TopFactor<T> = Option<(Vec<u32>, Lu<T>)>;
+
 /// Gather the remaining active blocks on rank 0 and factor the top.
 fn gather_top<K: Kernel>(
     ctx: &mut RankCtx,
@@ -641,7 +711,7 @@ fn gather_top<K: Kernel>(
     store: &mut BlockStore<'_, K>,
     act: &mut ActiveSets,
     top_level: u8,
-) -> Result<Option<(Vec<u32>, Lu<K::Elem>)>, FactorError> {
+) -> Result<TopFactor<K::Elem>, FactorError> {
     let me = ctx.rank();
     let active = grid.active_ranks(top_level);
     if me != 0 {
@@ -736,7 +806,9 @@ fn gather_factorization<T: Scalar>(
         })
         .collect();
     let (top_idx, top_lu) = top.expect("rank 0 holds the top factorization");
-    Ok(Some(Factorization::from_parts(n, records, top_idx, top_lu, stats)))
+    Ok(Some(Factorization::from_parts(
+        n, records, top_idx, top_lu, stats,
+    )))
 }
 
 /// The distributed solve: upward pass with neighbor delta exchange, top

@@ -168,8 +168,7 @@ pub fn eliminate_box<K: Kernel>(
     let a_ns = a_nb.select(&all_rows, &skel_positions);
     let a_rn = {
         let cols: Vec<usize> = (0..n_total).collect();
-        let m = a_bn.select(&red_positions, &cols);
-        m
+        a_bn.select(&red_positions, &cols)
     };
     let a_sn = {
         let cols: Vec<usize> = (0..n_total).collect();
@@ -257,7 +256,10 @@ pub fn eliminate_box<K: Kernel>(
         box_id: *b,
         redundant: red_positions.iter().map(|&p| a_b[p]).collect(),
         skel: skel_positions.iter().map(|&p| a_b[p]).collect(),
-        nbr: nbrs.iter().flat_map(|n| act.get(n).iter().copied()).collect(),
+        nbr: nbrs
+            .iter()
+            .flat_map(|n| act.get(n).iter().copied())
+            .collect(),
         t,
         lu,
         es,
@@ -294,7 +296,11 @@ pub fn apply_output<K: Kernel>(
         store.insert(*ra, *rb, m.clone());
     }
     // 3. Shrink the active set.
-    let skel_ids = out.record.as_ref().map(|r| r.skel.clone()).unwrap_or_default();
+    let skel_ids = out
+        .record
+        .as_ref()
+        .map(|r| r.skel.clone())
+        .unwrap_or_default();
     act.set(*b, skel_ids);
     // 4. Accumulate Schur deltas on neighbor pairs.
     for (na, nb, d) in &out.deltas {

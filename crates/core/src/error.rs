@@ -1,0 +1,98 @@
+//! The unified error type for the factorization drivers.
+//!
+//! Every public entry point returns [`SrsfError`] instead of panicking on
+//! bad input, so callers can distinguish configuration mistakes (empty
+//! point sets, nonsensical tolerances, oversized process grids) from
+//! numerical failures (a singular sparsified diagonal block).
+
+use crate::elimination::FactorError;
+use srsf_geometry::tree::BoxId;
+
+/// Errors raised by the factorization drivers and the [`crate::Solver`]
+/// builder.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SrsfError {
+    /// The point set is empty — there is nothing to factor.
+    EmptyPointSet,
+    /// The interpolative-decomposition tolerance must be positive and
+    /// finite.
+    InvalidTolerance {
+        /// The offending tolerance.
+        tol: f64,
+    },
+    /// The leaf population target must be at least 1.
+    InvalidLeafSize,
+    /// The box-colored driver needs at least one worker thread.
+    InvalidThreadCount,
+    /// The distributed driver needs a square power-of-two process grid,
+    /// i.e. a rank count that is a power of four (1, 4, 16, …).
+    InvalidProcessCount {
+        /// The offending rank count.
+        p: usize,
+    },
+    /// The process grid has more ranks than the quad-tree can feed: every
+    /// rank must own at least a 2 x 2 block of leaf boxes (Section III-B's
+    /// same-color-independence requirement).
+    GridTooLarge {
+        /// Ranks in the process grid.
+        p: usize,
+        /// Leaf boxes in the quad-tree.
+        leaf_boxes: usize,
+    },
+    /// The right-hand side length does not match the point count.
+    RhsLength {
+        /// Expected length (`N`, the number of points).
+        expected: usize,
+        /// Length of the supplied right-hand side.
+        got: usize,
+    },
+    /// A sparsified diagonal block was singular — the compression
+    /// tolerance is too loose for this kernel/geometry.
+    SingularDiagonal {
+        /// The box whose `X_RR` failed to factor.
+        box_id: BoxId,
+    },
+}
+
+impl core::fmt::Display for SrsfError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SrsfError::EmptyPointSet => write!(f, "the point set is empty"),
+            SrsfError::InvalidTolerance { tol } => {
+                write!(f, "tolerance must be positive and finite, got {tol}")
+            }
+            SrsfError::InvalidLeafSize => write!(f, "leaf_size must be at least 1"),
+            SrsfError::InvalidThreadCount => {
+                write!(f, "the colored driver needs at least one worker thread")
+            }
+            SrsfError::InvalidProcessCount { p } => {
+                write!(
+                    f,
+                    "process count must be a power of four (1, 4, 16, ...), got {p}"
+                )
+            }
+            SrsfError::GridTooLarge { p, leaf_boxes } => write!(
+                f,
+                "process grid with {p} ranks is too large for {leaf_boxes} leaf boxes \
+                 (every rank needs a 2x2 block of leaves)"
+            ),
+            SrsfError::RhsLength { expected, got } => {
+                write!(f, "right-hand side has length {got}, expected {expected}")
+            }
+            SrsfError::SingularDiagonal { box_id } => {
+                write!(f, "singular sparsified diagonal block at {box_id:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SrsfError {}
+
+impl From<FactorError> for SrsfError {
+    fn from(e: FactorError) -> Self {
+        match e {
+            FactorError::SingularDiagonal { box_id } => SrsfError::SingularDiagonal { box_id },
+        }
+    }
+}

@@ -108,14 +108,17 @@ mod tests {
     use super::*;
     use srsf_geometry::grid::UnitGrid;
     use srsf_geometry::point::BBox;
-    use srsf_kernels::kernel::Kernel as _;
     use srsf_kernels::laplace::LaplaceKernel;
     use srsf_linalg::norms::max_abs_diff;
 
     #[test]
     fn parent_active_concatenates_children() {
         let mut act = ActiveSets::new();
-        let p = BoxId { level: 1, ix: 0, iy: 0 };
+        let p = BoxId {
+            level: 1,
+            ix: 0,
+            iy: 0,
+        };
         let cs = p.children();
         act.set(cs[0], vec![1, 2]);
         act.set(cs[1], vec![5]);
@@ -135,8 +138,16 @@ mod tests {
         for id in tree.boxes_at_level(3) {
             act.set(id, tree.leaf_points(&id).to_vec());
         }
-        let pa = BoxId { level: 2, ix: 0, iy: 0 };
-        let pb = BoxId { level: 2, ix: 1, iy: 0 };
+        let pa = BoxId {
+            level: 2,
+            ix: 0,
+            iy: 0,
+        };
+        let pb = BoxId {
+            level: 2,
+            ix: 1,
+            iy: 0,
+        };
         let (blk, any) = assemble_parent_block(&store, &act, &pa, &pb);
         assert!(!any, "nothing was modified");
         let ra = parent_active(&act, &pa);
@@ -157,20 +168,39 @@ mod tests {
             act.set(id, tree.leaf_points(&id).to_vec());
         }
         // Modify one child pair inside (parent (0,0), parent (1,0)).
-        let ca = BoxId { level: 3, ix: 1, iy: 0 };
-        let cb = BoxId { level: 3, ix: 2, iy: 0 };
+        let ca = BoxId {
+            level: 3,
+            ix: 1,
+            iy: 0,
+        };
+        let cb = BoxId {
+            level: 3,
+            ix: 2,
+            iy: 0,
+        };
         let mut blk = store.get(&ca, &cb, &act);
         blk[(0, 0)] += 7.5;
         store.insert(ca, cb, blk);
-        let pa = BoxId { level: 2, ix: 0, iy: 0 };
-        let pb = BoxId { level: 2, ix: 1, iy: 0 };
+        let pa = BoxId {
+            level: 2,
+            ix: 0,
+            iy: 0,
+        };
+        let pb = BoxId {
+            level: 2,
+            ix: 1,
+            iy: 0,
+        };
         let (parent_blk, any) = assemble_parent_block(&store, &act, &pa, &pb);
         assert!(any);
         let ra = parent_active(&act, &pa);
         let rb = parent_active(&act, &pb);
         let pure = store.eval_kernel(&ra, &rb);
         let diff = max_abs_diff(&parent_blk, &pure);
-        assert!((diff - 7.5).abs() < 1e-12, "exactly the injected bump: {diff}");
+        assert!(
+            (diff - 7.5).abs() < 1e-12,
+            "exactly the injected bump: {diff}"
+        );
     }
 
     #[test]
@@ -185,8 +215,16 @@ mod tests {
             act.set(id, tree.leaf_points(&id).to_vec());
         }
         // Store one modified pair so materialization has something to do.
-        let ca = BoxId { level: 3, ix: 0, iy: 0 };
-        let cb = BoxId { level: 3, ix: 1, iy: 0 };
+        let ca = BoxId {
+            level: 3,
+            ix: 0,
+            iy: 0,
+        };
+        let cb = BoxId {
+            level: 3,
+            ix: 1,
+            iy: 0,
+        };
         let mut blk = store.get(&ca, &cb, &act);
         blk[(0, 0)] += 1.0;
         store.insert(ca, cb, blk);
@@ -197,7 +235,11 @@ mod tests {
         assert!(!store.contains(&ca, &cb));
         // Parents own the union of children's points.
         assert_eq!(act.total_at_level(2), 64);
-        let p00 = BoxId { level: 2, ix: 0, iy: 0 };
+        let p00 = BoxId {
+            level: 2,
+            ix: 0,
+            iy: 0,
+        };
         assert_eq!(act.get(&p00).len(), 4);
         // The modified pair was folded into the parent self-block.
         assert!(store.contains(&p00, &p00));
@@ -205,8 +247,15 @@ mod tests {
         let pure = store.eval_kernel(act.get(&p00), act.get(&p00));
         assert!((max_abs_diff(&self_blk, &pure) - 1.0).abs() < 1e-12);
         // Kernel consistency of an untouched parent pair: implicit get.
-        let far = BoxId { level: 2, ix: 3, iy: 3 };
+        let far = BoxId {
+            level: 2,
+            ix: 3,
+            iy: 3,
+        };
         let g = store.get(&p00, &far, &act);
-        assert_eq!(g[(0, 0)], k.entry(&pts, act.get(&p00)[0] as usize, act.get(&far)[0] as usize));
+        assert_eq!(
+            g[(0, 0)],
+            k.entry(&pts, act.get(&p00)[0] as usize, act.get(&far)[0] as usize)
+        );
     }
 }

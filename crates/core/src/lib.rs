@@ -28,18 +28,35 @@
 pub mod colored;
 pub mod distributed;
 pub mod elimination;
+pub mod error;
 pub mod levels;
 pub mod sequential;
 pub mod skeletonize;
 pub mod solve;
+pub mod solver;
 pub mod stats;
 pub mod store;
 
-pub use sequential::{factorize, Factorization};
+pub use error::SrsfError;
+#[allow(deprecated)]
+pub use sequential::factorize;
+pub use sequential::Factorization;
+pub use solver::{Driver, Factorized, Solver, SolverBuilder};
 pub use stats::FactorStats;
 
 /// Options controlling the factorization.
+///
+/// Construct with [`FactorOpts::default`] (the paper's parameters) and
+/// adjust with the `with_*` setters — the struct is `#[non_exhaustive]`
+/// so new knobs can be added without breaking downstream crates:
+///
+/// ```
+/// use srsf_core::FactorOpts;
+/// let opts = FactorOpts::default().with_tol(1e-8).with_leaf_size(32);
+/// assert_eq!(opts.leaf_size, 32);
+/// ```
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct FactorOpts {
     /// Relative tolerance for the interpolative decomposition (paper: ε).
     pub tol: f64,
@@ -68,5 +85,48 @@ impl Default for FactorOpts {
             proxy_osc_factor: 2.0,
             min_compress_level: 3,
         }
+    }
+}
+
+impl FactorOpts {
+    /// The paper's default parameters (same as [`FactorOpts::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the ID tolerance (paper: ε).
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Set the target number of points per leaf box.
+    pub fn with_leaf_size(mut self, leaf_size: usize) -> Self {
+        self.leaf_size = leaf_size;
+        self
+    }
+
+    /// Set the proxy circle radius factor.
+    pub fn with_proxy_radius_factor(mut self, factor: f64) -> Self {
+        self.proxy_radius_factor = factor;
+        self
+    }
+
+    /// Set the minimum number of proxy points.
+    pub fn with_n_proxy_min(mut self, n: usize) -> Self {
+        self.n_proxy_min = n;
+        self
+    }
+
+    /// Set the oscillatory proxy point factor.
+    pub fn with_proxy_osc_factor(mut self, factor: f64) -> Self {
+        self.proxy_osc_factor = factor;
+        self
+    }
+
+    /// Set the coarsest compressed tree level.
+    pub fn with_min_compress_level(mut self, level: usize) -> Self {
+        self.min_compress_level = level;
+        self
     }
 }

@@ -67,7 +67,10 @@ impl<T: Scalar> Factorization<T> {
 
     /// Approximate memory footprint of the factorization in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.records.iter().map(BoxElimination::heap_bytes).sum::<usize>()
+        self.records
+            .iter()
+            .map(BoxElimination::heap_bytes)
+            .sum::<usize>()
             + self.top_lu.heap_bytes()
             + self.top_idx.capacity() * 4
     }
@@ -80,7 +83,10 @@ impl<T: Scalar> Factorization<T> {
         mut stats: FactorStats,
     ) -> Self {
         stats.top_size = top_idx.len();
-        stats.record_bytes = records.iter().map(BoxElimination::heap_bytes).sum::<usize>()
+        stats.record_bytes = records
+            .iter()
+            .map(BoxElimination::heap_bytes)
+            .sum::<usize>()
             + top_lu.heap_bytes();
         Self {
             n,
@@ -114,6 +120,10 @@ pub fn domain_for(pts: &[Point]) -> BBox {
 }
 
 /// Factor the kernel matrix over `pts` (Algorithm 1).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Solver::builder(kernel, pts).build()` instead"
+)]
 pub fn factorize<K: Kernel>(
     kernel: &K,
     pts: &[Point],
@@ -176,7 +186,9 @@ pub fn factorize_with_tree<K: Kernel>(
     stats.top_s = t2.elapsed().as_secs_f64();
     stats.total_s = t_total.elapsed().as_secs_f64();
 
-    Ok(Factorization::from_parts(n, records, top_idx, top_lu, stats))
+    Ok(Factorization::from_parts(
+        n, records, top_idx, top_lu, stats,
+    ))
 }
 
 /// Assemble and LU-factor the dense top block over all boxes at

@@ -48,7 +48,12 @@ pub fn proxy_matrix<K: Kernel>(
     // Proxy rows for the far field beyond M(B).
     let bb = tree.bbox(b);
     let radius = opts.proxy_radius_factor * bb.side;
-    let n_proxy = proxy_count(opts.n_proxy_min, opts.proxy_osc_factor, kernel.kappa(), radius);
+    let n_proxy = proxy_count(
+        opts.n_proxy_min,
+        opts.proxy_osc_factor,
+        kernel.kappa(),
+        radius,
+    );
     let circle = proxy_circle(bb.center(), radius, n_proxy);
     blocks.push(Mat::from_fn(n_proxy, nb, |p, j| {
         kernel.proxy_row(pts, circle[p], a_b[j] as usize)
@@ -120,7 +125,11 @@ mod tests {
         let pts = grid.points();
         let store = BlockStore::new(&k, &pts);
         let act = leaf_actives(&grid, &tree);
-        let b = BoxId { level: tree.leaf_level(), ix: 2, iy: 2 };
+        let b = BoxId {
+            level: tree.leaf_level(),
+            ix: 2,
+            iy: 2,
+        };
         let opts = FactorOpts::default();
         let m = proxy_matrix(&store, &act, &tree, &b, &opts);
         assert_eq!(m.ncols(), 16);
@@ -141,8 +150,15 @@ mod tests {
         let pts = grid.points();
         let store = BlockStore::new(&k, &pts);
         let act = leaf_actives(&grid, &tree);
-        let opts = FactorOpts { tol: 1e-6, ..FactorOpts::default() };
-        let b = BoxId { level: tree.leaf_level(), ix: 1, iy: 1 };
+        let opts = FactorOpts {
+            tol: 1e-6,
+            ..FactorOpts::default()
+        };
+        let b = BoxId {
+            level: tree.leaf_level(),
+            ix: 1,
+            iy: 1,
+        };
         let id = skeletonize(&store, &act, &tree, &b, &opts);
         assert_eq!(id.rank() + id.redundant.len(), 64);
         assert!(id.rank() < 50, "rank {} should compress", id.rank());
@@ -155,9 +171,31 @@ mod tests {
         let pts = grid.points();
         let store = BlockStore::new(&k, &pts);
         let act = leaf_actives(&grid, &tree);
-        let b = BoxId { level: tree.leaf_level(), ix: 2, iy: 1 };
-        let loose = skeletonize(&store, &act, &tree, &b, &FactorOpts { tol: 1e-3, ..Default::default() });
-        let tight = skeletonize(&store, &act, &tree, &b, &FactorOpts { tol: 1e-9, ..Default::default() });
+        let b = BoxId {
+            level: tree.leaf_level(),
+            ix: 2,
+            iy: 1,
+        };
+        let loose = skeletonize(
+            &store,
+            &act,
+            &tree,
+            &b,
+            &FactorOpts {
+                tol: 1e-3,
+                ..Default::default()
+            },
+        );
+        let tight = skeletonize(
+            &store,
+            &act,
+            &tree,
+            &b,
+            &FactorOpts {
+                tol: 1e-9,
+                ..Default::default()
+            },
+        );
         assert!(tight.rank() > loose.rank());
     }
 
@@ -169,9 +207,16 @@ mod tests {
         let pts = grid.points();
         let store = BlockStore::new(&k, &pts);
         let act = leaf_actives(&grid, &tree);
-        let opts = FactorOpts { tol: 1e-8, ..FactorOpts::default() };
+        let opts = FactorOpts {
+            tol: 1e-8,
+            ..FactorOpts::default()
+        };
         let lvl = tree.leaf_level();
-        let b = BoxId { level: lvl, ix: 1, iy: 2 };
+        let b = BoxId {
+            level: lvl,
+            ix: 1,
+            iy: 2,
+        };
         let id = skeletonize(&store, &act, &tree, &b, &opts);
 
         // Assemble the exact far-field block A_{F,B} (all boxes at

@@ -1,0 +1,399 @@
+//! The unified solver API: one builder, three execution drivers.
+//!
+//! The paper's point is that a single strong-recursive-skeletonization
+//! factorization admits three execution strategies — sequential (Alg. 1),
+//! shared-memory box-colored (§V-C), and distributed process-colored
+//! (Alg. 2). This module exposes them behind one entry point:
+//!
+//! ```
+//! use srsf_core::{Driver, Solver};
+//! use srsf_geometry::grid::UnitGrid;
+//! use srsf_kernels::laplace::LaplaceKernel;
+//!
+//! let grid = UnitGrid::new(32);
+//! let kernel = LaplaceKernel::new(&grid);
+//! let pts = grid.points();
+//! let solver = Solver::builder(&kernel, &pts)
+//!     .tol(1e-6)
+//!     .driver(Driver::Sequential)
+//!     .build()
+//!     .unwrap();
+//! let b = vec![1.0; pts.len()];
+//! let x = solver.solve(&b);
+//! assert_eq!(x.len(), pts.len());
+//! ```
+//!
+//! Whatever driver built it, the result is a [`Solver`] implementing the
+//! shared [`Factorized`] trait (`solve`, `apply_inverse`, `stats`,
+//! `memory_bytes`) and `LinOp` — so it plugs into the Krylov methods of
+//! `srsf-iterative` as a preconditioner unchanged.
+
+use crate::colored::colored_factorize_with_tree;
+use crate::distributed::dist_factorize_with_tree;
+use crate::error::SrsfError;
+use crate::sequential::{domain_for, factorize_with_tree, Factorization};
+use crate::stats::FactorStats;
+use crate::FactorOpts;
+use srsf_geometry::point::Point;
+use srsf_geometry::procgrid::{BoxColoring, ProcessGrid};
+use srsf_geometry::tree::QuadTree;
+use srsf_kernels::kernel::Kernel;
+use srsf_linalg::{LinOp, Scalar};
+use srsf_runtime::WorldStats;
+
+/// Execution strategy for the factorization.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Driver {
+    /// Algorithm 1: a level-by-level, box-by-box sequential sweep.
+    Sequential,
+    /// The shared-memory box-colored schedule of Section V-C.
+    Colored {
+        /// Box coloring scheme (the paper's reference uses four colors).
+        scheme: BoxColoring,
+        /// Worker threads per color round (must be at least 1).
+        threads: usize,
+    },
+    /// Algorithm 2: leaf boxes block-partitioned over a process grid,
+    /// factored with interior/boundary phases and four color rounds on a
+    /// simulated rank world.
+    Distributed {
+        /// The `q x q` process grid (`p = q^2` simulated ranks).
+        grid: ProcessGrid,
+    },
+}
+
+impl Driver {
+    /// The box-colored driver with the paper's four-color scheme.
+    pub fn colored(threads: usize) -> Self {
+        Driver::Colored {
+            scheme: BoxColoring::Four,
+            threads,
+        }
+    }
+
+    /// The distributed driver on a `p`-rank process grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a power of four (1, 4, 16, …); use
+    /// [`Driver::try_distributed`] for fallible construction.
+    pub fn distributed(p: usize) -> Self {
+        Driver::Distributed {
+            grid: ProcessGrid::new(p),
+        }
+    }
+
+    /// The distributed driver on a `p`-rank process grid, or an
+    /// [`SrsfError::InvalidProcessCount`] if `p` is not a power of four.
+    pub fn try_distributed(p: usize) -> Result<Self, SrsfError> {
+        let grid = ProcessGrid::try_new(p).ok_or(SrsfError::InvalidProcessCount { p })?;
+        Ok(Driver::Distributed { grid })
+    }
+}
+
+/// The capabilities every built factorization exposes, regardless of the
+/// driver that produced it.
+///
+/// Object-safe on purpose: downstream code (preconditioned Krylov methods,
+/// benchmark harnesses) takes `&dyn Factorized<T>` and never needs to know
+/// how the factorization was scheduled.
+pub trait Factorized<T: Scalar>: Sync {
+    /// Problem size `N`.
+    fn n(&self) -> usize;
+
+    /// Apply the approximate inverse in place: `b := A^{-1} b`.
+    fn apply_inverse(&self, b: &mut [T]);
+
+    /// Solve `A x = b`.
+    fn solve(&self, b: &[T]) -> Vec<T> {
+        let mut x = b.to_vec();
+        self.apply_inverse(&mut x);
+        x
+    }
+
+    /// Factorization statistics (ranks per level, timings, memory).
+    fn stats(&self) -> &FactorStats;
+
+    /// Approximate memory footprint of the factorization in bytes.
+    fn memory_bytes(&self) -> usize;
+}
+
+impl<T: Scalar> Factorized<T> for Factorization<T> {
+    fn n(&self) -> usize {
+        Factorization::n(self)
+    }
+    fn apply_inverse(&self, b: &mut [T]) {
+        Factorization::apply_inverse(self, b);
+    }
+    fn stats(&self) -> &FactorStats {
+        Factorization::stats(self)
+    }
+    fn memory_bytes(&self) -> usize {
+        Factorization::memory_bytes(self)
+    }
+}
+
+/// A built factorization plus the metadata of the driver that produced it.
+///
+/// Construct with [`Solver::builder`]. Implements [`Factorized`] and
+/// `LinOp` (as the approximate *inverse*, which is what makes it a
+/// preconditioner).
+pub struct Solver<T> {
+    fact: Factorization<T>,
+    driver: Driver,
+    comm: Option<WorldStats>,
+}
+
+impl<T: Scalar> Solver<T> {
+    /// Start building a solver for the kernel matrix over `pts`.
+    ///
+    /// Defaults: [`FactorOpts::default`] options and the
+    /// [`Driver::Sequential`] driver.
+    pub fn builder<'a, K: Kernel<Elem = T>>(
+        kernel: &'a K,
+        pts: &'a [Point],
+    ) -> SolverBuilder<'a, K> {
+        SolverBuilder {
+            kernel,
+            pts,
+            opts: FactorOpts::default(),
+            driver: Driver::Sequential,
+        }
+    }
+
+    /// Problem size `N`.
+    pub fn n(&self) -> usize {
+        self.fact.n()
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        self.fact.solve(b)
+    }
+
+    /// Apply the approximate inverse in place: `b := A^{-1} b`.
+    pub fn apply_inverse(&self, b: &mut [T]) {
+        self.fact.apply_inverse(b);
+    }
+
+    /// Factorization statistics (ranks per level, timings, memory).
+    pub fn stats(&self) -> &FactorStats {
+        self.fact.stats()
+    }
+
+    /// Approximate memory footprint of the factorization in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.fact.memory_bytes()
+    }
+
+    /// Number of per-box elimination records.
+    pub fn n_records(&self) -> usize {
+        self.fact.n_records()
+    }
+
+    /// Size of the dense top block.
+    pub fn top_size(&self) -> usize {
+        self.fact.top_size()
+    }
+
+    /// The driver that built this solver.
+    pub fn driver(&self) -> Driver {
+        self.driver
+    }
+
+    /// Per-rank communication counters ([`Driver::Distributed`] only).
+    pub fn comm_stats(&self) -> Option<&WorldStats> {
+        self.comm.as_ref()
+    }
+
+    /// Borrow the underlying factorization.
+    pub fn factorization(&self) -> &Factorization<T> {
+        &self.fact
+    }
+
+    /// Consume the solver, yielding the underlying factorization.
+    pub fn into_factorization(self) -> Factorization<T> {
+        self.fact
+    }
+}
+
+impl<T: Scalar> core::fmt::Debug for Solver<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Solver")
+            .field("n", &self.n())
+            .field("driver", &self.driver)
+            .field("n_records", &self.n_records())
+            .field("top_size", &self.top_size())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Scalar> Factorized<T> for Solver<T> {
+    fn n(&self) -> usize {
+        Solver::n(self)
+    }
+    fn apply_inverse(&self, b: &mut [T]) {
+        Solver::apply_inverse(self, b);
+    }
+    fn stats(&self) -> &FactorStats {
+        Solver::stats(self)
+    }
+    fn memory_bytes(&self) -> usize {
+        Solver::memory_bytes(self)
+    }
+}
+
+impl<T: Scalar> LinOp<T> for Solver<T> {
+    fn dim(&self) -> usize {
+        self.n()
+    }
+    /// Applying the solver as an operator applies the approximate
+    /// **inverse** — this is what makes it a preconditioner.
+    fn apply(&self, x: &[T]) -> Vec<T> {
+        self.solve(x)
+    }
+}
+
+/// A built solver paired with the solution of the supplied right-hand
+/// side (returned by [`SolverBuilder::build_with_solution`]).
+pub type Solved<T> = (Solver<T>, Vec<T>);
+
+type MaybeSolved<T> = (Solver<T>, Option<Vec<T>>);
+
+/// Configures and builds a [`Solver`]; created by [`Solver::builder`].
+#[derive(Clone, Debug)]
+pub struct SolverBuilder<'a, K: Kernel> {
+    kernel: &'a K,
+    pts: &'a [Point],
+    opts: FactorOpts,
+    driver: Driver,
+}
+
+impl<'a, K: Kernel> SolverBuilder<'a, K> {
+    /// Relative tolerance for the interpolative decomposition (paper: ε).
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.opts = self.opts.with_tol(tol);
+        self
+    }
+
+    /// Target number of points per leaf box.
+    pub fn leaf_size(mut self, leaf_size: usize) -> Self {
+        self.opts = self.opts.with_leaf_size(leaf_size);
+        self
+    }
+
+    /// Proxy circle radius as a multiple of the box side (paper: 2.5).
+    pub fn proxy_radius_factor(mut self, factor: f64) -> Self {
+        self.opts = self.opts.with_proxy_radius_factor(factor);
+        self
+    }
+
+    /// Minimum number of proxy points on the circle.
+    pub fn n_proxy_min(mut self, n: usize) -> Self {
+        self.opts = self.opts.with_n_proxy_min(n);
+        self
+    }
+
+    /// Extra proxy points per wavelength for oscillatory kernels.
+    pub fn proxy_osc_factor(mut self, factor: f64) -> Self {
+        self.opts = self.opts.with_proxy_osc_factor(factor);
+        self
+    }
+
+    /// Coarsest tree level at which compression is applied (paper: 3).
+    pub fn min_compress_level(mut self, level: usize) -> Self {
+        self.opts = self.opts.with_min_compress_level(level);
+        self
+    }
+
+    /// Replace the whole option set at once.
+    pub fn opts(mut self, opts: FactorOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Select the execution driver (default: [`Driver::Sequential`]).
+    pub fn driver(mut self, driver: Driver) -> Self {
+        self.driver = driver;
+        self
+    }
+
+    /// The options as currently configured.
+    pub fn current_opts(&self) -> &FactorOpts {
+        &self.opts
+    }
+
+    /// Validate the configuration and run the selected driver.
+    pub fn build(self) -> Result<Solver<K::Elem>, SrsfError> {
+        let (solver, _) = self.build_inner(None)?;
+        Ok(solver)
+    }
+
+    /// Build and additionally solve one right-hand side.
+    ///
+    /// For [`Driver::Distributed`] the solve runs *inside* the rank world
+    /// (Algorithm 2's upward/downward passes with neighbor-only traffic),
+    /// so its communication shows up in [`Solver::comm_stats`]; the other
+    /// drivers solve locally after factoring.
+    pub fn build_with_solution(self, rhs: &[K::Elem]) -> Result<Solved<K::Elem>, SrsfError> {
+        if rhs.len() != self.pts.len() {
+            return Err(SrsfError::RhsLength {
+                expected: self.pts.len(),
+                got: rhs.len(),
+            });
+        }
+        let (solver, x) = self.build_inner(Some(rhs))?;
+        Ok((solver, x.expect("solution requested")))
+    }
+
+    fn build_inner(self, rhs: Option<&[K::Elem]>) -> Result<MaybeSolved<K::Elem>, SrsfError> {
+        let Self {
+            kernel,
+            pts,
+            opts,
+            driver,
+        } = self;
+        if pts.is_empty() {
+            return Err(SrsfError::EmptyPointSet);
+        }
+        if !(opts.tol > 0.0 && opts.tol.is_finite()) {
+            return Err(SrsfError::InvalidTolerance { tol: opts.tol });
+        }
+        if opts.leaf_size == 0 {
+            return Err(SrsfError::InvalidLeafSize);
+        }
+        let tree = QuadTree::build(pts, domain_for(pts), opts.leaf_size);
+        let (fact, comm, x) = match driver {
+            Driver::Sequential => {
+                let fact = factorize_with_tree(kernel, pts, &tree, &opts)?;
+                let x = rhs.map(|b| fact.solve(b));
+                (fact, None, x)
+            }
+            Driver::Colored { scheme, threads } => {
+                if threads == 0 {
+                    return Err(SrsfError::InvalidThreadCount);
+                }
+                let fact = colored_factorize_with_tree(kernel, pts, &tree, &opts, scheme, threads)?;
+                let x = rhs.map(|b| fact.solve(b));
+                (fact, None, x)
+            }
+            Driver::Distributed { grid } => {
+                let leaf = tree.leaf_level();
+                // Every rank must own at least a 2x2 block of leaf boxes
+                // (Section III-B); reject oversized grids instead of
+                // leaving ranks idle or panicking deeper down.
+                let fits = grid.q() == 1 || (leaf >= 1 && grid.q() <= 1u32 << (leaf - 1));
+                if !fits {
+                    return Err(SrsfError::GridTooLarge {
+                        p: grid.p(),
+                        leaf_boxes: 1usize << (2 * leaf),
+                    });
+                }
+                let (fact, stats, x) =
+                    dist_factorize_with_tree(kernel, pts, &tree, &grid, &opts, rhs)?;
+                (fact, Some(stats), x)
+            }
+        };
+        Ok((Solver { fact, driver, comm }, x))
+    }
+}

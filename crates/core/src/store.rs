@@ -147,18 +147,15 @@ impl<'a, K: Kernel> BlockStore<'a, K> {
     /// `block(a,b) += delta`, materializing from the kernel first if the
     /// pair was still implicit. `delta` must match the current active sets.
     pub fn add_delta(&mut self, a: BoxId, b: BoxId, delta: &Mat<K::Elem>, act: &ActiveSets) {
-        let entry = self
-            .blocks
-            .entry((a, b))
-            .or_insert_with(|| {
-                Mat::from_fn(act.get(&a).len(), act.get(&b).len(), |i, j| {
-                    self.kernel.entry_or_diag(
-                        self.pts,
-                        act.get(&a)[i] as usize,
-                        act.get(&b)[j] as usize,
-                    )
-                })
-            });
+        let entry = self.blocks.entry((a, b)).or_insert_with(|| {
+            Mat::from_fn(act.get(&a).len(), act.get(&b).len(), |i, j| {
+                self.kernel.entry_or_diag(
+                    self.pts,
+                    act.get(&a)[i] as usize,
+                    act.get(&b)[j] as usize,
+                )
+            })
+        });
         entry.axpy(srsf_linalg::Scalar::ONE, delta);
     }
 

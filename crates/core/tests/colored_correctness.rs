@@ -1,8 +1,8 @@
 //! The box-colored shared-memory driver (the paper's Table VI reference)
 //! must be thread-count deterministic and as accurate as sequential.
 
-use srsf_core::colored::{colored_factorize, ColorScheme};
-use srsf_core::{factorize, FactorOpts};
+use srsf_core::colored::ColorScheme;
+use srsf_core::{Driver, FactorOpts, Solver};
 use srsf_geometry::grid::UnitGrid;
 use srsf_kernels::assemble::assemble_dense;
 use srsf_kernels::laplace::LaplaceKernel;
@@ -10,11 +10,20 @@ use srsf_kernels::util::random_vector;
 use srsf_linalg::DenseOp;
 
 fn opts() -> FactorOpts {
-    FactorOpts {
-        tol: 1e-8,
-        leaf_size: 16,
-        ..FactorOpts::default()
-    }
+    FactorOpts::default().with_tol(1e-8).with_leaf_size(16)
+}
+
+fn colored(
+    kernel: &LaplaceKernel,
+    pts: &[srsf_geometry::point::Point],
+    scheme: ColorScheme,
+    threads: usize,
+) -> Solver<f64> {
+    Solver::builder(kernel, pts)
+        .opts(opts())
+        .driver(Driver::Colored { scheme, threads })
+        .build()
+        .unwrap()
 }
 
 #[test]
@@ -22,7 +31,7 @@ fn colored_four_accuracy() {
     let grid = UnitGrid::new(32);
     let kernel = LaplaceKernel::new(&grid);
     let pts = grid.points();
-    let f = colored_factorize(&kernel, &pts, &opts(), ColorScheme::Four, 2).unwrap();
+    let f = colored(&kernel, &pts, ColorScheme::Four, 2);
     let a = DenseOp::new(assemble_dense(&kernel, &pts));
     let b = random_vector::<f64>(1024, 21);
     let r = srsf_linalg::relative_residual(&a, &f.solve(&b), &b);
@@ -37,8 +46,8 @@ fn colored_deterministic_across_thread_counts() {
     let kernel = LaplaceKernel::new(&grid);
     let pts = grid.points();
     let b = random_vector::<f64>(1024, 8);
-    let f1 = colored_factorize(&kernel, &pts, &opts(), ColorScheme::Four, 1).unwrap();
-    let f4 = colored_factorize(&kernel, &pts, &opts(), ColorScheme::Four, 4).unwrap();
+    let f1 = colored(&kernel, &pts, ColorScheme::Four, 1);
+    let f4 = colored(&kernel, &pts, ColorScheme::Four, 4);
     let x1 = f1.solve(&b);
     let x4 = f4.solve(&b);
     assert_eq!(x1, x4, "thread count changed the factorization");
@@ -51,8 +60,8 @@ fn nine_coloring_matches_four_accuracy() {
     let pts = grid.points();
     let b = random_vector::<f64>(1024, 2);
     let a = DenseOp::new(assemble_dense(&kernel, &pts));
-    let f4 = colored_factorize(&kernel, &pts, &opts(), ColorScheme::Four, 2).unwrap();
-    let f9 = colored_factorize(&kernel, &pts, &opts(), ColorScheme::Nine, 2).unwrap();
+    let f4 = colored(&kernel, &pts, ColorScheme::Four, 2);
+    let f9 = colored(&kernel, &pts, ColorScheme::Nine, 2);
     let r4 = srsf_linalg::relative_residual(&a, &f4.solve(&b), &b);
     let r9 = srsf_linalg::relative_residual(&a, &f9.solve(&b), &b);
     assert!(r4 < 1e-5 && r9 < 1e-5, "four {r4:.3e}, nine {r9:.3e}");
@@ -65,9 +74,12 @@ fn colored_vs_sequential_same_accuracy_class() {
     let pts = grid.points();
     let b = random_vector::<f64>(1024, 33);
     let a = DenseOp::new(assemble_dense(&kernel, &pts));
-    let fs = factorize(&kernel, &pts, &opts()).unwrap();
-    let fc = colored_factorize(&kernel, &pts, &opts(), ColorScheme::Four, 2).unwrap();
+    let fs = Solver::builder(&kernel, &pts).opts(opts()).build().unwrap();
+    let fc = colored(&kernel, &pts, ColorScheme::Four, 2);
     let rs = srsf_linalg::relative_residual(&a, &fs.solve(&b), &b);
     let rc = srsf_linalg::relative_residual(&a, &fc.solve(&b), &b);
-    assert!(rc < rs * 50.0 + 1e-7, "colored {rc:.3e} vs sequential {rs:.3e}");
+    assert!(
+        rc < rs * 50.0 + 1e-7,
+        "colored {rc:.3e} vs sequential {rs:.3e}"
+    );
 }

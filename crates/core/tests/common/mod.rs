@@ -1,0 +1,17 @@
+//! Shared helpers for the core integration tests.
+
+use srsf_core::{FactorOpts, Factorization, Solver, SrsfError};
+use srsf_geometry::point::Point;
+use srsf_kernels::kernel::Kernel;
+
+/// The builder-based replacement for the old `factorize` free function.
+pub fn factorize<K: Kernel>(
+    kernel: &K,
+    pts: &[Point],
+    opts: &FactorOpts,
+) -> Result<Factorization<K::Elem>, SrsfError> {
+    Solver::builder(kernel, pts)
+        .opts(opts.clone())
+        .build()
+        .map(Solver::into_factorization)
+}

@@ -2,10 +2,8 @@
 //! accuracy, its solve must match the gathered factorization's solve, and
 //! its communication must be neighbor-only with sane counters.
 
-use srsf_core::distributed::{dist_factorize, dist_factorize_and_solve};
-use srsf_core::{factorize, FactorOpts};
+use srsf_core::{Driver, FactorOpts, Solver};
 use srsf_geometry::grid::UnitGrid;
-use srsf_geometry::procgrid::ProcessGrid;
 use srsf_kernels::assemble::assemble_dense;
 use srsf_kernels::helmholtz::HelmholtzKernel;
 use srsf_kernels::laplace::LaplaceKernel;
@@ -13,11 +11,7 @@ use srsf_kernels::util::random_vector;
 use srsf_linalg::{c64, DenseOp};
 
 fn opts() -> FactorOpts {
-    FactorOpts {
-        tol: 1e-8,
-        leaf_size: 16,
-        ..FactorOpts::default()
-    }
+    FactorOpts::default().with_tol(1e-8).with_leaf_size(16)
 }
 
 #[test]
@@ -25,8 +19,11 @@ fn dist_p4_matches_sequential_accuracy() {
     let grid = UnitGrid::new(32); // N = 1024, leaf level 3
     let kernel = LaplaceKernel::new(&grid);
     let pts = grid.points();
-    let pg = ProcessGrid::new(4);
-    let (f, stats) = dist_factorize(&kernel, &pts, &pg, &opts()).expect("dist factorization");
+    let f = Solver::builder(&kernel, &pts)
+        .opts(opts())
+        .driver(Driver::distributed(4))
+        .build()
+        .expect("dist factorization");
     assert_eq!(f.n(), 1024);
 
     let a = DenseOp::new(assemble_dense(&kernel, &pts));
@@ -36,12 +33,13 @@ fn dist_p4_matches_sequential_accuracy() {
     assert!(r < 1e-5, "distributed relres {r:.3e}");
 
     // Sequential reference: same accuracy class.
-    let fs = factorize(&kernel, &pts, &opts()).unwrap();
+    let fs = Solver::builder(&kernel, &pts).opts(opts()).build().unwrap();
     let xs = fs.solve(&b);
     let rs = srsf_linalg::relative_residual(&a, &xs, &b);
     assert!(r < rs * 50.0 + 1e-7, "dist {r:.3e} vs seq {rs:.3e}");
 
     // Communication happened, on every rank.
+    let stats = f.comm_stats().expect("distributed comm stats");
     assert_eq!(stats.per_rank.len(), 4);
     for (rank, s) in stats.per_rank.iter().enumerate() {
         assert!(s.msgs_sent > 0, "rank {rank} sent nothing");
@@ -55,15 +53,18 @@ fn dist_p16_with_fold_matches_accuracy() {
     let grid = UnitGrid::new(32); // leaf level 3: 8x8 boxes, 2x2 per rank
     let kernel = LaplaceKernel::new(&grid);
     let pts = grid.points();
-    let pg = ProcessGrid::new(16);
     // Folding exercised: level 3 uses all 16 ranks, level 2 folds to 4...
-    let (f, stats) = dist_factorize(&kernel, &pts, &pg, &opts()).expect("dist factorization");
+    let f = Solver::builder(&kernel, &pts)
+        .opts(opts())
+        .driver(Driver::distributed(16))
+        .build()
+        .expect("dist factorization");
     let a = DenseOp::new(assemble_dense(&kernel, &pts));
     let b = random_vector::<f64>(1024, 17);
     let x = f.solve(&b);
     let r = srsf_linalg::relative_residual(&a, &x, &b);
     assert!(r < 1e-5, "p=16 relres {r:.3e}");
-    assert_eq!(stats.per_rank.len(), 16);
+    assert_eq!(f.comm_stats().unwrap().per_rank.len(), 16);
 }
 
 #[test]
@@ -71,11 +72,12 @@ fn dist_solve_matches_gathered_solve() {
     let grid = UnitGrid::new(32);
     let kernel = LaplaceKernel::new(&grid);
     let pts = grid.points();
-    let pg = ProcessGrid::new(4);
     let b = random_vector::<f64>(1024, 5);
-    let (f, _, x_dist) =
-        dist_factorize_and_solve(&kernel, &pts, &pg, &opts(), Some(&b)).expect("factorize+solve");
-    let x_dist = x_dist.expect("solution returned");
+    let (f, x_dist) = Solver::builder(&kernel, &pts)
+        .opts(opts())
+        .driver(Driver::distributed(4))
+        .build_with_solution(&b)
+        .expect("factorize+solve");
     let x_gathered = f.solve(&b);
     let diff = srsf_linalg::vecops::rel_diff(&x_dist, &x_gathered);
     assert!(diff < 1e-10, "distributed solve diverges: {diff:.3e}");
@@ -86,12 +88,13 @@ fn dist_helmholtz_complex_path() {
     let grid = UnitGrid::new(32);
     let kernel = HelmholtzKernel::new(&grid, 10.0);
     let pts = grid.points();
-    let pg = ProcessGrid::new(4);
     let b = random_vector::<c64>(1024, 3);
-    let (f, _, x_dist) =
-        dist_factorize_and_solve(&kernel, &pts, &pg, &opts(), Some(&b)).expect("helmholtz dist");
+    let (f, x) = Solver::builder(&kernel, &pts)
+        .opts(opts())
+        .driver(Driver::distributed(4))
+        .build_with_solution(&b)
+        .expect("helmholtz dist");
     let a = DenseOp::new(assemble_dense(&kernel, &pts));
-    let x = x_dist.expect("solution");
     let r = srsf_linalg::relative_residual(&a, &x, &b);
     assert!(r < 1e-5, "helmholtz dist relres {r:.3e}");
     let diff = srsf_linalg::vecops::rel_diff(&x, &f.solve(&b));
@@ -103,18 +106,19 @@ fn single_rank_world_reduces_to_sequential() {
     let grid = UnitGrid::new(16);
     let kernel = LaplaceKernel::new(&grid);
     let pts = grid.points();
-    let pg = ProcessGrid::new(1);
-    let o = FactorOpts {
-        tol: 1e-8,
-        leaf_size: 16,
-        min_compress_level: 2,
-        ..FactorOpts::default()
-    };
-    let (f, stats) = dist_factorize(&kernel, &pts, &pg, &o).unwrap();
-    let fs = factorize(&kernel, &pts, &o).unwrap();
+    let o = FactorOpts::default()
+        .with_tol(1e-8)
+        .with_leaf_size(16)
+        .with_min_compress_level(2);
+    let f = Solver::builder(&kernel, &pts)
+        .opts(o.clone())
+        .driver(Driver::distributed(1))
+        .build()
+        .unwrap();
+    let fs = Solver::builder(&kernel, &pts).opts(o).build().unwrap();
     let b = random_vector::<f64>(256, 9);
     let diff = srsf_linalg::vecops::rel_diff(&f.solve(&b), &fs.solve(&b));
     assert!(diff < 1e-12, "p=1 must match sequential: {diff:.3e}");
     // No point-to-point traffic on a single rank.
-    assert_eq!(stats.total_msgs(), 0);
+    assert_eq!(f.comm_stats().unwrap().total_msgs(), 0);
 }

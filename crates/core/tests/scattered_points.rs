@@ -3,13 +3,16 @@
 //! tree assumption is presentational ("extensions are straightforward");
 //! the implementation must not silently depend on grid structure.
 
-use srsf_core::{factorize, FactorOpts};
+use srsf_core::FactorOpts;
 use srsf_geometry::grid::scattered_points;
 use srsf_geometry::point::Point;
 use srsf_kernels::assemble::assemble_dense;
 use srsf_kernels::laplace::LaplaceKernel;
 use srsf_kernels::util::random_vector;
 use srsf_linalg::{DenseOp, Lu};
+
+mod common;
+use common::factorize;
 
 /// Second-kind-style system: identity diagonal + smooth log kernel.
 /// Well-conditioned regardless of the point distribution.
@@ -19,12 +22,10 @@ fn second_kind_kernel() -> LaplaceKernel {
 
 fn check_cloud(pts: &[Point], tol_solution: f64) {
     let kernel = second_kind_kernel();
-    let opts = FactorOpts {
-        tol: 1e-9,
-        leaf_size: 16,
-        min_compress_level: 2,
-        ..FactorOpts::default()
-    };
+    let opts = FactorOpts::default()
+        .with_tol(1e-9)
+        .with_leaf_size(16)
+        .with_min_compress_level(2);
     let f = factorize(&kernel, pts, &opts).expect("factorization");
     let a = assemble_dense(&kernel, pts);
     let b = random_vector::<f64>(pts.len(), 3);

@@ -1,7 +1,7 @@
 //! End-to-end correctness of the sequential factorization against dense
 //! reference solves, for both paper kernels.
 
-use srsf_core::{factorize, FactorOpts};
+use srsf_core::FactorOpts;
 use srsf_geometry::grid::UnitGrid;
 use srsf_kernels::assemble::assemble_dense;
 use srsf_kernels::helmholtz::HelmholtzKernel;
@@ -13,16 +13,15 @@ fn relres<T: Scalar>(a: &DenseOp<T>, x: &[T], b: &[T]) -> f64 {
     srsf_linalg::relative_residual(a, x, b)
 }
 
+mod common;
+use common::factorize;
+
 #[test]
 fn laplace_factorization_solves_to_tolerance() {
     let grid = UnitGrid::new(32); // N = 1024
     let kernel = LaplaceKernel::new(&grid);
     let pts = grid.points();
-    let opts = FactorOpts {
-        tol: 1e-8,
-        leaf_size: 16,
-        ..FactorOpts::default()
-    };
+    let opts = FactorOpts::default().with_tol(1e-8).with_leaf_size(16);
     let f = factorize(&kernel, &pts, &opts).expect("factorization");
     assert_eq!(f.n(), 1024);
     assert!(f.n_records() > 0, "compression must have happened");
@@ -39,12 +38,10 @@ fn laplace_matches_dense_lu_solution() {
     let grid = UnitGrid::new(16); // N = 256
     let kernel = LaplaceKernel::new(&grid);
     let pts = grid.points();
-    let opts = FactorOpts {
-        tol: 1e-10,
-        leaf_size: 16,
-        min_compress_level: 2,
-        ..FactorOpts::default()
-    };
+    let opts = FactorOpts::default()
+        .with_tol(1e-10)
+        .with_leaf_size(16)
+        .with_min_compress_level(2);
     let f = factorize(&kernel, &pts, &opts).unwrap();
     let a = assemble_dense(&kernel, &pts);
     let b = random_vector::<f64>(256, 7);
@@ -64,11 +61,7 @@ fn tighter_tolerance_improves_residual() {
     let b = random_vector::<f64>(grid.n(), 3);
     let mut last = f64::INFINITY;
     for tol in [1e-3, 1e-6, 1e-9] {
-        let opts = FactorOpts {
-            tol,
-            leaf_size: 16,
-            ..FactorOpts::default()
-        };
+        let opts = FactorOpts::default().with_tol(tol).with_leaf_size(16);
         let f = factorize(&kernel, &pts, &opts).unwrap();
         let r = relres(&a, &f.solve(&b), &b);
         assert!(
@@ -87,11 +80,7 @@ fn helmholtz_factorization_solves_to_tolerance() {
     let kappa = 15.0;
     let kernel = HelmholtzKernel::new(&grid, kappa);
     let pts = grid.points();
-    let opts = FactorOpts {
-        tol: 1e-8,
-        leaf_size: 16,
-        ..FactorOpts::default()
-    };
+    let opts = FactorOpts::default().with_tol(1e-8).with_leaf_size(16);
     let f = factorize(&kernel, &pts, &opts).expect("factorization");
     let a = DenseOp::new(assemble_dense(&kernel, &pts));
     let b = random_vector::<c64>(1024, 11);
@@ -106,12 +95,10 @@ fn factorization_is_a_good_preconditioner_operator() {
     let grid = UnitGrid::new(16);
     let kernel = LaplaceKernel::new(&grid);
     let pts = grid.points();
-    let opts = FactorOpts {
-        tol: 1e-6,
-        leaf_size: 16,
-        min_compress_level: 2,
-        ..FactorOpts::default()
-    };
+    let opts = FactorOpts::default()
+        .with_tol(1e-6)
+        .with_leaf_size(16)
+        .with_min_compress_level(2);
     let f = factorize(&kernel, &pts, &opts).unwrap();
     let a = DenseOp::new(assemble_dense(&kernel, &pts));
     let v = random_vector::<f64>(256, 5);
@@ -126,11 +113,7 @@ fn stats_record_ranks_and_memory() {
     let grid = UnitGrid::new(32);
     let kernel = LaplaceKernel::new(&grid);
     let pts = grid.points();
-    let opts = FactorOpts {
-        tol: 1e-6,
-        leaf_size: 16,
-        ..FactorOpts::default()
-    };
+    let opts = FactorOpts::default().with_tol(1e-6).with_leaf_size(16);
     let f = factorize(&kernel, &pts, &opts).unwrap();
     let stats = f.stats();
     assert_eq!(stats.n, 1024);

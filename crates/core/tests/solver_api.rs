@@ -1,0 +1,194 @@
+//! The unified `Solver` builder API: defaults, error paths, and
+//! driver equivalence.
+
+use srsf_core::{Driver, FactorOpts, Factorized, Solver, SrsfError};
+use srsf_geometry::grid::UnitGrid;
+use srsf_geometry::procgrid::ProcessGrid;
+use srsf_kernels::laplace::LaplaceKernel;
+use srsf_kernels::util::random_vector;
+use srsf_linalg::vecops::rel_diff;
+
+#[test]
+fn builder_defaults_match_factor_opts_default() {
+    // Building with no setters must be identical to passing
+    // `FactorOpts::default()` explicitly — bitwise, since the sequential
+    // driver is deterministic.
+    let grid = UnitGrid::new(32);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    let b = random_vector::<f64>(grid.n(), 4);
+
+    let f_bare = Solver::builder(&kernel, &pts).build().unwrap();
+    let f_opts = Solver::builder(&kernel, &pts)
+        .opts(FactorOpts::default())
+        .build()
+        .unwrap();
+    assert_eq!(f_bare.solve(&b), f_opts.solve(&b));
+    assert_eq!(f_bare.n_records(), f_opts.n_records());
+    assert_eq!(f_bare.top_size(), f_opts.top_size());
+
+    // And the individual setters must agree with the equivalent opts.
+    let d = FactorOpts::default();
+    let f_setters = Solver::builder(&kernel, &pts)
+        .tol(d.tol)
+        .leaf_size(d.leaf_size)
+        .proxy_radius_factor(d.proxy_radius_factor)
+        .n_proxy_min(d.n_proxy_min)
+        .proxy_osc_factor(d.proxy_osc_factor)
+        .min_compress_level(d.min_compress_level)
+        .build()
+        .unwrap();
+    assert_eq!(f_bare.solve(&b), f_setters.solve(&b));
+}
+
+#[test]
+fn empty_point_set_is_an_error_not_a_panic() {
+    let grid = UnitGrid::new(8);
+    let kernel = LaplaceKernel::new(&grid);
+    let err = Solver::builder(&kernel, &[]).build().unwrap_err();
+    assert_eq!(err, SrsfError::EmptyPointSet);
+}
+
+#[test]
+fn non_positive_tolerance_is_an_error() {
+    let grid = UnitGrid::new(8);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    for tol in [0.0, -1e-6, f64::NAN, f64::INFINITY] {
+        let err = Solver::builder(&kernel, &pts).tol(tol).build().unwrap_err();
+        match err {
+            SrsfError::InvalidTolerance { tol: t } => {
+                assert!(t.is_nan() == tol.is_nan() && (t.is_nan() || t == tol))
+            }
+            other => panic!("expected InvalidTolerance, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn zero_leaf_size_is_an_error() {
+    let grid = UnitGrid::new(8);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    let err = Solver::builder(&kernel, &pts)
+        .leaf_size(0)
+        .build()
+        .unwrap_err();
+    assert_eq!(err, SrsfError::InvalidLeafSize);
+}
+
+#[test]
+fn zero_threads_is_an_error() {
+    let grid = UnitGrid::new(8);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    let err = Solver::builder(&kernel, &pts)
+        .driver(Driver::Colored {
+            scheme: srsf_core::colored::ColorScheme::Four,
+            threads: 0,
+        })
+        .build()
+        .unwrap_err();
+    assert_eq!(err, SrsfError::InvalidThreadCount);
+}
+
+#[test]
+fn non_power_of_four_process_count_is_an_error() {
+    assert_eq!(
+        Driver::try_distributed(8).unwrap_err(),
+        SrsfError::InvalidProcessCount { p: 8 }
+    );
+    assert!(Driver::try_distributed(16).is_ok());
+    assert_eq!(Driver::try_distributed(4).unwrap(), Driver::distributed(4));
+}
+
+#[test]
+fn oversized_process_grid_is_an_error_not_a_panic() {
+    // 16x16 points with leaf_size 16 -> leaf level 2 (4x4 = 16 leaf
+    // boxes). A 16-rank grid would leave ranks without a 2x2 leaf block.
+    let grid = UnitGrid::new(16);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    let err = Solver::builder(&kernel, &pts)
+        .leaf_size(16)
+        .driver(Driver::Distributed {
+            grid: ProcessGrid::new(16),
+        })
+        .build()
+        .unwrap_err();
+    match err {
+        SrsfError::GridTooLarge { p, leaf_boxes } => {
+            assert_eq!(p, 16);
+            assert_eq!(leaf_boxes, 16);
+        }
+        other => panic!("expected GridTooLarge, got {other:?}"),
+    }
+    // A 4-rank grid on the same tree is fine.
+    assert!(Solver::builder(&kernel, &pts)
+        .leaf_size(16)
+        .driver(Driver::distributed(4))
+        .build()
+        .is_ok());
+}
+
+#[test]
+fn mismatched_rhs_length_is_an_error() {
+    let grid = UnitGrid::new(8);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    let err = Solver::builder(&kernel, &pts)
+        .build_with_solution(&[1.0; 3])
+        .unwrap_err();
+    assert_eq!(
+        err,
+        SrsfError::RhsLength {
+            expected: 64,
+            got: 3
+        }
+    );
+}
+
+#[test]
+fn errors_display_and_propagate() {
+    let e = SrsfError::GridTooLarge {
+        p: 64,
+        leaf_boxes: 16,
+    };
+    let msg = e.to_string();
+    assert!(msg.contains("64") && msg.contains("16"), "{msg}");
+    let boxed: Box<dyn std::error::Error> = Box::new(e);
+    assert!(!boxed.to_string().is_empty());
+}
+
+/// The three drivers must agree to within the ID tolerance on the same
+/// Laplace problem, consumed through the shared `Factorized` interface.
+#[test]
+fn driver_equivalence_on_one_laplace_problem() {
+    let grid = UnitGrid::new(32);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    let b = random_vector::<f64>(grid.n(), 12);
+    let tol = 1e-8;
+
+    let build = |driver: Driver| {
+        Solver::builder(&kernel, &pts)
+            .tol(tol)
+            .leaf_size(16)
+            .driver(driver)
+            .build()
+            .unwrap_or_else(|e| panic!("{driver:?}: {e}"))
+    };
+    let seq = build(Driver::Sequential);
+    let col = build(Driver::colored(2));
+    let dist = build(Driver::distributed(4));
+
+    let x_seq = Factorized::solve(&seq, &b);
+    let x_col = Factorized::solve(&col, &b);
+    let x_dist = Factorized::solve(&dist, &b);
+    // Same factorization, different schedules: solutions agree to within
+    // the compression tolerance (amplified by conditioning head-room).
+    let dc = rel_diff(&x_col, &x_seq);
+    let dd = rel_diff(&x_dist, &x_seq);
+    assert!(dc < 1e3 * tol, "colored vs sequential: {dc:.3e}");
+    assert!(dd < 1e3 * tol, "distributed vs sequential: {dd:.3e}");
+}

@@ -20,7 +20,10 @@ pub struct Fft {
 impl Fft {
     /// Build a plan for length `n` (must be a power of two, `n >= 1`).
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two(),
+            "FFT length must be a power of two, got {n}"
+        );
         let log2 = n.trailing_zeros();
         let mut rev = vec![0u32; n];
         for i in 0..n {
@@ -191,7 +194,12 @@ mod tests {
         let n = 128;
         let bin = 9;
         let x: Vec<c64> = (0..n)
-            .map(|j| c64::from_polar(1.0, 2.0 * core::f64::consts::PI * (bin * j) as f64 / n as f64))
+            .map(|j| {
+                c64::from_polar(
+                    1.0,
+                    2.0 * core::f64::consts::PI * (bin * j) as f64 / n as f64,
+                )
+            })
             .collect();
         let mut y = x.clone();
         Fft::new(n).forward(&mut y);

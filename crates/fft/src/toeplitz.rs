@@ -134,7 +134,9 @@ mod tests {
                 c64::new(-r.ln(), 0.0)
             }
         };
-        let x: Vec<f64> = (0..m * m).map(|i| ((i * 31) % 17) as f64 / 17.0 - 0.5).collect();
+        let x: Vec<f64> = (0..m * m)
+            .map(|i| ((i * 31) % 17) as f64 / 17.0 - 0.5)
+            .collect();
         let top = Toeplitz2D::new(m, t);
         let fast = top.apply_real(&x);
         let xc: Vec<c64> = x.iter().map(|&v| c64::new(v, 0.0)).collect();

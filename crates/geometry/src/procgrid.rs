@@ -20,11 +20,25 @@ pub struct ProcessGrid {
 impl ProcessGrid {
     /// Build a grid with `p = q^2` ranks from the total rank count `p`
     /// (must be `4^k`: 1, 4, 16, 64, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a power of four; use [`ProcessGrid::try_new`]
+    /// for fallible construction.
     pub fn new(p: usize) -> Self {
+        Self::try_new(p).unwrap_or_else(|| {
+            panic!("process count must be a power of four (1, 4, 16, ...), got {p}")
+        })
+    }
+
+    /// Build a grid with `p = q^2` ranks, or `None` if `p` is not a
+    /// power of four.
+    pub fn try_new(p: usize) -> Option<Self> {
         let q = (p as f64).sqrt().round() as u32;
-        assert_eq!((q * q) as usize, p, "process count must be a perfect square");
-        assert!(q.is_power_of_two() || q == 1, "grid side must be a power of two");
-        Self { q }
+        if (q * q) as usize != p || !(q.is_power_of_two() || q == 1) {
+            return None;
+        }
+        Some(Self { q })
     }
 
     /// Ranks per side.
@@ -134,7 +148,9 @@ impl ProcessGrid {
     /// box); interior boxes factor without communication.
     pub fn is_boundary(&self, b: &BoxId) -> bool {
         let me = self.owner(b);
-        crate::neighbors::near_field(b).iter().any(|n| self.owner(n) != me)
+        crate::neighbors::near_field(b)
+            .iter()
+            .any(|n| self.owner(n) != me)
     }
 
     /// All boxes of a level owned by `rank`, split into (interior, boundary),
@@ -310,7 +326,14 @@ mod tests {
         // box of each rank block has all its neighbors on the same rank.
         let g = ProcessGrid::new(4);
         let (int, bnd) = g.classify_level(0, 2);
-        assert_eq!(int, vec![BoxId { level: 2, ix: 0, iy: 0 }]);
+        assert_eq!(
+            int,
+            vec![BoxId {
+                level: 2,
+                ix: 0,
+                iy: 0
+            }]
+        );
         assert_eq!(bnd.len(), 3);
         // level 4 (16x16, 8x8 per rank): interior = 8x8 - boundary ring
         // along the two shared edges (an L-shape of width 2... count directly)
@@ -348,7 +371,11 @@ mod tests {
         assert_eq!(four.count(), 4);
         assert_eq!(nine.count(), 9);
         // Four: neighbors differ.
-        let b = BoxId { level: 4, ix: 5, iy: 9 };
+        let b = BoxId {
+            level: 4,
+            ix: 5,
+            iy: 9,
+        };
         for n in near_field(&b) {
             assert_ne!(four.color(&b), four.color(&n));
         }
@@ -356,10 +383,18 @@ mod tests {
         let s = 9u32;
         for iy1 in 0..s {
             for ix1 in 0..s {
-                let a = BoxId { level: 4, ix: ix1, iy: iy1 };
+                let a = BoxId {
+                    level: 4,
+                    ix: ix1,
+                    iy: iy1,
+                };
                 for iy2 in 0..s {
                     for ix2 in 0..s {
-                        let c = BoxId { level: 4, ix: ix2, iy: iy2 };
+                        let c = BoxId {
+                            level: 4,
+                            ix: ix2,
+                            iy: iy2,
+                        };
                         if a != c && nine.color(&a) == nine.color(&c) {
                             assert!(a.chebyshev(&c) >= 3);
                         }

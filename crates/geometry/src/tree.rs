@@ -60,10 +60,26 @@ impl BoxId {
         let l = self.level + 1;
         let (x, y) = (self.ix * 2, self.iy * 2);
         [
-            BoxId { level: l, ix: x, iy: y },
-            BoxId { level: l, ix: x + 1, iy: y },
-            BoxId { level: l, ix: x, iy: y + 1 },
-            BoxId { level: l, ix: x + 1, iy: y + 1 },
+            BoxId {
+                level: l,
+                ix: x,
+                iy: y,
+            },
+            BoxId {
+                level: l,
+                ix: x + 1,
+                iy: y,
+            },
+            BoxId {
+                level: l,
+                ix: x,
+                iy: y + 1,
+            },
+            BoxId {
+                level: l,
+                ix: x + 1,
+                iy: y + 1,
+            },
         ]
     }
 
@@ -178,11 +194,22 @@ mod tests {
 
     #[test]
     fn box_id_relations() {
-        let b = BoxId { level: 3, ix: 5, iy: 2 };
+        let b = BoxId {
+            level: 3,
+            ix: 5,
+            iy: 2,
+        };
         assert_eq!(b.side_count(), 8);
         assert_eq!(b.flat(), 2 * 8 + 5);
         let p = b.parent().unwrap();
-        assert_eq!(p, BoxId { level: 2, ix: 2, iy: 1 });
+        assert_eq!(
+            p,
+            BoxId {
+                level: 2,
+                ix: 2,
+                iy: 1
+            }
+        );
         assert!(p.children().contains(&b));
         assert_eq!(BoxId::ROOT.parent(), None);
         // children-parent round trip for all children
@@ -193,11 +220,36 @@ mod tests {
 
     #[test]
     fn chebyshev_distance() {
-        let a = BoxId { level: 4, ix: 3, iy: 3 };
+        let a = BoxId {
+            level: 4,
+            ix: 3,
+            iy: 3,
+        };
         assert_eq!(a.chebyshev(&a), 0);
-        assert_eq!(a.chebyshev(&BoxId { level: 4, ix: 4, iy: 4 }), 1);
-        assert_eq!(a.chebyshev(&BoxId { level: 4, ix: 5, iy: 3 }), 2);
-        assert_eq!(a.chebyshev(&BoxId { level: 4, ix: 0, iy: 10 }), 7);
+        assert_eq!(
+            a.chebyshev(&BoxId {
+                level: 4,
+                ix: 4,
+                iy: 4
+            }),
+            1
+        );
+        assert_eq!(
+            a.chebyshev(&BoxId {
+                level: 4,
+                ix: 5,
+                iy: 3
+            }),
+            2
+        );
+        assert_eq!(
+            a.chebyshev(&BoxId {
+                level: 4,
+                ix: 0,
+                iy: 10
+            }),
+            7
+        );
     }
 
     #[test]
@@ -242,12 +294,20 @@ mod tests {
     #[test]
     fn bbox_geometry_nested() {
         let tree = QuadTree::with_levels(&[Point::new(0.5, 0.5)], BBox::UNIT, 3);
-        let b = BoxId { level: 3, ix: 7, iy: 0 };
+        let b = BoxId {
+            level: 3,
+            ix: 7,
+            iy: 0,
+        };
         let bb = tree.bbox(&b);
         assert!((bb.side - 0.125).abs() < 1e-15);
         assert!((bb.lo.x - 0.875).abs() < 1e-15);
         // child boxes tile the parent
-        let parent = BoxId { level: 2, ix: 3, iy: 0 };
+        let parent = BoxId {
+            level: 2,
+            ix: 3,
+            iy: 0,
+        };
         let pb = tree.bbox(&parent);
         for c in parent.children() {
             let cb = tree.bbox(&c);

@@ -58,20 +58,35 @@ fn pcg_impl<T: Scalar>(
     let mut rz = dot(&r, &z);
     let mut relres = nrm2(&r) / bnorm;
     if relres <= tol {
-        return CgResult { x, iterations: 0, converged: true, relres };
+        return CgResult {
+            x,
+            iterations: 0,
+            converged: true,
+            relres,
+        };
     }
     for it in 1..=max_iters {
         let ap = a.apply(&p);
         let pap = dot(&p, &ap);
         if pap.abs() == 0.0 {
-            return CgResult { x, iterations: it - 1, converged: false, relres };
+            return CgResult {
+                x,
+                iterations: it - 1,
+                converged: false,
+                relres,
+            };
         }
         let alpha = rz / pap;
         axpy(alpha, &p, &mut x);
         axpy(-alpha, &ap, &mut r);
         relres = nrm2(&r) / bnorm;
         if relres <= tol {
-            return CgResult { x, iterations: it, converged: true, relres };
+            return CgResult {
+                x,
+                iterations: it,
+                converged: true,
+                relres,
+            };
         }
         z = match m {
             Some(m) => m.apply(&r),
@@ -84,7 +99,12 @@ fn pcg_impl<T: Scalar>(
             *pi = *zi + beta * *pi;
         }
     }
-    CgResult { x, iterations: max_iters, converged: false, relres }
+    CgResult {
+        x,
+        iterations: max_iters,
+        converged: false,
+        relres,
+    }
 }
 
 #[cfg(test)]
@@ -159,7 +179,7 @@ mod tests {
     #[test]
     fn zero_rhs_converges_immediately() {
         let a = spd_matrix(8);
-        let res = cg(&DenseOp::new(a), &vec![0.0; 8], 1e-12, 10);
+        let res = cg(&DenseOp::new(a), &[0.0; 8], 1e-12, 10);
         assert!(res.converged);
         assert_eq!(res.iterations, 0);
     }

@@ -74,7 +74,12 @@ pub fn gmres<T: Scalar>(
         let beta = nrm2(&r);
         relres = beta / bnorm;
         if relres <= opts.tol {
-            return GmresResult { x, iterations: total_iters, converged: true, relres };
+            return GmresResult {
+                x,
+                iterations: total_iters,
+                converged: true,
+                relres,
+            };
         }
         if total_iters >= opts.max_iters {
             break 'outer;
@@ -112,7 +117,11 @@ pub fn gmres<T: Scalar>(
             // Solve the projected least squares and check the residual.
             let (y, res) = solve_projected(&hcols, beta, inner);
             relres = res / bnorm;
-            if relres <= opts.tol || breakdown || inner == opts.restart || total_iters >= opts.max_iters {
+            if relres <= opts.tol
+                || breakdown
+                || inner == opts.restart
+                || total_iters >= opts.max_iters
+            {
                 // Assemble the correction x += M^{-1} (V y).
                 let mut vy = vec![T::ZERO; n];
                 for (yi, v) in y.iter().zip(basis.iter()) {
@@ -149,7 +158,12 @@ pub fn gmres<T: Scalar>(
         }
         break 'outer;
     }
-    GmresResult { x, iterations: total_iters, converged: relres <= opts.tol, relres }
+    GmresResult {
+        x,
+        iterations: total_iters,
+        converged: relres <= opts.tol,
+        relres,
+    }
 }
 
 /// Solve `min_y || beta e1 - H y ||` for the `(j+1) x j` Hessenberg built
@@ -208,7 +222,16 @@ mod tests {
         let xtrue: Vec<f64> = (0..n).map(|i| (i as f64 * 0.4).cos()).collect();
         let b = a.matvec(&xtrue);
         let op = DenseOp::new(a);
-        let res = gmres(&op, None, &b, &GmresOpts { restart: 15, tol: 1e-12, max_iters: 500 });
+        let res = gmres(
+            &op,
+            None,
+            &b,
+            &GmresOpts {
+                restart: 15,
+                tol: 1e-12,
+                max_iters: 500,
+            },
+        );
         assert!(res.converged, "relres {}", res.relres);
         for (g, w) in res.x.iter().zip(xtrue.iter()) {
             assert!((g - w).abs() < 1e-8);
@@ -222,8 +245,11 @@ mod tests {
             if i == j {
                 c64::new(3.0, 1.0)
             } else {
-                c64::new(0.3 / (1.0 + (i + j) as f64), -0.1 * ((i as f64) - (j as f64)))
-                    .scale(1.0 / (1.0 + (i as f64 - j as f64).abs()))
+                c64::new(
+                    0.3 / (1.0 + (i + j) as f64),
+                    -0.1 * ((i as f64) - (j as f64)),
+                )
+                .scale(1.0 / (1.0 + (i as f64 - j as f64).abs()))
             }
         });
         let xtrue: Vec<c64> = (0..n).map(|i| c64::new((i as f64).sin(), 0.5)).collect();
@@ -243,10 +269,28 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
         let op = DenseOp::new(a);
         // Tiny restart forces many cycles but must still converge.
-        let res = gmres(&op, None, &b, &GmresOpts { restart: 4, tol: 1e-10, max_iters: 2000 });
+        let res = gmres(
+            &op,
+            None,
+            &b,
+            &GmresOpts {
+                restart: 4,
+                tol: 1e-10,
+                max_iters: 2000,
+            },
+        );
         assert!(res.converged, "relres {}", res.relres);
         assert!(res.iterations > 4, "must have restarted");
-        let full = gmres(&op, None, &b, &GmresOpts { restart: 40, tol: 1e-10, max_iters: 2000 });
+        let full = gmres(
+            &op,
+            None,
+            &b,
+            &GmresOpts {
+                restart: 40,
+                tol: 1e-10,
+                max_iters: 2000,
+            },
+        );
         assert!(full.iterations <= res.iterations);
     }
 
@@ -284,7 +328,11 @@ mod tests {
             &DenseOp::new(a),
             None,
             &b,
-            &GmresOpts { restart: 20, tol: 1e-16, max_iters: 7 },
+            &GmresOpts {
+                restart: 20,
+                tol: 1e-16,
+                max_iters: 7,
+            },
         );
         assert!(res.iterations <= 7);
         assert!(!res.converged);
@@ -293,7 +341,7 @@ mod tests {
     #[test]
     fn zero_rhs_immediate() {
         let a = nonsym_matrix(6);
-        let res = gmres(&DenseOp::new(a), None, &vec![0.0; 6], &GmresOpts::default());
+        let res = gmres(&DenseOp::new(a), None, &[0.0; 6], &GmresOpts::default());
         assert!(res.converged);
         assert_eq!(res.iterations, 0);
     }

@@ -13,7 +13,9 @@
 pub mod cg;
 pub mod gmres;
 pub mod op;
+pub mod precond;
 
 pub use cg::{cg, pcg, CgResult};
 pub use gmres::{gmres, GmresOpts, GmresResult};
 pub use op::{relative_residual, DenseOp, LinOp};
+pub use precond::{gmres_factorized, pcg_factorized, FactorizedOp};

@@ -1,0 +1,122 @@
+//! Preconditioning with any [`Factorized`] object.
+//!
+//! The paper's Tables III and V use the RS-S factorization as a
+//! preconditioner. With the unified solver API, *any* driver's output —
+//! sequential, box-colored, or distributed — arrives here as a
+//! `&dyn Factorized<T>`, and the Krylov methods never learn which driver
+//! built it.
+
+use crate::cg::{pcg, CgResult};
+use crate::gmres::{gmres, GmresOpts, GmresResult};
+use crate::op::LinOp;
+use srsf_core::solver::Factorized;
+use srsf_linalg::Scalar;
+
+/// Adapter presenting a [`Factorized`] object as a `LinOp` whose action is
+/// the approximate inverse (i.e., a preconditioner application).
+pub struct FactorizedOp<'a, T> {
+    inner: &'a dyn Factorized<T>,
+}
+
+impl<'a, T: Scalar> FactorizedOp<'a, T> {
+    /// Wrap a factorization for use as a preconditioner operator.
+    pub fn new(inner: &'a dyn Factorized<T>) -> Self {
+        Self { inner }
+    }
+}
+
+impl<T: Scalar> LinOp<T> for FactorizedOp<'_, T> {
+    fn dim(&self) -> usize {
+        self.inner.n()
+    }
+    fn apply(&self, x: &[T]) -> Vec<T> {
+        self.inner.solve(x)
+    }
+}
+
+/// Preconditioned CG with any factorization as the preconditioner.
+pub fn pcg_factorized<T: Scalar>(
+    a: &dyn LinOp<T>,
+    m: &dyn Factorized<T>,
+    b: &[T],
+    tol: f64,
+    max_iters: usize,
+) -> CgResult<T> {
+    pcg(a, &FactorizedOp::new(m), b, tol, max_iters)
+}
+
+/// Right-preconditioned GMRES with any factorization as the
+/// preconditioner.
+pub fn gmres_factorized<T: Scalar>(
+    a: &dyn LinOp<T>,
+    m: &dyn Factorized<T>,
+    b: &[T],
+    opts: &GmresOpts,
+) -> GmresResult<T> {
+    let op = FactorizedOp::new(m);
+    gmres(a, Some(&op), b, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srsf_core::stats::FactorStats;
+
+    /// A mock "factorization" of the identity matrix.
+    struct IdentityFact {
+        n: usize,
+        stats: FactorStats,
+    }
+
+    impl Factorized<f64> for IdentityFact {
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn apply_inverse(&self, _b: &mut [f64]) {}
+        fn stats(&self) -> &FactorStats {
+            &self.stats
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn factorized_op_applies_inverse() {
+        let f = IdentityFact {
+            n: 3,
+            stats: FactorStats::new(3, 0),
+        };
+        let op = FactorizedOp::new(&f as &dyn Factorized<f64>);
+        assert_eq!(op.dim(), 3);
+        assert_eq!(op.apply(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn pcg_with_identity_factorized_matches_cg() {
+        // A = diag(1..5); exact preconditioner solves in one apply per CG
+        // iteration either way; just exercise the plumbing.
+        struct Diag;
+        impl LinOp<f64> for Diag {
+            fn dim(&self) -> usize {
+                5
+            }
+            fn apply(&self, x: &[f64]) -> Vec<f64> {
+                x.iter()
+                    .enumerate()
+                    .map(|(i, v)| (i + 1) as f64 * v)
+                    .collect()
+            }
+        }
+        let f = IdentityFact {
+            n: 5,
+            stats: FactorStats::new(5, 0),
+        };
+        let b = vec![1.0; 5];
+        let res = pcg_factorized(&Diag, &f, &b, 1e-12, 50);
+        assert!(res.converged);
+        for (i, x) in res.x.iter().enumerate() {
+            assert!((x - 1.0 / (i + 1) as f64).abs() < 1e-10);
+        }
+    }
+}

@@ -45,7 +45,11 @@ impl<T: Scalar> DenseKernelOp<T> {
             row_chunks.push(kernel.block(pts, &rows, &cols));
             r0 = r1;
         }
-        Self { n, row_chunks, chunk }
+        Self {
+            n,
+            row_chunks,
+            chunk,
+        }
     }
 }
 

@@ -101,10 +101,7 @@ impl<T: Scalar> FastKernelOp<T> {
                 .collect()
         };
         let yc = self.toeplitz.apply(&xc);
-        let mut y: Vec<T> = yc
-            .into_iter()
-            .map(|v| T::from_re_im(v.re, v.im))
-            .collect();
+        let mut y: Vec<T> = yc.into_iter().map(|v| T::from_re_im(v.re, v.im)).collect();
         if !self.scale.is_empty() {
             for (v, s) in y.iter_mut().zip(self.scale.iter()) {
                 *v = v.scale(*s);
@@ -138,7 +135,9 @@ mod tests {
         let pts = grid.points();
         let a = assemble_dense(&k, &pts);
         let fast = FastKernelOp::laplace(&k, &grid);
-        let x: Vec<f64> = (0..grid.n()).map(|i| ((i * 29) % 83) as f64 / 83.0 - 0.5).collect();
+        let x: Vec<f64> = (0..grid.n())
+            .map(|i| ((i * 29) % 83) as f64 / 83.0 - 0.5)
+            .collect();
         let want = a.matvec(&x);
         let got = fast.apply(&x);
         let scale: f64 = want.iter().map(|v| v.abs()).fold(0.0, f64::max);

@@ -71,7 +71,11 @@ mod tests {
 
     #[test]
     fn plane_wave_unit_modulus_and_phase() {
-        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.5, 0.5)];
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 0.5),
+        ];
         let u = plane_wave(&pts, 2.0 * core::f64::consts::PI, (1.0, 0.0));
         for v in &u {
             assert!((v.norm() - 1.0).abs() < 1e-14);

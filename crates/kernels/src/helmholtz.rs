@@ -112,7 +112,6 @@ impl Kernel for HelmholtzKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use srsf_linalg::Scalar;
 
     #[test]
     fn bump_shape() {
@@ -136,8 +135,8 @@ mod tests {
         let bi = gaussian_bump(pts[i]);
         let bj = gaussian_bump(pts[j]);
         let z = 25.0 * r;
-        let want = c64::new(-0.25 * y0(z), 0.25 * j0(z))
-            .scale(h * h * 25.0 * 25.0 * (bi * bj).sqrt());
+        let want =
+            c64::new(-0.25 * y0(z), 0.25 * j0(z)).scale(h * h * 25.0 * 25.0 * (bi * bj).sqrt());
         let got = k.entry(&pts, i, j);
         assert!((got - want).norm() < 1e-13 * want.norm());
         // Symmetry of the symmetrized formulation.

@@ -7,9 +7,7 @@
 
 use crate::mat::Mat;
 use crate::scalar::Scalar;
-use crate::triangular::{
-    solve_lower_mat, solve_lower_vec, solve_upper_mat, solve_upper_vec,
-};
+use crate::triangular::{solve_lower_mat, solve_lower_vec, solve_upper_mat, solve_upper_vec};
 
 /// Packed LU factors of a square matrix: `P A = L U` with unit-lower `L`
 /// and upper `U` stored in one matrix, plus the pivot row swaps.

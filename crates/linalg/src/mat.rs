@@ -279,7 +279,10 @@ impl<T: Scalar> Index<(usize, usize)> for Mat<T> {
     type Output = T;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &T {
-        debug_assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.nrows && j < self.ncols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[j * self.nrows + i]
     }
 }
@@ -287,7 +290,10 @@ impl<T: Scalar> Index<(usize, usize)> for Mat<T> {
 impl<T: Scalar> IndexMut<(usize, usize)> for Mat<T> {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
-        debug_assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.nrows && j < self.ncols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[j * self.nrows + i]
     }
 }

@@ -72,7 +72,9 @@ mod tests {
 
     #[test]
     fn residual_zero_for_exact_solution() {
-        let m = Mat::from_fn(2, 2, |i, j| ((i + 1) * (j + 2)) as f64 + if i == j { 3.0 } else { 0.0 });
+        let m = Mat::from_fn(2, 2, |i, j| {
+            ((i + 1) * (j + 2)) as f64 + if i == j { 3.0 } else { 0.0 }
+        });
         let x = vec![1.0, -1.0];
         let b = m.matvec(&x);
         let op = DenseOp::new(m);

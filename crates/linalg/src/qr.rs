@@ -230,7 +230,9 @@ mod tests {
 
     #[test]
     fn qr_complex_reconstructs() {
-        let a = Mat::from_fn(5, 3, |i, j| c64::new((i + j) as f64, (i as f64) - 2.0 * j as f64));
+        let a = Mat::from_fn(5, 3, |i, j| {
+            c64::new((i + j) as f64, (i as f64) - 2.0 * j as f64)
+        });
         let (f, tau) = householder_qr(a.clone());
         let q = form_q(&f, &tau, 3);
         let r = upper_of(&f, 3);
@@ -242,7 +244,9 @@ mod tests {
 
     #[test]
     fn cpqr_full_rank_reconstructs_with_permutation() {
-        let a = Mat::from_fn(6, 5, |i, j| ((i * 7 + j) % 5) as f64 + if i == j { 4.0 } else { 0.0 });
+        let a = Mat::from_fn(6, 5, |i, j| {
+            ((i * 7 + j) % 5) as f64 + if i == j { 4.0 } else { 0.0 }
+        });
         let c = cpqr(a.clone(), 1e-14, usize::MAX);
         assert_eq!(c.rank, 5);
         let q = form_q(&c.factors, &c.tau, c.rank);
@@ -256,8 +260,20 @@ mod tests {
     #[test]
     fn cpqr_detects_low_rank() {
         // Rank-2 matrix: outer product of genuinely independent factors.
-        let u = Mat::from_fn(8, 2, |i, j| if j == 0 { i as f64 } else { (i * i) as f64 * 0.1 });
-        let v = Mat::from_fn(2, 6, |i, j| if i == 0 { 1.0 + j as f64 } else { (-1.0f64).powi(j as i32) });
+        let u = Mat::from_fn(8, 2, |i, j| {
+            if j == 0 {
+                i as f64
+            } else {
+                (i * i) as f64 * 0.1
+            }
+        });
+        let v = Mat::from_fn(2, 6, |i, j| {
+            if i == 0 {
+                1.0 + j as f64
+            } else {
+                (-1.0f64).powi(j as i32)
+            }
+        });
         let a = matmul(&u, &v);
         let c = cpqr(a.clone(), 1e-10, usize::MAX);
         assert_eq!(c.rank, 2, "rank-2 matrix should truncate at 2");

@@ -138,7 +138,6 @@ mod tests {
         assert_eq!(f64::from_re_im(1.5, 99.0), 1.5);
         assert_eq!(1.5f64.re(), 1.5);
         assert_eq!(1.5f64.im(), 0.0);
-        assert!(!f64::IS_COMPLEX);
     }
 
     #[test]

@@ -14,7 +14,7 @@ pub fn solve_lower_vec<T: Scalar>(l: &Mat<T>, unit_diag: bool, b: &mut [T]) {
     assert_eq!(b.len(), n);
     for j in 0..n {
         if !unit_diag {
-            b[j] = b[j] / l[(j, j)];
+            b[j] /= l[(j, j)];
         }
         let bj = b[j];
         if bj == T::ZERO {
@@ -34,7 +34,7 @@ pub fn solve_upper_vec<T: Scalar>(u: &Mat<T>, unit_diag: bool, b: &mut [T]) {
     assert_eq!(b.len(), n);
     for j in (0..n).rev() {
         if !unit_diag {
-            b[j] = b[j] / u[(j, j)];
+            b[j] /= u[(j, j)];
         }
         let bj = b[j];
         if bj == T::ZERO {
@@ -87,7 +87,7 @@ pub fn solve_upper_right_mat<T: Scalar>(b: &mut Mat<T>, u: &Mat<T>, unit_diag: b
         if !unit_diag {
             let d = ucol[j];
             for v in b.col_mut(j) {
-                *v = *v / d;
+                *v /= d;
             }
         }
     }
@@ -114,7 +114,7 @@ pub fn solve_lower_right_mat<T: Scalar>(b: &mut Mat<T>, l: &Mat<T>, unit_diag: b
         if !unit_diag {
             let d = lcol[j];
             for v in b.col_mut(j) {
-                *v = *v / d;
+                *v /= d;
             }
         }
     }

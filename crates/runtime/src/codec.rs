@@ -7,36 +7,41 @@
 //! matrices as `(nrows, ncols, column-major data)`. Complex scalars encode
 //! as interleaved `(re, im)` pairs.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use srsf_linalg::{Mat, Scalar};
+
+/// A finished message payload (owned bytes).
+///
+/// Messages are built once, sent once, and consumed once, so a plain byte
+/// vector is all the "zero-copy buffer" machinery this runtime needs.
+pub type Bytes = Vec<u8>;
 
 /// Append-only wire-format writer.
 #[derive(Debug, Default)]
 pub struct ByteWriter {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl ByteWriter {
     /// New empty writer.
     pub fn new() -> Self {
-        Self { buf: BytesMut::new() }
+        Self { buf: Vec::new() }
     }
 
     /// Write an unsigned 64-bit integer.
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Write a double.
     pub fn put_f64(&mut self, v: f64) {
-        self.buf.put_f64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Write a scalar (1 or 2 doubles).
     pub fn put_scalar<T: Scalar>(&mut self, v: T) {
-        self.buf.put_f64_le(v.re());
+        self.put_f64(v.re());
         if T::IS_COMPLEX {
-            self.buf.put_f64_le(v.im());
+            self.put_f64(v.im());
         }
     }
 
@@ -77,7 +82,7 @@ impl ByteWriter {
 
     /// Finish and freeze the payload.
     pub fn finish(self) -> Bytes {
-        self.buf.freeze()
+        self.buf
     }
 }
 
@@ -85,28 +90,39 @@ impl ByteWriter {
 #[derive(Debug)]
 pub struct ByteReader {
     buf: Bytes,
+    pos: usize,
 }
 
 impl ByteReader {
     /// Wrap a payload.
     pub fn new(buf: Bytes) -> Self {
-        Self { buf }
+        Self { buf, pos: 0 }
+    }
+
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let out: [u8; N] = self
+            .buf
+            .get(self.pos..self.pos + N)
+            .and_then(|s| s.try_into().ok())
+            .expect("payload underrun");
+        self.pos += N;
+        out
     }
 
     /// Read an unsigned 64-bit integer.
     pub fn get_u64(&mut self) -> u64 {
-        self.buf.get_u64_le()
+        u64::from_le_bytes(self.take::<8>())
     }
 
     /// Read a double.
     pub fn get_f64(&mut self) -> f64 {
-        self.buf.get_f64_le()
+        f64::from_le_bytes(self.take::<8>())
     }
 
     /// Read a scalar.
     pub fn get_scalar<T: Scalar>(&mut self) -> T {
-        let re = self.buf.get_f64_le();
-        let im = if T::IS_COMPLEX { self.buf.get_f64_le() } else { 0.0 };
+        let re = self.get_f64();
+        let im = if T::IS_COMPLEX { self.get_f64() } else { 0.0 };
         T::from_re_im(re, im)
     }
 
@@ -132,7 +148,7 @@ impl ByteReader {
 
     /// Remaining unread bytes.
     pub fn remaining(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.pos
     }
 }
 

@@ -19,7 +19,10 @@ pub struct NetworkModel {
 impl NetworkModel {
     /// Custom model.
     pub fn new(alpha_s: f64, beta_s_per_word: f64) -> Self {
-        Self { alpha_s, beta_s_per_word }
+        Self {
+            alpha_s,
+            beta_s_per_word,
+        }
     }
 
     /// Ranks packed on one node: sub-microsecond latency, memory-bus-class

@@ -51,7 +51,11 @@ impl WorldStats {
 
     /// Largest word count over ranks.
     pub fn max_words(&self) -> u64 {
-        self.per_rank.iter().map(|r| r.words_sent).max().unwrap_or(0)
+        self.per_rank
+            .iter()
+            .map(|r| r.words_sent)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total messages across ranks.
@@ -77,7 +81,10 @@ impl WorldStats {
 
     /// Largest per-rank compute time (the `tcomp` column of the tables).
     pub fn max_compute_s(&self) -> f64 {
-        self.per_rank.iter().map(|r| r.compute_s).fold(0.0, f64::max)
+        self.per_rank
+            .iter()
+            .map(|r| r.compute_s)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -109,8 +116,18 @@ mod tests {
     fn world_aggregates() {
         let w = WorldStats {
             per_rank: vec![
-                CommStats { msgs_sent: 5, words_sent: 10, compute_s: 2.0, wait_s: 0.0 },
-                CommStats { msgs_sent: 7, words_sent: 4, compute_s: 1.0, wait_s: 0.0 },
+                CommStats {
+                    msgs_sent: 5,
+                    words_sent: 10,
+                    compute_s: 2.0,
+                    wait_s: 0.0,
+                },
+                CommStats {
+                    msgs_sent: 7,
+                    words_sent: 4,
+                    compute_s: 1.0,
+                    wait_s: 0.0,
+                },
             ],
         };
         assert_eq!(w.max_msgs(), 7);

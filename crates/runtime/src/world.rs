@@ -12,9 +12,9 @@
 //! `send` issued in the same round), and `recv` carries a generous timeout
 //! so protocol bugs surface as panics rather than hangs.
 
+use crate::codec::Bytes;
 use crate::stats::{CommStats, WorldStats};
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -58,7 +58,11 @@ impl RankCtx {
         self.stats.msgs_sent += 1;
         self.stats.words_sent += (payload.len() as u64).div_ceil(8);
         self.senders[dst]
-            .send(Msg { src: self.rank, tag, payload })
+            .send(Msg {
+                src: self.rank,
+                tag,
+                payload,
+            })
             .expect("receiver hung up");
     }
 
@@ -146,7 +150,7 @@ impl World {
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
-            let (tx, rx) = unbounded::<Msg>();
+            let (tx, rx) = channel::<Msg>();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -169,12 +173,12 @@ impl World {
         drop(senders);
 
         let mut out: Vec<Option<(R, CommStats)>> = (0..p).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
             for (rank, mut ctx) in ctxs.drain(..).enumerate() {
                 handles.push((
                     rank,
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let r = f(&mut ctx);
                         (r, ctx.stats)
                     }),
@@ -183,8 +187,7 @@ impl World {
             for (rank, h) in handles {
                 out[rank] = Some(h.join().expect("rank panicked"));
             }
-        })
-        .expect("world scope panicked");
+        });
 
         let mut results = Vec::with_capacity(p);
         let mut stats = WorldStats::default();

@@ -214,7 +214,7 @@ mod tests {
         (50.0, 0.055_812_327_669_251_75),
     ];
     const REFS_Y0: [(f64, f64); 6] = [
-        (0.5, -0.444_518_733_506_707_02),
+        (0.5, -0.444_518_733_506_707),
         (1.0, 0.088_256_964_215_676_96),
         (2.0, 0.510_375_672_649_745_1),
         (5.0, -0.308_517_625_249_033_8),
@@ -230,7 +230,7 @@ mod tests {
         (20.0, 0.066_833_124_175_850_05),
     ];
     const REFS_Y1: [(f64, f64); 5] = [
-        (0.5, -1.471_472_392_670_243_2),
+        (0.5, -1.471_472_392_670_243),
         (1.0, -0.781_212_821_300_288_7),
         (5.0, 0.147_863_143_391_226_8),
         (10.0, 0.249_015_424_206_953_9),
@@ -292,30 +292,42 @@ mod tests {
         // mpmath (30 digits) references on both sides of SWITCH = 11, the
         // worst-accuracy region for both the series and the asymptotics.
         let refs: [(f64, [f64; 4]); 4] = [
-            (10.5, [
-                -0.236_648_194_462_347_13,
-                -0.067_530_372_497_876_4,
-                -0.078_850_014_227_331_49,
-                0.233_704_228_357_268_58,
-            ]),
-            (10.9, [
-                -0.188_062_245_963_342_07,
-                -0.151_583_193_223_045_1,
-                -0.160_349_686_680_853_33,
-                0.181_318_509_674_164_25,
-            ]),
-            (11.1, [
-                -0.152_768_295_435_676_89,
-                -0.184_275_771_621_513_67,
-                -0.191_328_287_775_049_14,
-                0.144_637_110_206_295_12,
-            ]),
-            (12.0, [
-                0.047_689_310_796_833_54,
-                -0.225_237_312_634_361_43,
-                -0.223_447_104_490_627_6,
-                -0.057_099_218_260_896_52,
-            ]),
+            (
+                10.5,
+                [
+                    -0.236_648_194_462_347_13,
+                    -0.067_530_372_497_876_4,
+                    -0.078_850_014_227_331_5,
+                    0.233_704_228_357_268_6,
+                ],
+            ),
+            (
+                10.9,
+                [
+                    -0.188_062_245_963_342_07,
+                    -0.151_583_193_223_045_1,
+                    -0.160_349_686_680_853_33,
+                    0.181_318_509_674_164_25,
+                ],
+            ),
+            (
+                11.1,
+                [
+                    -0.152_768_295_435_676_89,
+                    -0.184_275_771_621_513_67,
+                    -0.191_328_287_775_049_14,
+                    0.144_637_110_206_295_12,
+                ],
+            ),
+            (
+                12.0,
+                [
+                    0.047_689_310_796_833_54,
+                    -0.225_237_312_634_361_43,
+                    -0.223_447_104_490_627_6,
+                    -0.057_099_218_260_896_52,
+                ],
+            ),
         ];
         for &(x, [rj0, ry0, rj1, ry1]) in &refs {
             assert!((j0(x) - rj0).abs() < 1e-11, "j0({x}) = {}", j0(x));

@@ -132,7 +132,11 @@ mod tests {
             let g = GaussLegendre::new(n);
             for d in 0..(2 * n) {
                 let got = g.integrate(-1.0, 1.0, |x| x.powi(d as i32));
-                let want = if d % 2 == 0 { 2.0 / (d as f64 + 1.0) } else { 0.0 };
+                let want = if d % 2 == 0 {
+                    2.0 / (d as f64 + 1.0)
+                } else {
+                    0.0
+                };
                 assert!(
                     (got - want).abs() < 1e-12,
                     "n={n}, degree {d}: {got} vs {want}"

@@ -22,6 +22,7 @@ pub struct QuadStats {
     pub depth_exhausted: bool,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn adaptive_rec(
     f: &mut dyn FnMut(f64) -> f64,
     rule: &GaussLegendre,
@@ -50,7 +51,17 @@ fn adaptive_rec(
     } else {
         let half_tol = 0.5 * tol;
         adaptive_rec(f, rule, a, mid, left, half_tol, depth + 1, max_depth, stats)
-            + adaptive_rec(f, rule, mid, b, right, half_tol, depth + 1, max_depth, stats)
+            + adaptive_rec(
+                f,
+                rule,
+                mid,
+                b,
+                right,
+                half_tol,
+                depth + 1,
+                max_depth,
+                stats,
+            )
     }
 }
 
@@ -126,7 +137,12 @@ mod tests {
     #[test]
     fn integrates_sqrt_singularity() {
         // ∫_0^1 1/sqrt(x) dx = 2.
-        let (v, _) = adaptive_quad(|x| if x > 0.0 { x.sqrt().recip() } else { 0.0 }, 0.0, 1.0, 1e-9);
+        let (v, _) = adaptive_quad(
+            |x| if x > 0.0 { x.sqrt().recip() } else { 0.0 },
+            0.0,
+            1.0,
+            1e-9,
+        );
         assert!((v - 2.0).abs() < 1e-5, "{v}");
     }
 

@@ -7,7 +7,6 @@
 //! cargo run --release --example distributed_demo
 //! ```
 
-use srsf::geometry::procgrid::ProcessGrid;
 use srsf::prelude::*;
 use srsf::runtime::NetworkModel;
 
@@ -17,22 +16,35 @@ fn main() {
     let grid = UnitGrid::new(side);
     let kernel = LaplaceKernel::new(&grid);
     let pts = grid.points();
-    let pg = ProcessGrid::new(p);
 
-    let opts = FactorOpts { tol: 1e-6, ..FactorOpts::default() };
     let b = random_vector::<f64>(grid.n(), 11);
-    let (f, stats, x) =
-        dist_factorize_and_solve(&kernel, &pts, &pg, &opts, Some(&b)).expect("dist factorization");
-    let x = x.expect("solution from the distributed solve");
+    let (f, x) = Solver::builder(&kernel, &pts)
+        .tol(1e-6)
+        .driver(Driver::distributed(p))
+        .build_with_solution(&b)
+        .expect("dist factorization");
+    let stats = f
+        .comm_stats()
+        .expect("distributed driver records comm stats")
+        .clone();
 
     let fast = FastKernelOp::laplace(&kernel, &grid);
     println!("N = {}, p = {p} simulated ranks", grid.n());
-    println!("distributed solve relres = {:.3e}", relative_residual(&fast, &x, &b));
+    println!(
+        "distributed solve relres = {:.3e}",
+        relative_residual(&fast, &x, &b)
+    );
 
     println!("\nper-rank communication:");
-    println!("{:>5} {:>10} {:>12} {:>12}", "rank", "messages", "words", "compute[s]");
+    println!(
+        "{:>5} {:>10} {:>12} {:>12}",
+        "rank", "messages", "words", "compute[s]"
+    );
     for (r, s) in stats.per_rank.iter().enumerate() {
-        println!("{:>5} {:>10} {:>12} {:>12.3}", r, s.msgs_sent, s.words_sent, s.compute_s);
+        println!(
+            "{:>5} {:>10} {:>12} {:>12.3}",
+            r, s.msgs_sent, s.words_sent, s.compute_s
+        );
     }
     let sqrt_np = (grid.n() as f64 / p as f64).sqrt();
     println!("\npaper bound (Eq. 13): words = O(sqrt(N/p) + log p) = O({sqrt_np:.0})");
@@ -46,5 +58,8 @@ fn main() {
         stats.critical_path_s(&NetworkModel::intra_node()),
         stats.critical_path_s(&NetworkModel::inter_node())
     );
-    println!("factorization records gathered on rank 0: {}", f.n_records());
+    println!(
+        "factorization records gathered on rank 0: {}",
+        f.n_records()
+    );
 }

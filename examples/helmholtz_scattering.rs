@@ -19,8 +19,10 @@ fn main() {
     let pts = grid.points();
 
     println!("Lippmann-Schwinger: kappa = {kappa}, N = {side}x{side}");
-    let opts = FactorOpts { tol: 1e-6, ..FactorOpts::default() };
-    let f = factorize(&kernel, &pts, &opts).expect("factorization");
+    let f = Solver::builder(&kernel, &pts)
+        .tol(1e-6)
+        .build()
+        .expect("factorization");
 
     // Incoming plane wave traveling left to right.
     let uin = plane_wave(&pts, kappa, (1.0, 0.0));

@@ -19,9 +19,11 @@ fn main() {
     let fast = FastKernelOp::laplace(&kernel, &grid);
 
     // Direct: one factorization, then n_rhs cheap solves.
-    let opts = FactorOpts { tol: 1e-9, ..FactorOpts::default() };
     let t0 = Instant::now();
-    let f = factorize(&kernel, &pts, &opts).expect("factorization");
+    let f = Solver::builder(&kernel, &pts)
+        .tol(1e-9)
+        .build()
+        .expect("factorization");
     let tfact = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
     let mut direct_res = 0.0f64;

@@ -6,7 +6,7 @@
 //! cargo run --release --example preconditioning
 //! ```
 
-use srsf::iterative::cg::{cg, pcg};
+use srsf::iterative::cg::cg;
 use srsf::iterative::gmres::{gmres, GmresOpts};
 use srsf::prelude::*;
 
@@ -26,12 +26,22 @@ fn main() {
         plain.iterations,
         plain.relres
     );
-    for tol in [1e-3, 1e-6, 1e-9] {
-        let opts = FactorOpts { tol, ..FactorOpts::default() };
-        let f = factorize(&kernel, &pts, &opts).unwrap();
-        let res = pcg(&fast, &f, &b, 1e-12, 200);
+    // One preconditioner per tolerance — each built by a *different*
+    // driver, all consumed through the same `Factorized` interface.
+    let drivers = [
+        Driver::Sequential,
+        Driver::colored(2),
+        Driver::distributed(4),
+    ];
+    for (tol, driver) in [1e-3, 1e-6, 1e-9].into_iter().zip(drivers) {
+        let f = Solver::builder(&kernel, &pts)
+            .tol(tol)
+            .driver(driver)
+            .build()
+            .unwrap();
+        let res = pcg_factorized(&fast, &f, &b, 1e-12, 200);
         println!(
-            "  eps = {tol:.0e} preconditioner: {} PCG iterations (relres {:.1e})",
+            "  eps = {tol:.0e} preconditioner ({driver:?}): {} PCG iterations (relres {:.1e})",
             res.iterations, res.relres
         );
     }
@@ -41,15 +51,32 @@ fn main() {
     let hk = HelmholtzKernel::new(&grid, kappa);
     let hfast = FastKernelOp::helmholtz(&hk, &grid);
     let hb = random_vector::<c64>(grid.n(), 5);
-    let un = gmres(&hfast, None, &hb, &GmresOpts { restart: 20, tol: 1e-12, max_iters: 2000 });
+    let un = gmres(
+        &hfast,
+        None,
+        &hb,
+        &GmresOpts {
+            restart: 20,
+            tol: 1e-12,
+            max_iters: 2000,
+        },
+    );
     println!(
         "\nHelmholtz kappa = {kappa}: unpreconditioned GMRES(20): {} iterations{}",
         un.iterations,
         if un.converged { "" } else { " (cap hit)" }
     );
-    let opts = FactorOpts { tol: 1e-6, ..FactorOpts::default() };
-    let hf = factorize(&hk, &pts, &opts).unwrap();
-    let pre = gmres(&hfast, Some(&hf), &hb, &GmresOpts { restart: 30, tol: 1e-12, max_iters: 200 });
+    let hf = Solver::builder(&hk, &pts).tol(1e-6).build().unwrap();
+    let pre = gmres_factorized(
+        &hfast,
+        &hf,
+        &hb,
+        &GmresOpts {
+            restart: 30,
+            tol: 1e-12,
+            max_iters: 200,
+        },
+    );
     println!(
         "  eps = 1e-6 preconditioner: {} GMRES iterations (relres {:.1e})",
         pre.iterations, pre.relres

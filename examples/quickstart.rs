@@ -13,9 +13,12 @@ fn main() {
     let pts = grid.points();
 
     // Factor A ~= (compressed inverse) at tolerance 1e-6.
-    let opts = FactorOpts { tol: 1e-6, ..FactorOpts::default() };
     let t0 = std::time::Instant::now();
-    let f = factorize(&kernel, &pts, &opts).expect("factorization");
+    let f = Solver::builder(&kernel, &pts)
+        .tol(1e-6)
+        .driver(Driver::Sequential)
+        .build()
+        .expect("factorization");
     println!(
         "factored N = {} in {:.2}s ({} box eliminations, top block {}, {:.1} MB)",
         f.n(),

@@ -18,12 +18,17 @@
 //!   kernels and matrix assembly.
 //! * [`runtime`] — a simulated distributed-memory runtime (ranks as threads,
 //!   explicit messages, communication counters, α–β network model).
-//! * [`core`] — the factorization itself: sequential, shared-memory
-//!   box-colored, and distributed-memory process-colored variants.
+//! * [`core`] — the factorization itself, behind the unified
+//!   [`Solver`](prelude::Solver) builder: sequential, shared-memory
+//!   box-colored, and distributed-memory process-colored drivers.
 //! * [`iterative`] — CG / preconditioned CG / GMRES for the accuracy and
-//!   iteration-count experiments.
+//!   iteration-count experiments; preconditioned by anything implementing
+//!   [`Factorized`](prelude::Factorized).
 //!
 //! ## Quickstart
+//!
+//! One builder serves all three execution strategies of the paper — pick a
+//! [`Driver`](prelude::Driver) and everything else stays the same:
 //!
 //! ```
 //! use srsf::prelude::*;
@@ -31,14 +36,33 @@
 //! // 32x32 collocation grid for the 2-D Laplace volume integral equation.
 //! let grid = UnitGrid::new(32);
 //! let kernel = LaplaceKernel::new(&grid);
-//! let opts = FactorOpts { tol: 1e-6, ..FactorOpts::default() };
-//! let f = factorize(&kernel, &grid.points(), &opts).unwrap();
+//! let f = Solver::builder(&kernel, &grid.points())
+//!     .tol(1e-6)
+//!     .driver(Driver::Sequential) // or Driver::colored(4), Driver::distributed(4)
+//!     .build()
+//!     .unwrap();
 //!
 //! // Solve against a random right-hand side and check the residual.
 //! let b = random_vector::<f64>(grid.n(), 7);
 //! let x = f.solve(&b);
 //! let op = DenseKernelOp::new(&kernel, &grid.points());
 //! assert!(relative_residual(&op, &x, &b) < 1e-4);
+//! ```
+//!
+//! The built [`Solver`](prelude::Solver) implements
+//! [`Factorized`](prelude::Factorized) and `LinOp`, so it drops into the
+//! Krylov methods as a preconditioner regardless of the driver that built
+//! it:
+//!
+//! ```no_run
+//! # use srsf::prelude::*;
+//! # let grid = UnitGrid::new(32);
+//! # let kernel = LaplaceKernel::new(&grid);
+//! # let f = Solver::builder(&kernel, &grid.points()).build().unwrap();
+//! # let b = random_vector::<f64>(grid.n(), 7);
+//! let fast = FastKernelOp::laplace(&kernel, &grid);
+//! let res = pcg_factorized(&fast, &f, &b, 1e-12, 100);
+//! assert!(res.converged);
 //! ```
 
 pub use srsf_core as core;
@@ -53,18 +77,23 @@ pub use srsf_special as special;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use srsf_core::{
-        colored::{colored_factorize, ColorScheme},
+        colored::ColorScheme, sequential::Factorization, solver::SolverBuilder, stats::FactorStats,
+        Driver, FactorOpts, Factorized, Solver, SrsfError,
+    };
+    // Deprecated free-function drivers, kept so pre-builder call sites
+    // continue to compile against the prelude.
+    #[allow(deprecated)]
+    pub use srsf_core::{
+        colored::colored_factorize,
         distributed::{dist_factorize, dist_factorize_and_solve},
         factorize,
-        sequential::Factorization,
-        stats::FactorStats,
-        FactorOpts,
     };
-    pub use srsf_geometry::{grid::UnitGrid, point::Point, tree::QuadTree};
+    pub use srsf_geometry::{grid::UnitGrid, point::Point, procgrid::ProcessGrid, tree::QuadTree};
     pub use srsf_iterative::{
         cg::{cg, pcg},
         gmres::{gmres, GmresOpts},
         op::{relative_residual, DenseOp, LinOp},
+        precond::{gmres_factorized, pcg_factorized, FactorizedOp},
     };
     pub use srsf_kernels::{
         assemble::DenseKernelOp,

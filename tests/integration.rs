@@ -1,10 +1,9 @@
-//! Cross-crate integration tests: factorization + FFT operators + Krylov
-//! solvers + the simulated distributed runtime working together, at the
-//! scale of the paper's small configurations.
+//! Cross-crate integration tests: the unified `Solver` builder + FFT
+//! operators + Krylov solvers + the simulated distributed runtime working
+//! together, at the scale of the paper's small configurations.
 
-use srsf::geometry::procgrid::ProcessGrid;
-use srsf::iterative::cg::{cg, pcg};
-use srsf::iterative::gmres::{gmres, GmresOpts};
+use srsf::iterative::cg::cg;
+use srsf::iterative::gmres::GmresOpts;
 use srsf::prelude::*;
 
 #[test]
@@ -15,14 +14,13 @@ fn laplace_end_to_end_direct_and_preconditioned() {
     let fast = FastKernelOp::laplace(&kernel, &grid);
     let b = random_vector::<f64>(grid.n(), 1);
 
-    let opts = FactorOpts { tol: 1e-6, ..FactorOpts::default() };
-    let f = factorize(&kernel, &pts, &opts).unwrap();
+    let f = Solver::builder(&kernel, &pts).tol(1e-6).build().unwrap();
     // Direct solve accuracy against the FFT matvec.
     let x = f.solve(&b);
     let r = relative_residual(&fast, &x, &b);
     assert!(r < 1e-4, "direct relres {r:.2e}");
     // Preconditioned CG reaches 1e-12 in a near-constant iteration count.
-    let res = pcg(&fast, &f, &b, 1e-12, 100);
+    let res = pcg_factorized(&fast, &f, &b, 1e-12, 100);
     assert!(res.converged);
     assert!(res.iterations <= 15, "nit = {}", res.iterations);
 }
@@ -36,9 +34,8 @@ fn unpreconditioned_cg_is_painfully_slow_and_pcg_is_not() {
     let fast = FastKernelOp::laplace(&kernel, &grid);
     let b = random_vector::<f64>(grid.n(), 2);
     let plain = cg(&fast, &b, 1e-10, 5000);
-    let opts = FactorOpts { tol: 1e-6, ..FactorOpts::default() };
-    let f = factorize(&kernel, &pts, &opts).unwrap();
-    let pre = pcg(&fast, &f, &b, 1e-10, 100);
+    let f = Solver::builder(&kernel, &pts).tol(1e-6).build().unwrap();
+    let pre = pcg_factorized(&fast, &f, &b, 1e-10, 100);
     assert!(pre.converged);
     assert!(
         plain.iterations > 10 * pre.iterations,
@@ -56,36 +53,92 @@ fn helmholtz_gmres_preconditioning() {
     let pts = grid.points();
     let fast = FastKernelOp::helmholtz(&kernel, &grid);
     let b = random_vector::<c64>(grid.n(), 4);
-    let opts = FactorOpts { tol: 1e-6, ..FactorOpts::default() };
-    let f = factorize(&kernel, &pts, &opts).unwrap();
-    let pre = gmres(&fast, Some(&f), &b, &GmresOpts { restart: 30, tol: 1e-12, max_iters: 100 });
+    let f = Solver::builder(&kernel, &pts).tol(1e-6).build().unwrap();
+    let pre = gmres_factorized(
+        &fast,
+        &f,
+        &b,
+        &GmresOpts {
+            restart: 30,
+            tol: 1e-12,
+            max_iters: 100,
+        },
+    );
     assert!(pre.converged, "relres {:.2e}", pre.relres);
     assert!(pre.iterations <= 10, "nit = {}", pre.iterations);
 }
 
+/// The acceptance-criteria test: all three `Driver` variants produce a
+/// solver consumed through the same `Factorized` interface, and their
+/// solutions agree on the same Laplace problem.
 #[test]
-fn distributed_matches_sequential_through_public_api() {
+fn all_three_drivers_through_one_factorized_interface() {
     let grid = UnitGrid::new(32);
     let kernel = LaplaceKernel::new(&grid);
     let pts = grid.points();
-    let opts = FactorOpts { tol: 1e-8, leaf_size: 16, ..FactorOpts::default() };
     let b = random_vector::<f64>(grid.n(), 6);
 
-    let fs = factorize(&kernel, &pts, &opts).unwrap();
-    let (fd, stats, xd) =
-        dist_factorize_and_solve(&kernel, &pts, &ProcessGrid::new(4), &opts, Some(&b)).unwrap();
-    let xd = xd.unwrap();
+    let solvers: Vec<Solver<f64>> = [
+        Driver::Sequential,
+        Driver::colored(2),
+        Driver::distributed(4),
+    ]
+    .into_iter()
+    .map(|driver| {
+        Solver::builder(&kernel, &pts)
+            .tol(1e-8)
+            .leaf_size(16)
+            .driver(driver)
+            .build()
+            .unwrap_or_else(|e| panic!("{driver:?} failed: {e}"))
+    })
+    .collect();
+
+    // Consume every solver through the trait object, not the concrete type.
+    let facts: Vec<&dyn Factorized<f64>> = solvers.iter().map(|s| s as _).collect();
+    let xs: Vec<Vec<f64>> = facts.iter().map(|f| f.solve(&b)).collect();
+    for (f, x) in facts.iter().zip(&xs) {
+        assert_eq!(f.n(), grid.n());
+        assert!(f.memory_bytes() > 0);
+        assert!(f.stats().leaf_level >= 1);
+        let rel = srsf::linalg::vecops::rel_diff(x, &xs[0]);
+        assert!(rel < 1e-4, "driver solutions differ by {rel:.2e}");
+    }
+    // Only the distributed driver reports communication counters.
+    assert!(solvers[0].comm_stats().is_none());
+    assert!(solvers[1].comm_stats().is_none());
+    let stats = solvers[2].comm_stats().expect("distributed comm stats");
+    for s in &stats.per_rank {
+        assert!(s.msgs_sent > 0);
+    }
+}
+
+#[test]
+fn distributed_build_with_solution_matches_gathered_solve() {
+    let grid = UnitGrid::new(32);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    let b = random_vector::<f64>(grid.n(), 6);
+
+    let fs = Solver::builder(&kernel, &pts)
+        .tol(1e-8)
+        .leaf_size(16)
+        .build()
+        .unwrap();
+    let (fd, xd) = Solver::builder(&kernel, &pts)
+        .tol(1e-8)
+        .leaf_size(16)
+        .driver(Driver::distributed(4))
+        .build_with_solution(&b)
+        .unwrap();
     let xs = fs.solve(&b);
     // Same accuracy class; both within tolerance of each other's solution.
     let rel = srsf::linalg::vecops::rel_diff(&xd, &xs);
     assert!(rel < 1e-4, "dist vs seq solutions differ by {rel:.2e}");
+    // The distributed in-world solve matches the gathered factorization's
+    // local solve to roundoff.
     let xg = fd.solve(&b);
     assert!(srsf::linalg::vecops::rel_diff(&xd, &xg) < 1e-10);
-    // Neighbor-only traffic: on a 2x2 grid every rank has <= 3 neighbors,
-    // and everyone communicated.
-    for s in &stats.per_rank {
-        assert!(s.msgs_sent > 0);
-    }
 }
 
 #[test]
@@ -93,13 +146,16 @@ fn rank_growth_matches_figure9_shape() {
     // Figure 9's two claims at laptop scale: (a) Laplace skeleton ranks at
     // a fixed box population are constant as N grows (the O(N) basis);
     // (b) Helmholtz ranks at fixed N grow with the frequency.
-    let opts = FactorOpts { tol: 1e-6, leaf_size: 16, ..FactorOpts::default() };
     let mut laplace_leaf_ranks = Vec::new();
     for side in [32usize, 64] {
         let grid = UnitGrid::new(side);
         let pts = grid.points();
         let lk = LaplaceKernel::new(&grid);
-        let lf = factorize(&lk, &pts, &opts).unwrap();
+        let lf = Solver::builder(&lk, &pts)
+            .tol(1e-6)
+            .leaf_size(16)
+            .build()
+            .unwrap();
         let leaf = lf.stats().leaf_level;
         laplace_leaf_ranks.push(lf.stats().avg_rank(leaf).unwrap());
     }
@@ -114,7 +170,11 @@ fn rank_growth_matches_figure9_shape() {
     let mut helm_ranks = Vec::new();
     for kappa in [12.6f64, 50.0] {
         let hk = HelmholtzKernel::new(&grid, kappa);
-        let hf = factorize(&hk, &pts, &opts).unwrap();
+        let hf = Solver::builder(&hk, &pts)
+            .tol(1e-6)
+            .leaf_size(16)
+            .build()
+            .unwrap();
         helm_ranks.push(hf.stats().avg_rank(3).unwrap());
     }
     assert!(
@@ -129,11 +189,40 @@ fn solve_then_multiply_roundtrip_many_rhs() {
     let kernel = LaplaceKernel::new(&grid);
     let pts = grid.points();
     let fast = FastKernelOp::laplace(&kernel, &grid);
-    let opts = FactorOpts { tol: 1e-9, leaf_size: 32, ..FactorOpts::default() };
-    let f = factorize(&kernel, &pts, &opts).unwrap();
+    let f = Solver::builder(&kernel, &pts)
+        .tol(1e-9)
+        .leaf_size(32)
+        .build()
+        .unwrap();
     for seed in 0..8 {
         let b = random_vector::<f64>(grid.n(), seed);
         let x = f.solve(&b);
         assert!(relative_residual(&fast, &x, &b) < 1e-6, "seed {seed}");
     }
+}
+
+/// The deprecated free-function shims must keep old call sites compiling
+/// and producing the same results as the builder.
+#[test]
+#[allow(deprecated)]
+fn deprecated_free_functions_still_work() {
+    let grid = UnitGrid::new(32);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    let b = random_vector::<f64>(grid.n(), 9);
+    let opts = FactorOpts::default().with_tol(1e-8).with_leaf_size(16);
+
+    let f_old = factorize(&kernel, &pts, &opts).unwrap();
+    let f_col = colored_factorize(&kernel, &pts, &opts, ColorScheme::Four, 2).unwrap();
+    let pg = ProcessGrid::new(4);
+    let (f_dist, stats) = dist_factorize(&kernel, &pts, &pg, &opts).unwrap();
+    let (_, _, xd) = dist_factorize_and_solve(&kernel, &pts, &pg, &opts, Some(&b)).unwrap();
+
+    let f_new = Solver::builder(&kernel, &pts).opts(opts).build().unwrap();
+    let x_new = f_new.solve(&b);
+    assert!(srsf::linalg::vecops::rel_diff(&f_old.solve(&b), &x_new) < 1e-12);
+    assert!(srsf::linalg::vecops::rel_diff(&f_col.solve(&b), &x_new) < 1e-4);
+    assert!(srsf::linalg::vecops::rel_diff(&f_dist.solve(&b), &x_new) < 1e-4);
+    assert!(srsf::linalg::vecops::rel_diff(&xd.unwrap(), &x_new) < 1e-4);
+    assert!(stats.total_msgs() > 0);
 }
