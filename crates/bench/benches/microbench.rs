@@ -3,7 +3,14 @@
 //!
 //! Self-contained harness (`harness = false`): each case is run in a
 //! calibrated loop and reported as median / mean wall time per iteration.
-//! Filter cases by substring: `cargo bench -- fft`.
+//!
+//! Usage: `cargo bench -p srsf-bench -- [FILTER] [--quick] [--json PATH]`
+//!
+//! * `FILTER` — run only cases whose name contains the substring.
+//! * `--quick` — shrink the per-case time budget (CI mode) and skip the
+//!   largest end-to-end cases.
+//! * `--json PATH` — additionally write the results as a `BENCH_*.json`
+//!   file (schema documented in the README "Performance" section).
 
 use srsf_core::{Driver, Solver};
 use srsf_fft::fft::Fft;
@@ -13,39 +20,103 @@ use srsf_kernels::fast_op::FastKernelOp;
 use srsf_kernels::helmholtz::HelmholtzKernel;
 use srsf_kernels::laplace::LaplaceKernel;
 use srsf_kernels::util::random_vector;
-use srsf_linalg::{c64, interp_decomp, LinOp, Mat};
+use srsf_linalg::gemm::matmul;
+use srsf_linalg::triangular::solve_upper_mat;
+use srsf_linalg::{c64, cpqr, householder_qr, interp_decomp, LinOp, Lu, Mat};
 use srsf_special::bessel::{j0, y0};
 use std::time::{Duration, Instant};
 
-/// Run `f` repeatedly for roughly `budget`, after a warmup pass, and print
-/// per-iteration statistics.
-fn bench<R>(filter: &Option<String>, name: &str, mut f: impl FnMut() -> R) {
-    if let Some(pat) = filter {
-        if !name.contains(pat.as_str()) {
-            return;
+/// One measured case, accumulated for the optional JSON report.
+struct CaseRecord {
+    name: String,
+    iters: usize,
+    median_s: f64,
+    mean_s: f64,
+}
+
+/// Harness state: filter, per-case budget, and collected results.
+struct Harness {
+    filter: Option<String>,
+    budget: Duration,
+    quick: bool,
+    results: Vec<CaseRecord>,
+}
+
+impl Harness {
+    /// Run `f` repeatedly for roughly the budget, after a warmup pass, and
+    /// print + record per-iteration statistics.
+    fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if let Some(pat) = &self.filter {
+            if !name.contains(pat.as_str()) {
+                return;
+            }
         }
-    }
-    let budget = Duration::from_millis(500);
-    // Warmup + calibration: how many iterations fit in the budget?
-    let t0 = Instant::now();
-    std::hint::black_box(f());
-    let once = t0.elapsed();
-    let iters = (budget.as_secs_f64() / once.as_secs_f64().max(1e-9)).clamp(1.0, 10_000.0) as usize;
-    let mut samples = Vec::with_capacity(iters);
-    for _ in 0..iters {
-        let t = Instant::now();
+        // Warmup + calibration: how many iterations fit in the budget?
+        let t0 = Instant::now();
         std::hint::black_box(f());
-        samples.push(t.elapsed().as_secs_f64());
+        let once = t0.elapsed();
+        let iters = (self.budget.as_secs_f64() / once.as_secs_f64().max(1e-9)).clamp(1.0, 10_000.0)
+            as usize;
+        let mut samples = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t.elapsed().as_secs_f64());
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{name:<32} {:>12} {:>14} {:>14}",
+            iters,
+            fmt_s(median),
+            fmt_s(mean)
+        );
+        self.results.push(CaseRecord {
+            name: name.to_string(),
+            iters,
+            median_s: median,
+            mean_s: mean,
+        });
     }
-    samples.sort_by(f64::total_cmp);
-    let median = samples[samples.len() / 2];
-    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    println!(
-        "{name:<32} {:>12} {:>14} {:>14}",
-        iters,
-        fmt_s(median),
-        fmt_s(mean)
-    );
+
+    /// Serialize the collected results to the `BENCH_*.json` schema.
+    ///
+    /// Relative paths are resolved against the *workspace* root (cargo
+    /// runs benches with the package directory as cwd), so
+    /// `--json BENCH_pr.json` overwrites the committed baseline in place.
+    fn write_json(&self, path: &str) {
+        let path = if std::path::Path::new(path).is_absolute() {
+            std::path::PathBuf::from(path)
+        } else {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(path)
+        };
+        let path = path.to_string_lossy().into_owned();
+        let path = path.as_str();
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"srsf-microbench/1\",\n");
+        out.push_str(&format!(
+            "  \"mode\": \"{}\",\n",
+            if self.quick { "quick" } else { "full" }
+        ));
+        out.push_str("  \"cases\": [\n");
+        for (i, c) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"iters\": {}, \"median_s\": {:.6e}, \"mean_s\": {:.6e}}}{}\n",
+                c.name,
+                c.iters,
+                c.median_s,
+                c.mean_s,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(path, out).expect("write json report");
+        println!("wrote {path}");
+    }
 }
 
 fn fmt_s(s: f64) -> String {
@@ -58,14 +129,60 @@ fn fmt_s(s: f64) -> String {
     }
 }
 
+/// Deterministic pseudo-random matrix (xorshift entries in [-1, 1)).
+fn random_mat(m: usize, n: usize, seed: u64) -> Mat<f64> {
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    Mat::from_fn(m, n, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 2_000_000) as f64 / 1_000_000.0 - 1.0
+    })
+}
+
+/// Smooth kernel-type matrix with separated clusters — the shape CPQR sees
+/// during skeletonization (fast-decaying singular values, modest rank).
+fn kernel_mat(m: usize, n: usize, sep: f64) -> Mat<f64> {
+    let src: Vec<f64> = (0..n).map(|j| j as f64 / n as f64).collect();
+    let trg: Vec<f64> = (0..m).map(|i| sep + 1.3 * i as f64 / m as f64).collect();
+    Mat::from_fn(m, n, |i, j| 1.0 / (trg[i] - src[j]))
+}
+
 fn main() {
-    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let filter = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with('-')
+                && args
+                    .get(i.wrapping_sub(1))
+                    .map(|p| p != "--json")
+                    .unwrap_or(true)
+        })
+        .map(|(_, a)| a.clone())
+        .next();
+
+    let mut h = Harness {
+        filter,
+        budget: Duration::from_millis(if quick { 120 } else { 500 }),
+        quick,
+        results: Vec::new(),
+    };
     println!(
         "{:<32} {:>12} {:>14} {:>14}",
         "benchmark", "iters", "median", "mean"
     );
 
-    bench(&filter, "bessel/hankel0_sweep", || {
+    h.bench("bessel/hankel0_sweep", || {
         let mut acc = 0.0;
         let mut x = 0.05;
         while x < 60.0 {
@@ -78,10 +195,92 @@ fn main() {
     for n in [256usize, 4096] {
         let plan = Fft::new(n);
         let x: Vec<c64> = (0..n).map(|i| c64::new(i as f64, -(i as f64))).collect();
-        bench(&filter, &format!("fft/forward_{n}"), || {
+        h.bench(&format!("fft/forward_{n}"), || {
             let mut y = x.clone();
             plan.forward(&mut y);
             y
+        });
+    }
+
+    // --- Level-3 dense kernels at solver-representative shapes ------------
+
+    // GEMM at Schur-update shapes: square and low-rank-update rectangles.
+    for (m, k, n) in [
+        (64, 64, 64),
+        (128, 128, 128),
+        (256, 256, 256),
+        (512, 64, 512),
+    ] {
+        let a = random_mat(m, k, 11);
+        let b = random_mat(k, n, 23);
+        h.bench(&format!("gemm/f64_{m}x{k}x{n}"), || matmul(&a, &b));
+    }
+    {
+        let a = Mat::from_fn(128, 128, |i, j| {
+            c64::new((i % 13) as f64 - 6.0, (j % 7) as f64)
+        });
+        let b = Mat::from_fn(128, 128, |i, j| {
+            c64::new((j % 11) as f64, (i % 5) as f64 - 2.0)
+        });
+        h.bench("gemm/c64_128x128x128", || matmul(&a, &b));
+    }
+    {
+        // Retained level-2 reference kernels under identical codegen, so
+        // the report separates the algorithmic gain of blocking from
+        // compiler-flag effects.
+        let a = random_mat(256, 256, 11);
+        let b = random_mat(256, 256, 23);
+        h.bench("gemm/naive_f64_256x256x256", || {
+            let mut c = Mat::zeros(256, 256);
+            srsf_linalg::gemm::matmul_acc_naive(&mut c, 1.0, &a, &b);
+            c
+        });
+    }
+
+    // CPQR at skeletonization shapes: tolerance-truncated on a smooth
+    // kernel matrix (modest rank) and full-rank on a random matrix.
+    {
+        let a = kernel_mat(400, 1024, 1.05);
+        h.bench("cpqr/f64_400x1024_tol", || {
+            cpqr(a.clone(), 1e-9, usize::MAX)
+        });
+        h.bench("cpqr/naive_400x1024_tol", || {
+            srsf_linalg::qr::cpqr_naive(a.clone(), 1e-9, usize::MAX)
+        });
+        let b = random_mat(400, 256, 7);
+        h.bench("cpqr/f64_400x256_full", || cpqr(b.clone(), 0.0, usize::MAX));
+    }
+
+    // Unpivoted QR (the other half of the ID pipeline).
+    {
+        let a = random_mat(400, 256, 31);
+        h.bench("qr/f64_400x256", || householder_qr(a.clone()));
+    }
+
+    // LU + triangular solve at dense-top-block shapes.
+    {
+        let a = random_mat(384, 384, 41);
+        let a = {
+            // Diagonal dominance so the pivoted LU never fails.
+            let mut m = a;
+            for i in 0..384 {
+                m[(i, i)] += 400.0;
+            }
+            m
+        };
+        h.bench("lu/f64_384", || Lu::factor(a.clone()).unwrap());
+        let mut u = Mat::zeros(256, 256);
+        for j in 0..256 {
+            for i in 0..=j {
+                u[(i, j)] =
+                    1.0 + ((i * 31 + j * 17) % 11) as f64 * 0.1 + if i == j { 8.0 } else { 0.0 };
+            }
+        }
+        let rhs = random_mat(256, 256, 51);
+        h.bench("trsm/f64_256x256", || {
+            let mut b = rhs.clone();
+            solve_upper_mat(&u, false, &mut b);
+            b
         });
     }
 
@@ -90,7 +289,7 @@ fn main() {
         let src: Vec<f64> = (0..64).map(|i| i as f64 / 64.0).collect();
         let trg: Vec<f64> = (0..400).map(|i| 3.0 + i as f64 / 400.0).collect();
         let a = Mat::from_fn(400, 64, |i, j| 1.0 / (trg[i] - src[j]));
-        bench(&filter, "id/proxy_shaped_400x64", || {
+        h.bench("id/proxy_shaped_400x64", || {
             interp_decomp(a.clone(), 1e-6, usize::MAX)
         });
     }
@@ -102,30 +301,28 @@ fn main() {
         let pts = grid.points();
         let rows: Vec<usize> = (0..256).collect();
         let cols: Vec<usize> = (1000..1064).collect();
-        bench(&filter, "assembly/laplace_256x64", || {
+        h.bench("assembly/laplace_256x64", || {
             assemble_block(&laplace, &pts, &rows, &cols)
         });
-        bench(&filter, "assembly/helmholtz_256x64", || {
+        h.bench("assembly/helmholtz_256x64", || {
             assemble_block(&helmholtz, &pts, &rows, &cols)
         });
     }
 
-    for side in [32usize, 64] {
+    // End-to-end sequential-driver factorization.
+    let sides: &[usize] = if quick { &[32, 64] } else { &[32, 64, 96] };
+    for &side in sides {
         let grid = UnitGrid::new(side);
         let kernel = LaplaceKernel::new(&grid);
         let pts = grid.points();
-        bench(
-            &filter,
-            &format!("factorize/laplace_{}", side * side),
-            || {
-                Solver::builder(&kernel, &pts)
-                    .tol(1e-6)
-                    .leaf_size(64)
-                    .driver(Driver::Sequential)
-                    .build()
-                    .unwrap()
-            },
-        );
+        h.bench(&format!("factorize/laplace_{}", side * side), || {
+            Solver::builder(&kernel, &pts)
+                .tol(1e-6)
+                .leaf_size(64)
+                .driver(Driver::Sequential)
+                .build()
+                .unwrap()
+        });
     }
 
     {
@@ -138,7 +335,7 @@ fn main() {
             .build()
             .unwrap();
         let b = random_vector::<f64>(grid.n(), 3);
-        bench(&filter, "solve/laplace_4096", || f.solve(&b));
+        h.bench("solve/laplace_4096", || f.solve(&b));
     }
 
     {
@@ -146,6 +343,10 @@ fn main() {
         let kernel = LaplaceKernel::new(&grid);
         let fast = FastKernelOp::laplace(&kernel, &grid);
         let x = random_vector::<f64>(grid.n(), 4);
-        bench(&filter, "fast_matvec/laplace_4096", || fast.apply(&x));
+        h.bench("fast_matvec/laplace_4096", || fast.apply(&x));
+    }
+
+    if let Some(path) = json_path {
+        h.write_json(&path);
     }
 }

@@ -15,7 +15,7 @@ use crate::FactorOpts;
 use srsf_geometry::neighbors::near_field;
 use srsf_geometry::tree::{BoxId, QuadTree};
 use srsf_kernels::kernel::Kernel;
-use srsf_linalg::gemm::{adjoint_matmul, adjoint_matmul_sub, matmul, matmul_sub};
+use srsf_linalg::gemm::{adjoint_matmul_acc, adjoint_matmul_sub, matmul, matmul_sub};
 use srsf_linalg::{Lu, Mat, Scalar};
 
 /// Per-box factorization record: the pieces of `V = L S^* P^T` and
@@ -179,10 +179,9 @@ pub fn eliminate_box<K: Kernel>(
     let mut x_rr = a_rr;
     adjoint_matmul_sub(&mut x_rr, &t, &a_sr); // -= T^H A_SR
     let a_ss_t = matmul(&a_ss, &t);
-    // -= A_RS T  and  += T^H (A_SS T)
+    // -= A_RS T  and  += T^H (A_SS T), accumulated in place.
     matmul_sub(&mut x_rr, &a_rs, &t);
-    let tmp = adjoint_matmul(&t, &a_ss_t);
-    x_rr.axpy(T::<K>::ONE, &tmp);
+    adjoint_matmul_acc(&mut x_rr, T::<K>::ONE, &t, &a_ss_t);
 
     let mut x_sr = a_sr;
     x_sr.axpy(-T::<K>::ONE, &a_ss_t); // X_SR = A_SR - A_SS T

@@ -73,6 +73,12 @@ pub struct FactorOpts {
     /// Coarsest tree level at which compression is applied (paper: 3; the
     /// remaining active DOFs above it are finished with a dense LU).
     pub min_compress_level: usize,
+    /// Worker threads the dense GEMM may use for large products inside the
+    /// *sequential* driver (`1` = serial, the default; `0` = auto-detect).
+    /// The colored and distributed drivers already parallelize across
+    /// boxes/ranks, so their in-rank dense work always stays serial —
+    /// nested GEMM threads would only oversubscribe the cores.
+    pub gemm_threads: usize,
 }
 
 impl Default for FactorOpts {
@@ -84,6 +90,7 @@ impl Default for FactorOpts {
             n_proxy_min: 64,
             proxy_osc_factor: 2.0,
             min_compress_level: 3,
+            gemm_threads: 1,
         }
     }
 }
@@ -127,6 +134,13 @@ impl FactorOpts {
     /// Set the coarsest compressed tree level.
     pub fn with_min_compress_level(mut self, level: usize) -> Self {
         self.min_compress_level = level;
+        self
+    }
+
+    /// Set the GEMM thread budget for the sequential driver's dense
+    /// products (`1` = serial, `0` = auto-detect hardware parallelism).
+    pub fn with_gemm_threads(mut self, threads: usize) -> Self {
+        self.gemm_threads = threads;
         self
     }
 }

@@ -134,7 +134,25 @@ pub fn factorize<K: Kernel>(
 }
 
 /// Factor against a caller-provided tree (shared by drivers and tests).
+///
+/// The sequential driver is the only one that hands the dense kernels a
+/// thread budget (`FactorOpts::gemm_threads`): it owns the whole machine,
+/// whereas the colored/distributed drivers already parallelize across
+/// boxes and ranks. The budget is thread-local and restored on exit, so
+/// it never leaks into callers or sibling drivers.
 pub fn factorize_with_tree<K: Kernel>(
+    kernel: &K,
+    pts: &[Point],
+    tree: &QuadTree,
+    opts: &FactorOpts,
+) -> Result<Factorization<K::Elem>, FactorError> {
+    let prev = srsf_linalg::set_gemm_threads(opts.gemm_threads);
+    let result = factorize_with_tree_inner(kernel, pts, tree, opts);
+    srsf_linalg::set_gemm_threads(prev);
+    result
+}
+
+fn factorize_with_tree_inner<K: Kernel>(
     kernel: &K,
     pts: &[Point],
     tree: &QuadTree,

@@ -35,17 +35,18 @@ pub fn proxy_matrix<K: Kernel>(
     let pts = store.points();
     let kernel = store.kernel();
 
-    // Row blocks from the distance-2 ring, both directions.
-    let mut blocks: Vec<Mat<K::Elem>> = Vec::new();
-    for m in dist2_ring(b) {
-        if act.get(&m).is_empty() {
-            continue;
-        }
-        blocks.push(store.get(&m, b, act));
-        blocks.push(store.get(b, &m, act).adjoint());
-    }
+    // The row count is known before any block is materialized: each
+    // nonempty ring box contributes its active count twice (both
+    // directions) and the proxy circle twice `n_proxy` — so the tall
+    // matrix is allocated once and every block written straight into it,
+    // instead of staging a `Vec<Mat>` and copying each block a second
+    // time during stacking.
+    let ring: Vec<_> = dist2_ring(b)
+        .into_iter()
+        .filter(|m| !act.get(m).is_empty())
+        .collect();
+    let ring_rows: usize = ring.iter().map(|m| act.get(m).len()).sum();
 
-    // Proxy rows for the far field beyond M(B).
     let bb = tree.bbox(b);
     let radius = opts.proxy_radius_factor * bb.side;
     let n_proxy = proxy_count(
@@ -55,20 +56,25 @@ pub fn proxy_matrix<K: Kernel>(
         radius,
     );
     let circle = proxy_circle(bb.center(), radius, n_proxy);
-    blocks.push(Mat::from_fn(n_proxy, nb, |p, j| {
-        kernel.proxy_row(pts, circle[p], a_b[j] as usize)
-    }));
-    blocks.push(Mat::from_fn(n_proxy, nb, |p, j| {
-        kernel.proxy_col(pts, a_b[j] as usize, circle[p]).conj()
-    }));
 
-    // Stack everything.
-    let total_rows: usize = blocks.iter().map(Mat::nrows).sum();
-    let mut out = Mat::zeros(total_rows, nb);
+    let mut out = Mat::zeros(2 * ring_rows + 2 * n_proxy, nb);
     let mut r0 = 0;
-    for blk in &blocks {
-        out.set_block(r0, 0, blk);
+    // Row blocks from the distance-2 ring, both directions.
+    for m in &ring {
+        let blk = store.get(m, b, act);
+        out.set_block(r0, 0, &blk);
         r0 += blk.nrows();
+        let blk_h = store.get(b, m, act).adjoint();
+        out.set_block(r0, 0, &blk_h);
+        r0 += blk_h.nrows();
+    }
+    // Proxy rows for the far field beyond M(B), filled in place.
+    for j in 0..nb {
+        let col = out.col_mut(j);
+        for (p, c) in circle.iter().enumerate() {
+            col[r0 + p] = kernel.proxy_row(pts, *c, a_b[j] as usize);
+            col[r0 + n_proxy + p] = kernel.proxy_col(pts, a_b[j] as usize, *c).conj();
+        }
     }
     out
 }

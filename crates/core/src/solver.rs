@@ -306,6 +306,14 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
         self
     }
 
+    /// GEMM thread budget for the sequential driver's dense products
+    /// (`1` = serial, `0` = auto-detect; ignored by the colored and
+    /// distributed drivers, whose in-rank work is always serial).
+    pub fn gemm_threads(mut self, threads: usize) -> Self {
+        self.opts = self.opts.with_gemm_threads(threads);
+        self
+    }
+
     /// Replace the whole option set at once.
     pub fn opts(mut self, opts: FactorOpts) -> Self {
         self.opts = opts;

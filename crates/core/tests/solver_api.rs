@@ -192,3 +192,43 @@ fn driver_equivalence_on_one_laplace_problem() {
     assert!(dc < 1e3 * tol, "colored vs sequential: {dc:.3e}");
     assert!(dd < 1e3 * tol, "distributed vs sequential: {dd:.3e}");
 }
+
+#[test]
+fn gemm_threads_knob_does_not_change_results() {
+    let grid = UnitGrid::new(32);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    let b = random_vector::<f64>(grid.n(), 5);
+
+    let serial = Solver::builder(&kernel, &pts)
+        .tol(1e-7)
+        .leaf_size(16)
+        .build()
+        .unwrap();
+    // The threaded GEMM splits only over output columns, so per-column
+    // arithmetic is unchanged; a thread budget must not alter the result.
+    let threaded = Solver::builder(&kernel, &pts)
+        .tol(1e-7)
+        .leaf_size(16)
+        .gemm_threads(3)
+        .build()
+        .unwrap();
+    // The budget is restored after the build: no leak into this thread.
+    assert_eq!(srsf_linalg::gemm_threads(), 1);
+
+    let xs = serial.solve(&b);
+    let xt = threaded.solve(&b);
+    assert!(
+        rel_diff(&xt, &xs) < 1e-12,
+        "thread budget changed the result"
+    );
+
+    // `0` (auto-detect) is also accepted.
+    let auto = Solver::builder(&kernel, &pts)
+        .tol(1e-7)
+        .leaf_size(16)
+        .gemm_threads(0)
+        .build()
+        .unwrap();
+    assert!(rel_diff(&auto.solve(&b), &xs) < 1e-12);
+}

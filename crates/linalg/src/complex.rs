@@ -277,6 +277,14 @@ impl Scalar for c64 {
     fn is_finite(self) -> bool {
         self.re.is_finite() && self.im.is_finite()
     }
+    #[inline]
+    fn mul_add(self, b: Self, c: Self) -> Self {
+        // Four real FMAs: re = re*b.re - im*b.im + c.re, analogous for im.
+        Self::new(
+            self.re.mul_add(b.re, self.im.mul_add(-b.im, c.re)),
+            self.re.mul_add(b.im, self.im.mul_add(b.re, c.im)),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -4,7 +4,9 @@
 //! skeletons `S` and redundants `R = J \ S` with an interpolation matrix `T`
 //! such that `A[:, R] ~= A[:, S] * T`. Built directly on the greedy CPQR:
 //! if `A P = Q [R11 R12]`, then `S` are the first `rank` pivots and
-//! `T = R11^{-1} R12`.
+//! `T = R11^{-1} R12`. Both halves ride the level-3 kernels: the CPQR is
+//! blocked with downdated column norms, and the triangular solve for `T`
+//! is the blocked [`solve_upper_mat`].
 
 use crate::mat::Mat;
 use crate::qr::cpqr;

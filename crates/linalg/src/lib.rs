@@ -13,11 +13,13 @@
 //!
 //! Everything is written from scratch: the Rust ecosystem's hierarchical
 //! linear-algebra support is thin, and the approved dependency set for this
-//! reproduction does not include a BLAS binding. The implementations favour
-//! clarity and cache-friendly loops (contiguous column access) over
-//! hand-tuned micro-kernels; at the block sizes appearing in the solver
-//! (tens to a few hundreds) they are well within a small constant of tuned
-//! code.
+//! reproduction does not include a BLAS binding. The hot kernels are
+//! level-3 formulations — a cache-blocked GEMM with packed operand panels
+//! and a register-tiled micro-kernel (plus an opt-in scoped-thread path,
+//! see [`set_gemm_threads`]), compact-WY blocked Householder QR/CPQR with
+//! downdated column norms, a panel-blocked LU, and blocked triangular
+//! solves — each keeping its level-2 predecessor as a `*_naive` /
+//! `*_unblocked` reference oracle for the randomized agreement tests.
 
 pub mod complex;
 pub mod gemm;
@@ -32,6 +34,7 @@ pub mod triangular;
 pub mod vecops;
 
 pub use complex::c64;
+pub use gemm::{gemm_threads, set_gemm_threads};
 pub use id::{interp_decomp, IdResult};
 pub use lu::Lu;
 pub use mat::Mat;

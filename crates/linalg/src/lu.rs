@@ -5,9 +5,15 @@
 //! solve. Row pivoting is essential: the skeletonized diagonal blocks are
 //! well conditioned empirically but carry no structural guarantee.
 
+use crate::gemm::gemm_acc_block;
 use crate::mat::Mat;
 use crate::scalar::Scalar;
-use crate::triangular::{solve_lower_mat, solve_lower_vec, solve_upper_mat, solve_upper_vec};
+use crate::triangular::{
+    solve_lower_mat, solve_lower_mat_unblocked, solve_lower_vec, solve_upper_mat, solve_upper_vec,
+};
+
+/// Panel width of the blocked factorization.
+const NB: usize = 48;
 
 /// Packed LU factors of a square matrix: `P A = L U` with unit-lower `L`
 /// and upper `U` stored in one matrix, plus the pivot row swaps.
@@ -37,7 +43,86 @@ impl std::error::Error for SingularError {}
 
 impl<T: Scalar> Lu<T> {
     /// Factor `a` with partial (row) pivoting.
+    ///
+    /// Panel-blocked right-looking elimination: each `NB`-column panel is
+    /// factored with the level-2 kernel (pivot swaps applied across the
+    /// full matrix), the `U12` block is obtained by a unit-lower
+    /// triangular solve against the panel, and the trailing Schur update
+    /// `A22 -= L21 * U12` rides the cache-blocked GEMM.
     pub fn factor(mut a: Mat<T>) -> Result<Self, SingularError> {
+        let n = a.nrows();
+        assert_eq!(a.ncols(), n, "LU requires a square matrix");
+        if n <= NB {
+            return Self::factor_unblocked(a);
+        }
+        let mut piv = Vec::with_capacity(n);
+        let mut j0 = 0;
+        while j0 < n {
+            let nb = NB.min(n - j0);
+            // Level-2 panel factorization on columns j0..j0+nb.
+            for k in j0..j0 + nb {
+                let col = a.col(k);
+                let mut best = k;
+                let mut best_abs = col[k].abs();
+                for i in (k + 1)..n {
+                    let v = col[i].abs();
+                    if v > best_abs {
+                        best_abs = v;
+                        best = i;
+                    }
+                }
+                if best_abs == 0.0 {
+                    return Err(SingularError { step: k });
+                }
+                piv.push(best);
+                a.swap_rows(k, best);
+                let inv = a[(k, k)].recip();
+                let colk_tail: Vec<T> = {
+                    let colk = a.col_mut(k);
+                    for i in (k + 1)..n {
+                        colk[i] *= inv;
+                    }
+                    colk[k + 1..].to_vec()
+                };
+                // Rank-1 update restricted to the remaining panel columns.
+                for j in (k + 1)..(j0 + nb) {
+                    let akj = a[(k, j)];
+                    if akj == T::ZERO {
+                        continue;
+                    }
+                    let colj = a.col_mut(j);
+                    for (off, lik) in colk_tail.iter().enumerate() {
+                        colj[k + 1 + off] -= *lik * akj;
+                    }
+                }
+            }
+            if j0 + nb < n {
+                // U12 := L11^{-1} A12 (unit lower triangular from the panel).
+                let l11 = a.block(j0, j0, nb, nb);
+                let mut u12 = a.block(j0, j0 + nb, nb, n - j0 - nb);
+                solve_lower_mat_unblocked(&l11, true, &mut u12);
+                a.set_block(j0, j0 + nb, &u12);
+                // Schur update: A22 -= L21 * U12.
+                let l21 = a.block(j0 + nb, j0, n - j0 - nb, nb);
+                gemm_acc_block(
+                    &mut a,
+                    (j0 + nb, j0 + nb, n - j0 - nb, n - j0 - nb),
+                    -T::ONE,
+                    &l21,
+                    (0, 0, n - j0 - nb, nb),
+                    &u12,
+                    (0, 0, nb, n - j0 - nb),
+                );
+            }
+            j0 += nb;
+        }
+        Ok(Self { lu: a, piv })
+    }
+
+    /// Unblocked right-looking reference factorization (test oracle; also
+    /// handles small matrices).
+    #[doc(hidden)]
+    pub fn factor_unblocked(mut a: Mat<T>) -> Result<Self, SingularError> {
         let n = a.nrows();
         assert_eq!(a.ncols(), n, "LU requires a square matrix");
         let mut piv = Vec::with_capacity(n);

@@ -136,13 +136,46 @@ impl<T: Scalar> Mat<T> {
         }
     }
 
-    /// Plain transpose.
+    /// Plain transpose, tiled so both the strided writes and the
+    /// contiguous reads stay within one cache tile at a time.
     pub fn transpose(&self) -> Mat<T> {
-        Mat::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
+        self.transposed(false)
     }
 
     /// Conjugate transpose (adjoint). Equal to [`Mat::transpose`] for reals.
     pub fn adjoint(&self) -> Mat<T> {
+        self.transposed(T::IS_COMPLEX)
+    }
+
+    /// Cache-tiled out-of-place (conjugate) transpose.
+    fn transposed(&self, conj: bool) -> Mat<T> {
+        const TILE: usize = 32;
+        let (m, n) = (self.nrows, self.ncols);
+        let mut out = Mat::zeros(n, m);
+        for jb in (0..n).step_by(TILE) {
+            let jend = (jb + TILE).min(n);
+            for ib in (0..m).step_by(TILE) {
+                let iend = (ib + TILE).min(m);
+                for j in jb..jend {
+                    let src = &self.col(j)[ib..iend];
+                    for (off, &v) in src.iter().enumerate() {
+                        out.data[(ib + off) * n + j] = if conj { v.conj() } else { v };
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Entry-wise reference transpose (test oracle for the tiled path).
+    #[doc(hidden)]
+    pub fn transpose_naive(&self) -> Mat<T> {
+        Mat::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
+    }
+
+    /// Entry-wise reference adjoint (test oracle for the tiled path).
+    #[doc(hidden)]
+    pub fn adjoint_naive(&self) -> Mat<T> {
         Mat::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)].conj())
     }
 

@@ -62,6 +62,12 @@ pub trait Scalar:
     /// `true` unless NaN/inf has crept in.
     fn is_finite(self) -> bool;
 
+    /// Fused multiply-add `self * b + c`, the inner primitive of the GEMM
+    /// micro-kernel. Maps to a hardware FMA where the target has one
+    /// (single rounding); on targets without FMA this is slower than
+    /// `self * b + c`, so only the throughput-bound kernels use it.
+    fn mul_add(self, b: Self, c: Self) -> Self;
+
     /// Multiplicative inverse.
     #[inline]
     fn recip(self) -> Self {
@@ -113,6 +119,10 @@ impl Scalar for f64 {
     #[inline]
     fn is_finite(self) -> bool {
         f64::is_finite(self)
+    }
+    #[inline]
+    fn mul_add(self, b: Self, c: Self) -> Self {
+        f64::mul_add(self, b, c)
     }
 }
 

@@ -5,19 +5,40 @@
 
 use crate::scalar::Scalar;
 
-/// Conjugated dot product `x^H y`.
+/// Conjugated dot product `x^H y`, four-way unrolled to expose ILP (these
+/// reductions sit on the CPQR pivot path).
 pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
     assert_eq!(x.len(), y.len());
-    let mut acc = T::ZERO;
-    for (a, b) in x.iter().zip(y.iter()) {
-        acc += a.conj() * *b;
+    let mut acc = [T::ZERO; 4];
+    let (xc, xr) = x.split_at(x.len() - x.len() % 4);
+    let (yc, yr) = y.split_at(xc.len());
+    for (a, b) in xc.chunks_exact(4).zip(yc.chunks_exact(4)) {
+        for i in 0..4 {
+            acc[i] = a[i].conj().mul_add(b[i], acc[i]);
+        }
     }
-    acc
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for (a, b) in xr.iter().zip(yr.iter()) {
+        s = a.conj().mul_add(*b, s);
+    }
+    s
 }
 
-/// Euclidean norm, accumulated in squared modulus to avoid complex sqrt.
+/// Euclidean norm, accumulated in squared modulus to avoid complex sqrt;
+/// four-way unrolled like [`dot`].
 pub fn nrm2<T: Scalar>(x: &[T]) -> f64 {
-    x.iter().map(|v| v.abs_sq()).sum::<f64>().sqrt()
+    let mut acc = [0.0f64; 4];
+    let (xc, xr) = x.split_at(x.len() - x.len() % 4);
+    for a in xc.chunks_exact(4) {
+        for i in 0..4 {
+            acc[i] += a[i].abs_sq();
+        }
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for a in xr {
+        s += a.abs_sq();
+    }
+    s.sqrt()
 }
 
 /// `y += alpha * x`.

@@ -1,0 +1,371 @@
+//! Randomized oracle tests: every blocked level-3 kernel must agree with
+//! its retained naive/unblocked predecessor to 1e-12 relative error,
+//! across rectangular shapes, degenerate (empty / single-column) edges,
+//! and both `f64` and `c64` scalars.
+
+use srsf_linalg::gemm::{
+    adjoint_matmul, adjoint_matmul_acc_naive, matmul, matmul_acc, matmul_acc_naive, matmul_adjoint,
+    matmul_adjoint_naive,
+};
+use srsf_linalg::norms::{fro_norm, max_abs_diff};
+use srsf_linalg::qr::{
+    cpqr, cpqr_naive, form_q, form_q_naive, householder_qr, householder_qr_naive,
+};
+use srsf_linalg::triangular::{
+    solve_lower_mat, solve_lower_mat_unblocked, solve_lower_right_mat,
+    solve_lower_right_mat_unblocked, solve_upper_mat, solve_upper_mat_unblocked,
+    solve_upper_right_mat, solve_upper_right_mat_unblocked,
+};
+use srsf_linalg::{c64, Lu, Mat, Scalar};
+
+const TOL: f64 = 1e-12;
+
+/// Deterministic xorshift stream.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407))
+    }
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 % 2_000_000) as f64 / 1_000_000.0 - 1.0
+    }
+}
+
+trait TestScalar: Scalar {
+    fn rand(rng: &mut Rng) -> Self;
+}
+
+impl TestScalar for f64 {
+    fn rand(rng: &mut Rng) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl TestScalar for c64 {
+    fn rand(rng: &mut Rng) -> Self {
+        c64::new(rng.next_f64(), rng.next_f64())
+    }
+}
+
+fn rand_mat<T: TestScalar>(m: usize, n: usize, rng: &mut Rng) -> Mat<T> {
+    Mat::from_fn(m, n, |_, _| T::rand(rng))
+}
+
+fn assert_close<T: Scalar>(got: &Mat<T>, want: &Mat<T>, what: &str) {
+    let scale = fro_norm(want).max(1.0);
+    let err = max_abs_diff(got, want);
+    assert!(
+        err <= TOL * scale,
+        "{what}: {err:.3e} vs scale {scale:.3e} ({}x{})",
+        want.nrows(),
+        want.ncols()
+    );
+}
+
+/// Shapes spanning small (naive path), large (blocked path), ragged
+/// micro-tile edges, and degenerate cases.
+const GEMM_SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (5, 3, 7),
+    (17, 33, 9),
+    (64, 64, 64),
+    (97, 103, 67),
+    (130, 260, 41),
+    (200, 17, 200),
+    (0, 4, 3),
+    (4, 0, 3),
+    (4, 3, 0),
+    (128, 1, 128),
+];
+
+fn gemm_oracle<T: TestScalar>(seed: u64) {
+    for (i, &(m, k, n)) in GEMM_SHAPES.iter().enumerate() {
+        let mut rng = Rng::new(seed + i as u64);
+        let a = rand_mat::<T>(m, k, &mut rng);
+        let b = rand_mat::<T>(k, n, &mut rng);
+        let c0 = rand_mat::<T>(m, n, &mut rng);
+        let alpha = T::from_re_im(0.7, -0.3);
+        let mut c = c0.clone();
+        matmul_acc(&mut c, alpha, &a, &b);
+        let mut c_ref = c0.clone();
+        matmul_acc_naive(&mut c_ref, alpha, &a, &b);
+        assert_close(&c, &c_ref, "matmul_acc");
+
+        // Adjoint forms (left and right).
+        let at = rand_mat::<T>(k, m, &mut rng);
+        let got = adjoint_matmul(&at, &b);
+        let mut want = Mat::zeros(m, n);
+        adjoint_matmul_acc_naive(&mut want, T::ONE, &at, &b);
+        assert_close(&got, &want, "adjoint_matmul");
+
+        let bh = rand_mat::<T>(n, k, &mut rng);
+        let got = matmul_adjoint(&a, &bh);
+        let want = matmul_adjoint_naive(&a, &bh);
+        assert_close(&got, &want, "matmul_adjoint");
+    }
+}
+
+#[test]
+fn gemm_blocked_matches_naive_f64() {
+    gemm_oracle::<f64>(1);
+}
+
+#[test]
+fn gemm_blocked_matches_naive_c64() {
+    gemm_oracle::<c64>(2);
+}
+
+#[test]
+fn transpose_tiled_matches_naive() {
+    for (i, &(m, n)) in [(0usize, 5usize), (1, 1), (33, 65), (100, 7), (70, 129)]
+        .iter()
+        .enumerate()
+    {
+        let mut rng = Rng::new(77 + i as u64);
+        let a = rand_mat::<c64>(m, n, &mut rng);
+        assert_eq!(a.transpose(), a.transpose_naive());
+        assert_eq!(a.adjoint(), a.adjoint_naive());
+        let b = rand_mat::<f64>(n, m, &mut rng);
+        assert_eq!(b.transpose(), b.transpose_naive());
+        assert_eq!(b.adjoint(), b.adjoint_naive());
+    }
+}
+
+fn qr_oracle<T: TestScalar>(seed: u64) {
+    for (i, &(m, n)) in [
+        (1usize, 1usize),
+        (10, 4),
+        (4, 10),
+        (50, 50),
+        (90, 70),
+        (64, 100),
+        (130, 40),
+        (5, 0),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let mut rng = Rng::new(seed + i as u64);
+        let a = rand_mat::<T>(m, n, &mut rng);
+        let (f_b, tau_b) = householder_qr(a.clone());
+        let (f_n, tau_n) = householder_qr_naive(a.clone());
+        assert_close(&f_b, &f_n, "householder_qr factors");
+        for (tb, tn) in tau_b.iter().zip(tau_n.iter()) {
+            assert!((*tb - *tn).abs() < TOL * 10.0, "tau mismatch");
+        }
+        let k = m.min(n);
+        let q_b = form_q(&f_b, &tau_b, k);
+        let q_n = form_q_naive(&f_n, &tau_n, k);
+        assert_close(&q_b, &q_n, "form_q");
+    }
+}
+
+#[test]
+fn qr_blocked_matches_naive_f64() {
+    qr_oracle::<f64>(3);
+}
+
+#[test]
+fn qr_blocked_matches_naive_c64() {
+    qr_oracle::<c64>(4);
+}
+
+fn cpqr_oracle<T: TestScalar>(seed: u64) {
+    for (i, &(m, n)) in [(20usize, 12usize), (60, 90), (90, 60), (80, 80)]
+        .iter()
+        .enumerate()
+    {
+        let mut rng = Rng::new(seed + i as u64);
+        // Distinct, well-separated column norms make the pivot sequence
+        // unambiguous for both norm strategies.
+        let mut a = rand_mat::<T>(m, n, &mut rng);
+        for j in 0..n {
+            let s = T::from_f64(1.0 + (n - j) as f64);
+            for v in a.col_mut(j) {
+                *v *= s;
+            }
+        }
+        let c_b = cpqr(a.clone(), 1e-13, usize::MAX);
+        let c_n = cpqr_naive(a.clone(), 1e-13, usize::MAX);
+        assert_eq!(c_b.rank, c_n.rank, "rank mismatch {m}x{n}");
+        assert_eq!(c_b.jpvt, c_n.jpvt, "pivot mismatch {m}x{n}");
+        // Compare the R factor on the factored rows.
+        let k = c_b.rank;
+        let r_b = Mat::from_fn(
+            k,
+            n,
+            |i, j| if i <= j { c_b.factors[(i, j)] } else { T::ZERO },
+        );
+        let r_n = Mat::from_fn(
+            k,
+            n,
+            |i, j| if i <= j { c_n.factors[(i, j)] } else { T::ZERO },
+        );
+        assert_close(&r_b, &r_n, "cpqr R");
+        // Both must reconstruct the permuted input.
+        let q = form_q(&c_b.factors, &c_b.tau, k);
+        let qr = matmul(&q, &r_b);
+        let ap = Mat::from_fn(m, n, |i, j| a[(i, c_b.jpvt[j])]);
+        let scale = fro_norm(&a).max(1.0);
+        let err = max_abs_diff(&qr, &ap);
+        assert!(err <= 1e-11 * scale, "cpqr reconstruction {err:.3e}");
+    }
+}
+
+#[test]
+fn cpqr_blocked_matches_naive_f64() {
+    cpqr_oracle::<f64>(5);
+}
+
+#[test]
+fn cpqr_blocked_matches_naive_c64() {
+    cpqr_oracle::<c64>(6);
+}
+
+/// Near-identical columns collapse every partial norm by ~1e8 after one
+/// reflector — the downdating-cancellation regime. The blocked CPQR must
+/// stay a valid factorization (the pivot *order* may legitimately differ
+/// from the exact-renorm oracle in this regime, the error bound may not).
+#[test]
+fn cpqr_cancellation_stress_both_scalars() {
+    fn run<T: TestScalar>(seed: u64) {
+        let (m, n) = (70, 50);
+        let mut rng = Rng::new(seed);
+        let base: Vec<T> = (0..m).map(|_| T::rand(&mut rng)).collect();
+        let a = Mat::from_fn(m, n, |i, _| base[i] + T::rand(&mut rng).scale(1e-8));
+        let c = cpqr(a.clone(), 1e-14, usize::MAX);
+        let k = c.rank;
+        assert!(k >= 2, "perturbations are independent; rank must exceed 1");
+        let q = form_q(&c.factors, &c.tau, k);
+        let qtq = adjoint_matmul(&q, &q);
+        assert!(
+            max_abs_diff(&qtq, &Mat::identity(k)) < 1e-9,
+            "Q lost orthonormality"
+        );
+        let r = Mat::from_fn(
+            k,
+            n,
+            |i, j| if i <= j { c.factors[(i, j)] } else { T::ZERO },
+        );
+        let qr = matmul(&q, &r);
+        let ap = Mat::from_fn(m, n, |i, j| a[(i, c.jpvt[j])]);
+        assert!(max_abs_diff(&qr, &ap) < 1e-9 * fro_norm(&a).max(1.0));
+    }
+    run::<f64>(7);
+    run::<c64>(8);
+}
+
+fn lu_oracle<T: TestScalar>(seed: u64) {
+    for (i, &n) in [1usize, 7, 48, 49, 100, 150].iter().enumerate() {
+        let mut rng = Rng::new(seed + i as u64);
+        let mut a = rand_mat::<T>(n, n, &mut rng);
+        for d in 0..n {
+            a[(d, d)] += T::from_f64(n as f64); // diagonally dominant
+        }
+        let lu_b = Lu::factor(a.clone()).expect("blocked LU");
+        let lu_n = Lu::factor_unblocked(a.clone()).expect("unblocked LU");
+        assert_eq!(lu_b.piv, lu_n.piv, "pivot mismatch n={n}");
+        assert_close(&lu_b.lu, &lu_n.lu, "LU factors");
+    }
+}
+
+#[test]
+fn lu_blocked_matches_unblocked_f64() {
+    lu_oracle::<f64>(9);
+}
+
+#[test]
+fn lu_blocked_matches_unblocked_c64() {
+    lu_oracle::<c64>(10);
+}
+
+fn triangular_oracle<T: TestScalar>(seed: u64) {
+    for (i, &(n, nrhs)) in [(1usize, 1usize), (40, 7), (65, 64), (150, 33), (150, 0)]
+        .iter()
+        .enumerate()
+    {
+        let mut rng = Rng::new(seed + i as u64);
+        let mut l = Mat::<T>::zeros(n, n);
+        for j in 0..n {
+            for r in j..n {
+                l[(r, j)] = T::rand(&mut rng).scale(0.5);
+            }
+            l[(j, j)] = T::from_f64(2.0 + j as f64 * 0.01);
+        }
+        let u = l.adjoint();
+        let b0 = rand_mat::<T>(n, nrhs, &mut rng);
+        let r0 = rand_mat::<T>(nrhs, n, &mut rng);
+        for unit in [false, true] {
+            let mut x = b0.clone();
+            let mut x_ref = b0.clone();
+            solve_lower_mat(&l, unit, &mut x);
+            solve_lower_mat_unblocked(&l, unit, &mut x_ref);
+            assert_close(&x, &x_ref, "solve_lower_mat");
+
+            let mut y = b0.clone();
+            let mut y_ref = b0.clone();
+            solve_upper_mat(&u, unit, &mut y);
+            solve_upper_mat_unblocked(&u, unit, &mut y_ref);
+            assert_close(&y, &y_ref, "solve_upper_mat");
+
+            let mut w = r0.clone();
+            let mut w_ref = r0.clone();
+            solve_upper_right_mat(&mut w, &u, unit);
+            solve_upper_right_mat_unblocked(&mut w_ref, &u, unit);
+            assert_close(&w, &w_ref, "solve_upper_right_mat");
+
+            let mut z = r0.clone();
+            let mut z_ref = r0.clone();
+            solve_lower_right_mat(&mut z, &l, unit);
+            solve_lower_right_mat_unblocked(&mut z_ref, &l, unit);
+            assert_close(&z, &z_ref, "solve_lower_right_mat");
+        }
+    }
+}
+
+#[test]
+fn triangular_blocked_matches_unblocked_f64() {
+    triangular_oracle::<f64>(11);
+}
+
+#[test]
+fn triangular_blocked_matches_unblocked_c64() {
+    triangular_oracle::<c64>(12);
+}
+
+/// On tolerance-truncated factorizations the trailing block of `factors`
+/// must be the true residual under the returned permutation — the same
+/// contract as the exact-renorm oracle (pivot order within the redundant
+/// set may differ, so compare the permutation-invariant residual norm).
+#[test]
+fn cpqr_truncated_residual_matches_naive() {
+    let (m, n) = (120, 200);
+    // Fast-decaying kernel-type matrix: truncates well below min(m, n).
+    let src: Vec<f64> = (0..n).map(|j| j as f64 / n as f64).collect();
+    let trg: Vec<f64> = (0..m).map(|i| 1.4 + i as f64 / m as f64).collect();
+    let a = Mat::from_fn(m, n, |i, j| 1.0 / (trg[i] - src[j]));
+    let c_b = cpqr(a.clone(), 1e-8, usize::MAX);
+    let c_n = cpqr_naive(a.clone(), 1e-8, usize::MAX);
+    assert_eq!(c_b.rank, c_n.rank);
+    let k = c_b.rank;
+    assert!(
+        k < m.min(n),
+        "test needs an actually truncated factorization"
+    );
+    let res_b = c_b.factors.block(k, k, m - k, n - k);
+    let res_n = c_n.factors.block(k, k, m - k, n - k);
+    let (nb, nn) = (fro_norm(&res_b), fro_norm(&res_n));
+    // The residual sits at the factorization's noise floor, so the two
+    // arithmetic orders agree to ~single-precision there — while stale
+    // (missing-update) data would be wrong by orders of magnitude.
+    assert!(
+        (nb - nn).abs() <= 1e-5 * nn.max(1e-300),
+        "residual norms differ: blocked {nb:.6e} vs naive {nn:.6e}"
+    );
+}
