@@ -1,0 +1,117 @@
+//! Print seed-vs-PR microbench ratios so regressions are visible in the
+//! CI job log.
+//!
+//! ```sh
+//! cargo run --release -p srsf-bench --bin bench-diff -- BENCH_seed.json BENCH_pr.json
+//! ```
+//!
+//! Reads two `srsf-microbench/1` reports (see the README "Performance"
+//! section for the schema) and prints, per case, the baseline and current
+//! median times and the speedup `baseline / current` (>1 is faster).
+//! Cases present in only one file are listed as `new` / `dropped` rather
+//! than silently skipped. The parser is deliberately tiny — the schema
+//! writes one case per line — so the bin adds no dependencies.
+
+use std::process::ExitCode;
+
+/// `(name, median_s)` pairs scraped from a `BENCH_*.json` report.
+fn parse_cases(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name) = field_str(line, "\"name\": \"") else {
+            continue;
+        };
+        let Some(median) = field_f64(line, "\"median_s\": ") else {
+            return Err(format!("{path}: case {name:?} has no median_s"));
+        };
+        out.push((name, median));
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no cases found — not a microbench report?"));
+    }
+    Ok(out)
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let end = line[start..]
+        .find([',', '}'])
+        .map(|i| i + start)
+        .unwrap_or(line.len());
+    line[start..end].trim().parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (base_path, cur_path) = match args.as_slice() {
+        [] => ("BENCH_seed.json".to_string(), "BENCH_pr.json".to_string()),
+        [b, c] => (b.clone(), c.clone()),
+        _ => {
+            eprintln!("usage: bench-diff [BASELINE.json CURRENT.json]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (base, cur) = match (parse_cases(&base_path), parse_cases(&cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench-diff: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{:<36} {:>14} {:>14} {:>9}",
+        "case", "baseline", "current", "speedup"
+    );
+    for (name, cur_median) in &cur {
+        match base.iter().find(|(n, _)| n == name) {
+            Some((_, base_median)) => {
+                let speedup = base_median / cur_median;
+                println!(
+                    "{name:<36} {:>14} {:>14} {:>8.2}x",
+                    fmt_s(*base_median),
+                    fmt_s(*cur_median),
+                    speedup
+                );
+            }
+            None => {
+                println!(
+                    "{name:<36} {:>14} {:>14} {:>9}",
+                    "-",
+                    fmt_s(*cur_median),
+                    "new"
+                );
+            }
+        }
+    }
+    for (name, base_median) in &base {
+        if !cur.iter().any(|(n, _)| n == name) {
+            println!(
+                "{name:<36} {:>14} {:>14} {:>9}",
+                fmt_s(*base_median),
+                "-",
+                "dropped"
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn fmt_s(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} us", s * 1e6)
+    }
+}

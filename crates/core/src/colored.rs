@@ -28,6 +28,8 @@ use srsf_geometry::point::Point;
 pub use srsf_geometry::procgrid::BoxColoring as ColorScheme;
 use srsf_geometry::tree::{BoxId, QuadTree};
 use srsf_kernels::kernel::Kernel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Factor with the box-colored parallel schedule using `n_threads` worker
@@ -86,7 +88,10 @@ pub(crate) fn colored_factorize_with_tree<K: Kernel>(
                         stats.add_rank(level, rec.skel.len());
                     }
                     apply_output(&mut store, &mut act, b, &out);
-                    if let Some(rec) = out.record {
+                    if let Some(mut rec) = out.record {
+                        // Restamp with this driver's schedule color so the
+                        // threaded solve apply sees whole color rounds.
+                        rec.color = scheme.color(b);
                         records.push(rec);
                     }
                 }
@@ -105,8 +110,7 @@ pub(crate) fn colored_factorize_with_tree<K: Kernel>(
 
     let t2 = Instant::now();
     let top_level = if leaf >= lmin { lmin } else { leaf };
-    let (top_idx, top_lu) = factor_top(&store, &act, tree, top_level)
-        .map_err(|box_id| FactorError::SingularDiagonal { box_id })?;
+    let (top_idx, top_lu) = factor_top(&store, &act, tree, top_level)?;
     stats.top_s = t2.elapsed().as_secs_f64();
     stats.total_s = t_total.elapsed().as_secs_f64();
     Ok(Factorization::from_parts(
@@ -116,6 +120,11 @@ pub(crate) fn colored_factorize_with_tree<K: Kernel>(
 
 /// Snapshot-compute the eliminations of one color round across threads,
 /// preserving the input box order in the output.
+///
+/// Boxes are handed out through a shared atomic index (pull
+/// work-stealing) rather than fixed chunks: per-box cost tracks the
+/// skeleton rank, which varies widely across a level, and static chunking
+/// left threads idle at the tail of every round.
 fn eliminate_color_round<K: Kernel>(
     store: &BlockStore<'_, K>,
     act: &ActiveSets,
@@ -130,31 +139,22 @@ fn eliminate_color_round<K: Kernel>(
             .map(|b| eliminate_box(store, act, tree, b, opts))
             .collect();
     }
-    let n_threads = n_threads.min(boxes.len());
-    let chunk = boxes.len().div_ceil(n_threads);
-    let mut slots: Vec<Option<Result<EliminationOutput<K::Elem>, FactorError>>> =
-        (0..boxes.len()).map(|_| None).collect();
+    let slots: Vec<OnceLock<Result<EliminationOutput<K::Elem>, FactorError>>> =
+        (0..boxes.len()).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        let mut rest = slots.as_mut_slice();
-        let mut start = 0;
-        for _ in 0..n_threads {
-            let take = chunk.min(rest.len());
-            if take == 0 {
-                break;
-            }
-            let (head, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let boxes_chunk = &boxes[start..start + take];
-            start += take;
-            scope.spawn(move || {
-                for (slot, b) in head.iter_mut().zip(boxes_chunk.iter()) {
-                    *slot = Some(eliminate_box(store, act, tree, b, opts));
+        for _ in 0..n_threads.min(boxes.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= boxes.len() {
+                    break;
                 }
+                let _ = slots[i].set(eliminate_box(store, act, tree, &boxes[i], opts));
             });
         }
     });
     slots
         .into_iter()
-        .map(|s| s.expect("missing elimination output"))
+        .map(|s| s.into_inner().expect("missing elimination output"))
         .collect()
 }

@@ -196,6 +196,8 @@ fn decode_and_apply_update<K: Kernel>(
 fn encode_record<T: Scalar>(w: &mut ByteWriter, key: u64, rec: &BoxElimination<T>) {
     w.put_u64(key);
     put_box(w, &rec.box_id);
+    // (level, color) scheduling stamp for the threaded solve apply.
+    w.put_u64(((rec.level as u64) << 8) | rec.color as u64);
     put_ids(w, &rec.redundant);
     put_ids(w, &rec.skel);
     put_ids(w, &rec.nbr);
@@ -211,6 +213,7 @@ fn encode_record<T: Scalar>(w: &mut ByteWriter, key: u64, rec: &BoxElimination<T
 fn decode_record<T: Scalar>(r: &mut ByteReader) -> (u64, BoxElimination<T>) {
     let key = r.get_u64();
     let box_id = get_box(r);
+    let stamp = r.get_u64();
     let redundant = get_ids(r);
     let skel = get_ids(r);
     let nbr = get_ids(r);
@@ -221,6 +224,8 @@ fn decode_record<T: Scalar>(r: &mut ByteReader) -> (u64, BoxElimination<T>) {
         key,
         BoxElimination {
             box_id,
+            level: (stamp >> 8) as u8,
+            color: (stamp & 0xFF) as u8,
             redundant,
             skel,
             nbr,
@@ -761,8 +766,7 @@ fn gather_top<K: Kernel>(
             store.insert(a, b, m);
         }
     }
-    let (top_idx, top_lu) = factor_top(store, act, tree, top_level)
-        .map_err(|box_id| FactorError::SingularDiagonal { box_id })?;
+    let (top_idx, top_lu) = factor_top(store, act, tree, top_level)?;
     Ok(Some((top_idx, top_lu)))
 }
 

@@ -13,6 +13,7 @@ use crate::skeletonize::skeletonize;
 use crate::store::{ActiveSets, BlockStore};
 use crate::FactorOpts;
 use srsf_geometry::neighbors::near_field;
+use srsf_geometry::procgrid::BoxColoring;
 use srsf_geometry::tree::{BoxId, QuadTree};
 use srsf_kernels::kernel::Kernel;
 use srsf_linalg::gemm::{adjoint_matmul_acc, adjoint_matmul_sub, matmul, matmul_sub};
@@ -24,6 +25,15 @@ use srsf_linalg::{Lu, Mat, Scalar};
 pub struct BoxElimination<T> {
     /// The eliminated box.
     pub box_id: BoxId,
+    /// Tree level of the box, stamped for the solve-phase scheduler.
+    pub level: u8,
+    /// Schedule color stamped at factorization time: the paper's
+    /// geometric four-coloring by default, restamped by the colored
+    /// driver with its own scheme. Contiguous same-`(level, color)` runs
+    /// of records are what the threaded apply processes concurrently —
+    /// same-color boxes sit at box distance >= 2, so their records read
+    /// disjoint entries and overlap only in additive neighbor updates.
+    pub color: u8,
     /// Global point ids of the redundant DOFs (eliminated here).
     pub redundant: Vec<u32>,
     /// Global point ids of the skeleton DOFs (stay active).
@@ -74,12 +84,22 @@ pub struct EliminationOutput<T> {
 
 /// Errors the factorization can raise.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum FactorError {
     /// A sparsified diagonal block was singular — the compression
     /// tolerance is too loose for this kernel/geometry.
     SingularDiagonal {
         /// The box whose `X_RR` failed to factor.
         box_id: BoxId,
+    },
+    /// The dense top block was singular — the DOFs surviving above the
+    /// compression levels form a rank-deficient system, independent of
+    /// any particular box.
+    SingularTop {
+        /// Dimension of the dense top block.
+        size: usize,
+        /// Elimination step at which the pivoted LU broke down.
+        step: usize,
     },
 }
 
@@ -88,6 +108,12 @@ impl core::fmt::Display for FactorError {
         match self {
             FactorError::SingularDiagonal { box_id } => {
                 write!(f, "singular sparsified diagonal block at {box_id:?}")
+            }
+            FactorError::SingularTop { size, step } => {
+                write!(
+                    f,
+                    "singular dense top block ({size} x {size}, pivot breakdown at step {step})"
+                )
             }
         }
     }
@@ -253,6 +279,8 @@ pub fn eliminate_box<K: Kernel>(
 
     let record = BoxElimination {
         box_id: *b,
+        level: b.level,
+        color: BoxColoring::Four.color(b),
         redundant: red_positions.iter().map(|&p| a_b[p]).collect(),
         skel: skel_positions.iter().map(|&p| a_b[p]).collect(),
         nbr: nbrs

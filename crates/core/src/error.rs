@@ -53,6 +53,16 @@ pub enum SrsfError {
         /// The box whose `X_RR` failed to factor.
         box_id: BoxId,
     },
+    /// The dense top block was singular: the DOFs surviving above the
+    /// compression levels form a rank-deficient system. Unlike
+    /// [`SrsfError::SingularDiagonal`] this is a property of the whole
+    /// remaining active set, not of any particular box.
+    SingularTop {
+        /// Dimension of the dense top block.
+        size: usize,
+        /// Elimination step at which the pivoted LU broke down.
+        step: usize,
+    },
 }
 
 impl core::fmt::Display for SrsfError {
@@ -83,6 +93,12 @@ impl core::fmt::Display for SrsfError {
             SrsfError::SingularDiagonal { box_id } => {
                 write!(f, "singular sparsified diagonal block at {box_id:?}")
             }
+            SrsfError::SingularTop { size, step } => {
+                write!(
+                    f,
+                    "singular dense top block ({size} x {size}, pivot breakdown at step {step})"
+                )
+            }
         }
     }
 }
@@ -93,6 +109,7 @@ impl From<FactorError> for SrsfError {
     fn from(e: FactorError) -> Self {
         match e {
             FactorError::SingularDiagonal { box_id } => SrsfError::SingularDiagonal { box_id },
+            FactorError::SingularTop { size, step } => SrsfError::SingularTop { size, step },
         }
     }
 }

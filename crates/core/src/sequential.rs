@@ -50,6 +50,37 @@ impl<T: Scalar> Factorization<T> {
         x
     }
 
+    /// Apply the approximate inverse to an `n x nrhs` block of right-hand
+    /// sides in place: `B := A^{-1} B`, one GEMM-driven sweep over the
+    /// records instead of `nrhs` vector sweeps.
+    pub fn apply_inverse_mat(&self, b: &mut Mat<T>) {
+        solve::apply_inverse_mat(self, b);
+    }
+
+    /// Solve `A X = B` for every column of `b` at once.
+    pub fn solve_mat(&self, b: &Mat<T>) -> Mat<T> {
+        let mut x = b.clone();
+        self.apply_inverse_mat(&mut x);
+        x
+    }
+
+    /// Blocked apply scheduled over `n_threads` workers by the records'
+    /// `(level, color)` stamps; bit-identical to
+    /// [`Factorization::apply_inverse_mat`] for any thread count. Runs of
+    /// same-color records (whole rounds for a colored-driver
+    /// factorization) compute concurrently and merge in record order.
+    pub fn apply_inverse_mat_threaded(&self, b: &mut Mat<T>, n_threads: usize) {
+        solve::apply_inverse_mat_threaded(self, b, n_threads);
+    }
+
+    /// Threaded single-batch apply of one right-hand side vector; see
+    /// [`Factorization::apply_inverse_mat_threaded`].
+    pub fn apply_inverse_threaded(&self, b: &mut [T], n_threads: usize) {
+        let mut m = Mat::from_vec(b.len(), 1, b.to_vec());
+        solve::apply_inverse_mat_threaded(self, &mut m, n_threads);
+        b.copy_from_slice(m.as_slice());
+    }
+
     /// Factorization statistics (ranks per level, timings, memory).
     pub fn stats(&self) -> &FactorStats {
         &self.stats
@@ -199,8 +230,7 @@ fn factorize_with_tree_inner<K: Kernel>(
     // Dense top factorization over the remaining active DOFs.
     let t2 = Instant::now();
     let top_level = if leaf >= lmin { lmin } else { leaf };
-    let (top_idx, top_lu) = factor_top(&store, &act, tree, top_level)
-        .map_err(|box_id| FactorError::SingularDiagonal { box_id })?;
+    let (top_idx, top_lu) = factor_top(&store, &act, tree, top_level)?;
     stats.top_s = t2.elapsed().as_secs_f64();
     stats.total_s = t_total.elapsed().as_secs_f64();
 
@@ -210,13 +240,15 @@ fn factorize_with_tree_inner<K: Kernel>(
 }
 
 /// Assemble and LU-factor the dense top block over all boxes at
-/// `top_level`, in row-major box order.
+/// `top_level`, in row-major box order. A pivot breakdown is reported as
+/// [`FactorError::SingularTop`] — the top system is a property of the
+/// whole remaining active set, not of any one box.
 pub(crate) fn factor_top<K: Kernel>(
     store: &BlockStore<'_, K>,
     act: &ActiveSets,
     tree: &QuadTree,
     top_level: u8,
-) -> Result<(Vec<u32>, Lu<K::Elem>), BoxId> {
+) -> Result<(Vec<u32>, Lu<K::Elem>), FactorError> {
     let boxes: Vec<BoxId> = tree.boxes_at_level(top_level).collect();
     let sizes: Vec<usize> = boxes.iter().map(|b| act.get(b).len()).collect();
     let total: usize = sizes.iter().sum();
@@ -241,6 +273,9 @@ pub(crate) fn factor_top<K: Kernel>(
         }
         r0 += sizes[i];
     }
-    let lu = Lu::factor(a).map_err(|_| boxes[0])?;
+    let lu = Lu::factor(a).map_err(|e| FactorError::SingularTop {
+        size: total,
+        step: e.step,
+    })?;
     Ok((top_idx, lu))
 }

@@ -38,7 +38,7 @@ use srsf_geometry::point::Point;
 use srsf_geometry::procgrid::{BoxColoring, ProcessGrid};
 use srsf_geometry::tree::QuadTree;
 use srsf_kernels::kernel::Kernel;
-use srsf_linalg::{LinOp, Scalar};
+use srsf_linalg::{LinOp, Mat, Scalar};
 use srsf_runtime::WorldStats;
 
 /// Execution strategy for the factorization.
@@ -111,6 +111,27 @@ pub trait Factorized<T: Scalar>: Sync {
         x
     }
 
+    /// Apply the approximate inverse to every column of an `n x nrhs`
+    /// block in place: `B := A^{-1} B`.
+    ///
+    /// The default forwards column-by-column through
+    /// [`Factorized::apply_inverse`]; implementations with a level-3
+    /// solve path (notably [`crate::Factorization`]) override it with one
+    /// GEMM-driven sweep that amortizes the record traffic over all
+    /// columns.
+    fn apply_inverse_mat(&self, b: &mut Mat<T>) {
+        for j in 0..b.ncols() {
+            self.apply_inverse(b.col_mut(j));
+        }
+    }
+
+    /// Solve `A X = B` for every column of `b` at once.
+    fn solve_mat(&self, b: &Mat<T>) -> Mat<T> {
+        let mut x = b.clone();
+        self.apply_inverse_mat(&mut x);
+        x
+    }
+
     /// Factorization statistics (ranks per level, timings, memory).
     fn stats(&self) -> &FactorStats;
 
@@ -124,6 +145,9 @@ impl<T: Scalar> Factorized<T> for Factorization<T> {
     }
     fn apply_inverse(&self, b: &mut [T]) {
         Factorization::apply_inverse(self, b);
+    }
+    fn apply_inverse_mat(&self, b: &mut Mat<T>) {
+        Factorization::apply_inverse_mat(self, b);
     }
     fn stats(&self) -> &FactorStats {
         Factorization::stats(self)
@@ -174,6 +198,32 @@ impl<T: Scalar> Solver<T> {
     /// Apply the approximate inverse in place: `b := A^{-1} b`.
     pub fn apply_inverse(&self, b: &mut [T]) {
         self.fact.apply_inverse(b);
+    }
+
+    /// Solve `A X = B` for every column of `b` at once (one blocked
+    /// sweep over the records instead of `nrhs` vector sweeps).
+    pub fn solve_mat(&self, b: &Mat<T>) -> Mat<T> {
+        self.fact.solve_mat(b)
+    }
+
+    /// Apply the approximate inverse to an `n x nrhs` block in place.
+    pub fn apply_inverse_mat(&self, b: &mut Mat<T>) {
+        self.fact.apply_inverse_mat(b);
+    }
+
+    /// Blocked apply scheduled over `n_threads` workers by the records'
+    /// `(level, color)` stamps; bit-identical to
+    /// [`Solver::apply_inverse_mat`] for any thread count. Whole color
+    /// rounds run concurrently when the factorization came from the
+    /// colored driver.
+    pub fn apply_inverse_mat_threaded(&self, b: &mut Mat<T>, n_threads: usize) {
+        self.fact.apply_inverse_mat_threaded(b, n_threads);
+    }
+
+    /// Threaded apply of one right-hand side vector; see
+    /// [`Solver::apply_inverse_mat_threaded`].
+    pub fn apply_inverse_threaded(&self, b: &mut [T], n_threads: usize) {
+        self.fact.apply_inverse_threaded(b, n_threads);
     }
 
     /// Factorization statistics (ranks per level, timings, memory).
@@ -234,6 +284,9 @@ impl<T: Scalar> Factorized<T> for Solver<T> {
     }
     fn apply_inverse(&self, b: &mut [T]) {
         Solver::apply_inverse(self, b);
+    }
+    fn apply_inverse_mat(&self, b: &mut Mat<T>) {
+        Solver::apply_inverse_mat(self, b);
     }
     fn stats(&self) -> &FactorStats {
         Solver::stats(self)

@@ -212,6 +212,49 @@ impl<T: Scalar> Mat<T> {
         }
     }
 
+    /// Gather rows `idx` into a dense `idx.len() x ncols` matrix — the
+    /// multi-RHS analogue of the solve phase's vector gather. Indices may
+    /// repeat; they are read, never aliased mutably.
+    pub fn gather_rows(&self, idx: &[u32]) -> Mat<T> {
+        let mut out = Mat::zeros(idx.len(), self.ncols);
+        for j in 0..self.ncols {
+            let src = self.col(j);
+            let dst = out.col_mut(j);
+            for (k, &i) in idx.iter().enumerate() {
+                dst[k] = src[i as usize];
+            }
+        }
+        out
+    }
+
+    /// Scatter `vals` back into rows `idx`: `self[idx[k], j] = vals[k, j]`.
+    pub fn scatter_rows(&mut self, idx: &[u32], vals: &Mat<T>) {
+        assert_eq!(vals.nrows, idx.len());
+        assert_eq!(vals.ncols, self.ncols);
+        for j in 0..self.ncols {
+            let src = vals.col(j);
+            let dst = self.col_mut(j);
+            for (k, &i) in idx.iter().enumerate() {
+                dst[i as usize] = src[k];
+            }
+        }
+    }
+
+    /// Subtract `vals` from rows `idx`: `self[idx[k], j] -= vals[k, j]`.
+    /// Used to merge additive neighbor updates in a fixed record order so
+    /// the threaded solve apply stays bit-deterministic.
+    pub fn scatter_rows_sub(&mut self, idx: &[u32], vals: &Mat<T>) {
+        assert_eq!(vals.nrows, idx.len());
+        assert_eq!(vals.ncols, self.ncols);
+        for j in 0..self.ncols {
+            let src = vals.col(j);
+            let dst = self.col_mut(j);
+            for (k, &i) in idx.iter().enumerate() {
+                dst[i as usize] -= src[k];
+            }
+        }
+    }
+
     /// `self += alpha * other`, entry-wise.
     pub fn axpy(&mut self, alpha: T, other: &Mat<T>) {
         assert_eq!(self.nrows, other.nrows);
@@ -449,6 +492,38 @@ mod tests {
         let mut at = vec![0.0; 3];
         m.adjoint_matvec_acc_into(&[1.0, 1.0], &mut at);
         assert_eq!(at, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn gather_scatter_rows_roundtrip() {
+        let m = Mat::from_fn(5, 3, |i, j| (10 * i + j) as f64);
+        let idx = [4u32, 0, 2];
+        let g = m.gather_rows(&idx);
+        assert_eq!(g.nrows(), 3);
+        assert_eq!(g[(0, 1)], m[(4, 1)]);
+        assert_eq!(g[(2, 2)], m[(2, 2)]);
+        let mut back = Mat::zeros(5, 3);
+        back.scatter_rows(&idx, &g);
+        for &i in &idx {
+            for j in 0..3 {
+                assert_eq!(back[(i as usize, j)], m[(i as usize, j)]);
+            }
+        }
+        assert_eq!(back[(1, 0)], 0.0);
+        let mut sub = m.clone();
+        sub.scatter_rows_sub(&idx, &g);
+        for &i in &idx {
+            for j in 0..3 {
+                assert_eq!(sub[(i as usize, j)], 0.0);
+            }
+        }
+        assert_eq!(sub[(3, 1)], m[(3, 1)]);
+        // Empty index set and zero-column RHS are fine.
+        let e = m.gather_rows(&[]);
+        assert_eq!(e.nrows(), 0);
+        let z: Mat<f64> = Mat::zeros(5, 0);
+        let gz = z.gather_rows(&idx);
+        assert_eq!((gz.nrows(), gz.ncols()), (3, 0));
     }
 
     #[test]
