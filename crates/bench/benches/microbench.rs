@@ -12,7 +12,7 @@
 //! * `--json PATH` — additionally write the results as a `BENCH_*.json`
 //!   file (schema documented in the README "Performance" section).
 
-use srsf_core::{Driver, Solver};
+use srsf_core::{Driver, FactorOpts, Solver, Transport};
 use srsf_fft::fft::Fft;
 use srsf_geometry::grid::UnitGrid;
 use srsf_geometry::procgrid::BoxColoring;
@@ -46,18 +46,37 @@ struct Harness {
 impl Harness {
     /// Run `f` repeatedly for roughly the budget, after a warmup pass, and
     /// print + record per-iteration statistics.
-    fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+    fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) {
+        self.bench_n(name, None, f);
+    }
+
+    /// One measured invocation, no warmup. For the transport cases:
+    /// every call is one `World::run` session, and a spawned worker must
+    /// re-reach *its* session by replaying all earlier ones in-process —
+    /// so the only honest (and deterministic) measurement is a single
+    /// cold launch with no sessions before it.
+    fn bench_cold<R>(&mut self, name: &str, f: impl FnMut() -> R) {
+        self.bench_n(name, Some(1), f);
+    }
+
+    fn bench_n<R>(&mut self, name: &str, cold: Option<usize>, mut f: impl FnMut() -> R) {
         if let Some(pat) = &self.filter {
             if !name.contains(pat.as_str()) {
                 return;
             }
         }
-        // Warmup + calibration: how many iterations fit in the budget?
-        let t0 = Instant::now();
-        std::hint::black_box(f());
-        let once = t0.elapsed();
-        let iters = (self.budget.as_secs_f64() / once.as_secs_f64().max(1e-9)).clamp(1.0, 10_000.0)
-            as usize;
+        // Warmup + calibration (how many iterations fit in the budget?),
+        // skipped for cold cases whose call count must be deterministic.
+        let iters = match cold {
+            Some(n) => n,
+            None => {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                let once = t0.elapsed();
+                (self.budget.as_secs_f64() / once.as_secs_f64().max(1e-9)).clamp(1.0, 10_000.0)
+                    as usize
+            }
+        };
         let mut samples = Vec::with_capacity(iters);
         for _ in 0..iters {
             let t = Instant::now();
@@ -182,6 +201,38 @@ fn main() {
         "{:<32} {:>12} {:>14} {:>14}",
         "benchmark", "iters", "median", "mean"
     );
+
+    // Transport overhead: the same 4-rank distributed factorization with
+    // ranks as threads vs ranks as real OS processes over TCP (spawn +
+    // handshake + socket framing), each measured as ONE cold launch. The
+    // TCP case must be the *first* session in the run: its 3 spawned
+    // workers re-execute this binary up to their own session, so any
+    // earlier TCP session would be replayed in-process by every worker
+    // and inflate the sample.
+    {
+        let grid = UnitGrid::new(32);
+        let kernel = LaplaceKernel::new(&grid);
+        let pts = grid.points();
+        let opts_for = |t: Transport| {
+            FactorOpts::default()
+                .with_tol(1e-6)
+                .with_leaf_size(64)
+                .with_transport(t)
+        };
+        for (name, transport) in [
+            ("dist_transport/tcp_1024_p4", Transport::Tcp),
+            ("dist_transport/inproc_1024_p4", Transport::InProc),
+        ] {
+            let opts = opts_for(transport);
+            h.bench_cold(name, || {
+                Solver::builder(&kernel, &pts)
+                    .opts(opts.clone())
+                    .driver(Driver::distributed(4))
+                    .build()
+                    .expect("distributed factorization")
+            });
+        }
+    }
 
     h.bench("bessel/hankel0_sweep", || {
         let mut acc = 0.0;

@@ -1,14 +1,43 @@
 //! §IV validation — measured communication volumes vs the paper's bounds:
 //! per-process messages = O(log N + log p), words = O(sqrt(N/p) + log p).
+//!
+//! ```sh
+//! cargo run --release -p srsf-bench --bin comm_counts               # ranks as threads
+//! cargo run --release -p srsf-bench --bin comm_counts -- --transport tcp
+//! ```
+//!
+//! With `--transport tcp` every rank of every case is a real OS process
+//! and the counters measure genuine inter-process traffic. The counters
+//! are identical across backends (asserted by the transport-equivalence
+//! tests), so the default stays in-process; the flag exists to *measure*
+//! that claim. Each spawned worker re-executes this binary up to the
+//! case it belongs to, recomputing earlier cases in-process — so prefer
+//! the small sweep (`SRSF_BENCH_LARGE` unset) when using `tcp`.
 
 use srsf_bench::{is_large, rule, run_laplace_case, sweep_sides};
-use srsf_core::FactorOpts;
+use srsf_core::{FactorOpts, Transport};
 use srsf_runtime::NetworkModel;
 
 fn main() {
-    let opts = FactorOpts::default().with_tol(1e-6).with_leaf_size(64);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let transport: Transport = args
+        .iter()
+        .position(|a| a == "--transport")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--transport expects a value")
+                .parse()
+                .unwrap_or_else(|e| panic!("{e}"))
+        })
+        .unwrap_or_default();
+    let opts = FactorOpts::default()
+        .with_tol(1e-6)
+        .with_leaf_size(64)
+        .with_transport(transport);
     let model = NetworkModel::intra_node();
-    println!("Communication-bound validation (Eq. 13): Laplace, eps = 1e-6");
+    println!(
+        "Communication-bound validation (Eq. 13): Laplace, eps = 1e-6, transport = {transport}"
+    );
     println!(
         "{:>8} {:>5} {:>10} {:>12} {:>12} {:>14}",
         "N", "p", "max msgs", "max words", "sqrt(N/p)", "words/sqrt(N/p)"

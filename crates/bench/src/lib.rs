@@ -1,7 +1,7 @@
 //! Shared experiment harness for the table/figure reproduction binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the paper
-//! (see DESIGN.md §3). Because the simulated rank world runs `p` threads on
+//! (see DESIGN.md §3). Because the default in-process rank world runs `p` threads on
 //! however many cores the host has, each parallel case reports **both** the
 //! measured wall clock and the modeled critical path
 //! `max_rank(compute) + alpha * msgs + beta * words` (DESIGN.md §5); the

@@ -18,8 +18,14 @@
 //!
 //! All data moves through explicit byte messages with per-rank counters,
 //! so the §IV communication bounds (messages = O(log N + log p), words =
-//! O(sqrt(N/p) + log p)) are measured rather than assumed. See DESIGN.md §5
-//! for the simulated-runtime substitution.
+//! O(sqrt(N/p) + log p)) are measured rather than assumed. The rank world
+//! runs on either runtime backend — ranks as threads
+//! ([`Transport::InProc`](srsf_runtime::Transport)) or as real OS
+//! processes over TCP sockets
+//! ([`Transport::Tcp`](srsf_runtime::Transport)), selected via
+//! [`FactorOpts::transport`] — and this module is backend-agnostic: the
+//! same code, solutions, and counters on both (see
+//! `tests/transport_equiv.rs`).
 
 use crate::elimination::{
     apply_output, eliminate_box, BoxElimination, EliminationOutput, FactorError,
@@ -29,6 +35,7 @@ use crate::sequential::{domain_for, factor_top, Factorization};
 use crate::solve::{apply_downward, apply_upward, gather, scatter};
 use crate::stats::FactorStats;
 use crate::store::{ActiveSets, BlockStore};
+use crate::wire::{put_box, put_ids, try_get_box, try_get_ids, ScalarVec};
 use crate::FactorOpts;
 use srsf_geometry::neighbors::near_field;
 use srsf_geometry::point::Point;
@@ -36,49 +43,24 @@ use srsf_geometry::procgrid::ProcessGrid;
 use srsf_geometry::tree::{BoxId, QuadTree};
 use srsf_kernels::kernel::Kernel;
 use srsf_linalg::{Lu, Mat, Scalar};
-use srsf_runtime::codec::{ByteReader, ByteWriter};
+use srsf_runtime::codec::{ByteReader, ByteWriter, Wire};
+// The tag scheme (`tag = level * 64 + phase * 8 + kind`) lives in the
+// runtime next to the transports, so a receive timeout on either backend
+// can decode the step it was waiting on; see `srsf_runtime::tags`.
+use srsf_runtime::tags::{
+    tag, KIND_ACT_REFRESH, KIND_FOLD, KIND_PHASE_UPDATE, KIND_RECORDS, KIND_SOLVE_REQ,
+    KIND_SOLVE_UP, KIND_SOLVE_VAL, KIND_TOP,
+};
 use srsf_runtime::world::{RankCtx, World};
 use srsf_runtime::WorldStats;
 use std::collections::{HashMap, HashSet};
 
-// Message kinds; tag = level * 64 + phase * 8 + kind, with phase in 0..=7.
-const KIND_PHASE_UPDATE: u32 = 0;
-const KIND_FOLD: u32 = 1;
-const KIND_ACT_REFRESH: u32 = 2;
-const KIND_TOP: u32 = 3;
-const KIND_RECORDS: u32 = 4;
-const KIND_SOLVE_UP: u32 = 5;
-const KIND_SOLVE_REQ: u32 = 6;
-const KIND_SOLVE_VAL: u32 = 7;
-
-fn tag(level: u8, phase: u8, kind: u32) -> u32 {
-    debug_assert!(phase < 8 && kind < 8);
-    (level as u32) * 64 + (phase as u32) * 8 + kind
-}
-
-fn put_box(w: &mut ByteWriter, b: &BoxId) {
-    w.put_u64(((b.level as u64) << 48) | ((b.ix as u64) << 24) | b.iy as u64);
-}
-
 fn get_box(r: &mut ByteReader) -> BoxId {
-    let v = r.get_u64();
-    BoxId {
-        level: (v >> 48) as u8,
-        ix: ((v >> 24) & 0xFF_FFFF) as u32,
-        iy: (v & 0xFF_FFFF) as u32,
-    }
-}
-
-fn put_ids(w: &mut ByteWriter, ids: &[u32]) {
-    w.put_u64(ids.len() as u64);
-    for &i in ids {
-        w.put_u64(i as u64);
-    }
+    try_get_box(r).unwrap_or_else(|e| panic!("{e}"))
 }
 
 fn get_ids(r: &mut ByteReader) -> Vec<u32> {
-    let n = r.get_u64() as usize;
-    (0..n).map(|_| r.get_u64() as u32).collect()
+    try_get_ids(r).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Inclusive box-coordinate bounds of a rank's block at a level.
@@ -195,48 +177,13 @@ fn decode_and_apply_update<K: Kernel>(
 
 fn encode_record<T: Scalar>(w: &mut ByteWriter, key: u64, rec: &BoxElimination<T>) {
     w.put_u64(key);
-    put_box(w, &rec.box_id);
-    // (level, color) scheduling stamp for the threaded solve apply.
-    w.put_u64(((rec.level as u64) << 8) | rec.color as u64);
-    put_ids(w, &rec.redundant);
-    put_ids(w, &rec.skel);
-    put_ids(w, &rec.nbr);
-    w.put_mat(&rec.t);
-    w.put_mat(&rec.lu.lu);
-    w.put_u64_slice(&rec.lu.piv.iter().map(|&v| v as u64).collect::<Vec<_>>());
-    w.put_mat(&rec.es);
-    w.put_mat(&rec.en);
-    w.put_mat(&rec.fs);
-    w.put_mat(&rec.fnb);
+    rec.encode(w);
 }
 
 fn decode_record<T: Scalar>(r: &mut ByteReader) -> (u64, BoxElimination<T>) {
     let key = r.get_u64();
-    let box_id = get_box(r);
-    let stamp = r.get_u64();
-    let redundant = get_ids(r);
-    let skel = get_ids(r);
-    let nbr = get_ids(r);
-    let t = r.get_mat();
-    let lu_mat = r.get_mat();
-    let piv: Vec<usize> = r.get_u64_slice().into_iter().map(|v| v as usize).collect();
-    (
-        key,
-        BoxElimination {
-            box_id,
-            level: (stamp >> 8) as u8,
-            color: (stamp & 0xFF) as u8,
-            redundant,
-            skel,
-            nbr,
-            t,
-            lu: Lu { lu: lu_mat, piv },
-            es: r.get_mat(),
-            en: r.get_mat(),
-            fs: r.get_mat(),
-            fnb: r.get_mat(),
-        },
-    )
+    let rec = BoxElimination::decode(r).unwrap_or_else(|e| panic!("malformed record frame: {e}"));
+    (key, rec)
 }
 
 /// Global elimination-order key: level sweep, then phase, then row-major.
@@ -307,7 +254,7 @@ pub(crate) fn dist_factorize_with_tree<K: Kernel>(
 ) -> DistOutcome<K::Elem> {
     let leaf = tree.leaf_level();
     let lmin = (opts.min_compress_level as u8).min(leaf);
-    let world = World::new(grid.p());
+    let world = World::new(grid.p()).transport(opts.transport);
 
     let (results, _total_stats) =
         world.run(|ctx| run_rank(ctx, kernel, pts, tree, grid, opts, leaf, lmin, rhs));
@@ -329,13 +276,18 @@ pub(crate) fn dist_factorize_with_tree<K: Kernel>(
         }
     }
     let (f, x) = fact.expect("rank 0 must produce the factorization");
-    Ok((f, stats, x))
+    Ok((f, stats, x.map(|v| v.0)))
 }
 
+/// What every rank returns from the world: its algorithmic counters and,
+/// on rank 0 only, the gathered factorization (plus the solution when a
+/// right-hand side was supplied). On the TCP backend this type crosses
+/// the process boundary as a result frame, hence the [`Wire`] bound met
+/// via `crate::wire` ([`ScalarVec`] wraps the solution vector).
 type RankOutput<T> = Result<
     (
         srsf_runtime::stats::CommStats,
-        Option<(Factorization<T>, Option<Vec<T>>)>,
+        Option<(Factorization<T>, Option<ScalarVec<T>>)>,
     ),
     FactorError,
 >;
@@ -456,7 +408,7 @@ fn run_rank<K: Kernel>(
 
     // Gather records on rank 0 and assemble the factorization object.
     let f = gather_factorization(ctx, grid, top, state, pts.len())?;
-    Ok((algo_stats, f.map(|f| (f, x))))
+    Ok((algo_stats, f.map(|f| (f, x.map(ScalarVec)))))
 }
 
 /// Eliminate `boxes` (phase `phase` of `level`), then exchange updates with

@@ -36,12 +36,14 @@ pub mod solve;
 pub mod solver;
 pub mod stats;
 pub mod store;
+pub mod wire;
 
 pub use error::SrsfError;
 #[allow(deprecated)]
 pub use sequential::factorize;
 pub use sequential::Factorization;
 pub use solver::{Driver, Factorized, Solver, SolverBuilder};
+pub use srsf_runtime::Transport;
 pub use stats::FactorStats;
 
 /// Options controlling the factorization.
@@ -79,6 +81,13 @@ pub struct FactorOpts {
     /// boxes/ranks, so their in-rank dense work always stays serial —
     /// nested GEMM threads would only oversubscribe the cores.
     pub gemm_threads: usize,
+    /// Message transport for the distributed driver:
+    /// [`Transport::InProc`] runs ranks as threads of this process (the
+    /// default); [`Transport::Tcp`] runs every rank as a spawned OS
+    /// process over localhost sockets. The factorization, solution, and
+    /// per-rank message/word counters are identical across backends; the
+    /// other drivers ignore this knob.
+    pub transport: Transport,
 }
 
 impl Default for FactorOpts {
@@ -91,6 +100,7 @@ impl Default for FactorOpts {
             proxy_osc_factor: 2.0,
             min_compress_level: 3,
             gemm_threads: 1,
+            transport: Transport::InProc,
         }
     }
 }
@@ -141,6 +151,12 @@ impl FactorOpts {
     /// products (`1` = serial, `0` = auto-detect hardware parallelism).
     pub fn with_gemm_threads(mut self, threads: usize) -> Self {
         self.gemm_threads = threads;
+        self
+    }
+
+    /// Set the message transport for the distributed driver.
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
         self
     }
 }

@@ -39,7 +39,7 @@ use srsf_geometry::procgrid::{BoxColoring, ProcessGrid};
 use srsf_geometry::tree::QuadTree;
 use srsf_kernels::kernel::Kernel;
 use srsf_linalg::{LinOp, Mat, Scalar};
-use srsf_runtime::WorldStats;
+use srsf_runtime::{Transport, WorldStats};
 
 /// Execution strategy for the factorization.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -55,9 +55,10 @@ pub enum Driver {
     },
     /// Algorithm 2: leaf boxes block-partitioned over a process grid,
     /// factored with interior/boundary phases and four color rounds on a
-    /// simulated rank world.
+    /// rank world — ranks as threads or as real OS processes, per
+    /// [`SolverBuilder::transport`].
     Distributed {
-        /// The `q x q` process grid (`p = q^2` simulated ranks).
+        /// The `q x q` process grid (`p = q^2` ranks).
         grid: ProcessGrid,
     },
 }
@@ -364,6 +365,19 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
     /// distributed drivers, whose in-rank work is always serial).
     pub fn gemm_threads(mut self, threads: usize) -> Self {
         self.opts = self.opts.with_gemm_threads(threads);
+        self
+    }
+
+    /// Message transport for [`Driver::Distributed`]:
+    /// [`Transport::InProc`] (default) runs ranks as threads of this
+    /// process; [`Transport::Tcp`] runs every rank as a real OS process
+    /// over localhost sockets — `World::run` re-executes the current
+    /// binary for ranks `1..p`, so the program must be deterministic up
+    /// to this `build` call (see `srsf_runtime::transport`). Either way
+    /// the factorization, the solution, and the per-rank communication
+    /// counters are identical. Ignored by the other drivers.
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.opts = self.opts.with_transport(transport);
         self
     }
 

@@ -1,0 +1,309 @@
+//! [`Wire`] encodings for the factorization types that cross a process
+//! boundary on the TCP transport.
+//!
+//! Worker ranks return `Result<(CommStats, Option<(Factorization, ...)>),
+//! FactorError>` from `World::run`; on the TCP backend that value is
+//! serialized back to rank 0 as a result frame, so everything in it needs
+//! a total, bounds-checked decode (a corrupted frame must surface as a
+//! [`CodecError`], not a panic). The same encodings also serve the
+//! record-gather messages inside the distributed factorization itself.
+
+use crate::elimination::{BoxElimination, FactorError};
+use crate::sequential::Factorization;
+use crate::stats::FactorStats;
+use srsf_geometry::tree::BoxId;
+use srsf_linalg::Scalar;
+use srsf_runtime::codec::{ByteReader, ByteWriter, CodecError, Wire};
+
+/// Pack a box id the way the distributed driver's messages do:
+/// `level << 48 | ix << 24 | iy`.
+pub(crate) fn put_box(w: &mut ByteWriter, b: &BoxId) {
+    w.put_u64(((b.level as u64) << 48) | ((b.ix as u64) << 24) | b.iy as u64);
+}
+
+pub(crate) fn try_get_box(r: &mut ByteReader) -> Result<BoxId, CodecError> {
+    let v = r.try_get_u64()?;
+    Ok(BoxId {
+        level: (v >> 48) as u8,
+        ix: ((v >> 24) & 0xFF_FFFF) as u32,
+        iy: (v & 0xFF_FFFF) as u32,
+    })
+}
+
+/// Length-prefixed id slice (u32 ids widened to u64 slots) — the one
+/// encoding shared by the in-protocol messages in `distributed.rs` and
+/// the [`Wire`] record/factorization impls below.
+pub(crate) fn put_ids(w: &mut ByteWriter, ids: &[u32]) {
+    w.put_u64(ids.len() as u64);
+    for &i in ids {
+        w.put_u64(i as u64);
+    }
+}
+
+pub(crate) fn try_get_ids(r: &mut ByteReader) -> Result<Vec<u32>, CodecError> {
+    Ok(r.try_get_u64_slice()?
+        .into_iter()
+        .map(|v| v as u32)
+        .collect())
+}
+
+/// Wire wrapper for a scalar vector (e.g. a distributed solution).
+///
+/// `Vec<T: Scalar>` cannot take the generic `Vec<T: Wire>` container
+/// encoding without overlapping impls (`f64` is both), so the rank
+/// results that carry a solution wrap it in this newtype, which encodes
+/// as a plain length-prefixed scalar slice.
+pub struct ScalarVec<T>(pub Vec<T>);
+
+impl<T: Scalar> Wire for ScalarVec<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_scalar_slice(&self.0);
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok(ScalarVec(r.try_get_scalar_slice()?))
+    }
+}
+
+impl Wire for FactorError {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            FactorError::SingularDiagonal { box_id } => {
+                w.put_u64(0);
+                put_box(w, box_id);
+            }
+            FactorError::SingularTop { size, step } => {
+                w.put_u64(1);
+                w.put_u64(*size as u64);
+                w.put_u64(*step as u64);
+            } // `FactorError` is non_exhaustive for downstream crates; new
+              // in-crate variants must be added here to cross the wire.
+        }
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        let at = r.position();
+        match r.try_get_u64()? {
+            0 => Ok(FactorError::SingularDiagonal {
+                box_id: try_get_box(r)?,
+            }),
+            1 => Ok(FactorError::SingularTop {
+                size: r.try_get_u64()? as usize,
+                step: r.try_get_u64()? as usize,
+            }),
+            _ => Err(CodecError::Invalid {
+                what: "FactorError discriminant",
+                at,
+            }),
+        }
+    }
+}
+
+impl<T: Scalar> Wire for BoxElimination<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        put_box(w, &self.box_id);
+        // (level, color) scheduling stamp for the threaded solve apply.
+        w.put_u64(((self.level as u64) << 8) | self.color as u64);
+        put_ids(w, &self.redundant);
+        put_ids(w, &self.skel);
+        put_ids(w, &self.nbr);
+        w.put_mat(&self.t);
+        self.lu.encode(w);
+        w.put_mat(&self.es);
+        w.put_mat(&self.en);
+        w.put_mat(&self.fs);
+        w.put_mat(&self.fnb);
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        let box_id = try_get_box(r)?;
+        let stamp = r.try_get_u64()?;
+        Ok(BoxElimination {
+            box_id,
+            level: (stamp >> 8) as u8,
+            color: (stamp & 0xFF) as u8,
+            redundant: try_get_ids(r)?,
+            skel: try_get_ids(r)?,
+            nbr: try_get_ids(r)?,
+            t: r.try_get_mat()?,
+            lu: Wire::decode(r)?,
+            es: r.try_get_mat()?,
+            en: r.try_get_mat()?,
+            fs: r.try_get_mat()?,
+            fnb: r.try_get_mat()?,
+        })
+    }
+}
+
+impl Wire for FactorStats {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.n as u64);
+        w.put_u64(self.leaf_level as u64);
+        w.put_u64(self.ranks.len() as u64);
+        for (&level, &(count, sum)) in &self.ranks {
+            w.put_u64(level as u64);
+            w.put_u64(count as u64);
+            w.put_u64(sum as u64);
+        }
+        w.put_f64(self.eliminate_s);
+        w.put_f64(self.merge_s);
+        w.put_f64(self.top_s);
+        w.put_f64(self.total_s);
+        w.put_f64(self.solve_s);
+        w.put_u64(self.top_size as u64);
+        w.put_u64(self.record_bytes as u64);
+        w.put_u64(self.peak_store_bytes as u64);
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        let n = r.try_get_u64()? as usize;
+        let leaf_level = r.try_get_u64()? as u8;
+        let at = r.position();
+        let n_levels = r.try_get_u64()?;
+        if n_levels > 256 {
+            // Levels are u8, so more than 256 entries is corruption.
+            return Err(CodecError::Invalid {
+                what: "FactorStats level count",
+                at,
+            });
+        }
+        let mut stats = FactorStats::new(n, leaf_level);
+        for _ in 0..n_levels {
+            let level = r.try_get_u64()? as u8;
+            let count = r.try_get_u64()? as usize;
+            let sum = r.try_get_u64()? as usize;
+            stats.ranks.insert(level, (count, sum));
+        }
+        stats.eliminate_s = r.try_get_f64()?;
+        stats.merge_s = r.try_get_f64()?;
+        stats.top_s = r.try_get_f64()?;
+        stats.total_s = r.try_get_f64()?;
+        stats.solve_s = r.try_get_f64()?;
+        stats.top_size = r.try_get_u64()? as usize;
+        stats.record_bytes = r.try_get_u64()? as usize;
+        stats.peak_store_bytes = r.try_get_u64()? as usize;
+        Ok(stats)
+    }
+}
+
+impl<T: Scalar> Wire for Factorization<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.n as u64);
+        self.records.encode(w);
+        put_ids(w, &self.top_idx);
+        self.top_lu.encode(w);
+        self.stats.encode(w);
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        let n = r.try_get_u64()? as usize;
+        let records = Wire::decode(r)?;
+        let top_idx = try_get_ids(r)?;
+        let top_lu = Wire::decode(r)?;
+        let stats = FactorStats::decode(r)?;
+        Ok(Factorization::from_parts(
+            n, records, top_idx, top_lu, stats,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srsf_linalg::{c64, Lu, Mat};
+
+    fn sample_record<T: Scalar>(v: T) -> BoxElimination<T> {
+        BoxElimination {
+            box_id: BoxId {
+                level: 3,
+                ix: 5,
+                iy: 6,
+            },
+            level: 3,
+            color: 2,
+            redundant: vec![1, 2],
+            skel: vec![3],
+            nbr: vec![4, 5, 6],
+            t: Mat::from_fn(1, 2, |_, _| v),
+            lu: Lu {
+                lu: Mat::from_fn(2, 2, |i, j| if i == j { v } else { T::ZERO }),
+                piv: vec![0, 1],
+            },
+            es: Mat::from_fn(1, 2, |_, _| v),
+            en: Mat::from_fn(3, 2, |_, _| v),
+            fs: Mat::from_fn(2, 1, |_, _| v),
+            fnb: Mat::from_fn(2, 3, |_, _| v),
+        }
+    }
+
+    #[test]
+    fn record_round_trip_real_and_complex() {
+        let rec = sample_record(1.5f64);
+        let back = BoxElimination::<f64>::from_bytes(rec.to_bytes()).unwrap();
+        assert_eq!(back.box_id, rec.box_id);
+        assert_eq!((back.level, back.color), (3, 2));
+        assert_eq!(back.nbr, rec.nbr);
+        assert_eq!(back.en, rec.en);
+        let rec = sample_record(c64::new(0.5, -2.0));
+        let back = BoxElimination::<c64>::from_bytes(rec.to_bytes()).unwrap();
+        assert_eq!(back.fnb, rec.fnb);
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let rec = sample_record(1.0f64);
+        let bytes = rec.to_bytes();
+        for cut in [0, 8, 17, bytes.len() / 2, bytes.len() - 1] {
+            let mut short = bytes.clone();
+            short.truncate(cut);
+            assert!(
+                BoxElimination::<f64>::from_bytes(short).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn factor_error_round_trip() {
+        for e in [
+            FactorError::SingularDiagonal {
+                box_id: BoxId {
+                    level: 2,
+                    ix: 1,
+                    iy: 3,
+                },
+            },
+            FactorError::SingularTop { size: 40, step: 7 },
+        ] {
+            let back = FactorError::from_bytes(e.to_bytes()).unwrap();
+            assert_eq!(format!("{back}"), format!("{e}"));
+        }
+    }
+
+    #[test]
+    fn factorization_round_trip() {
+        let stats = {
+            let mut s = FactorStats::new(9, 2);
+            s.add_rank(2, 4);
+            s.add_rank(2, 6);
+            s.total_s = 1.25;
+            s
+        };
+        let f = Factorization::from_parts(
+            9,
+            vec![sample_record(2.0f64)],
+            vec![0, 4, 8],
+            Lu {
+                lu: Mat::from_fn(3, 3, |i, j| (i + 2 * j) as f64 + 1.0),
+                piv: vec![0, 2, 1],
+            },
+            stats,
+        );
+        let back = Factorization::<f64>::from_bytes(f.to_bytes()).unwrap();
+        assert_eq!(back.n(), 9);
+        assert_eq!(back.n_records(), 1);
+        assert_eq!(back.top_size(), 3);
+        assert_eq!(back.stats().avg_rank(2), Some(5.0));
+        // Same solve behavior bit for bit.
+        let mut x1 = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let mut x2 = x1.clone();
+        f.apply_inverse(&mut x1);
+        back.apply_inverse(&mut x2);
+        assert_eq!(x1, x2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Backend equivalence of the distributed driver: running `dist_factorize`
+//! over real OS processes (TCP transport) must produce the *same bits* as
+//! the in-process backend — identical solutions, identical factorization
+//! records, and identical per-rank message/word counters — because the
+//! algorithm's traffic does not depend on the fabric that carries it.
+//! This is what upgrades the measured §IV communication bounds from a
+//! simulation artifact to a property of real inter-process traffic.
+//!
+//! Re-exec discipline: each test registers itself via `set_tcp_child_args`
+//! so spawned worker ranks re-run only that test, and each test performs
+//! its TCP build *before* the in-process comparison build, so workers exit
+//! inside the TCP session instead of re-simulating the comparison.
+//!
+//! The issue asked for p ∈ {1, 4, 9}; the paper's fold grid is `q x q`
+//! with `q` a power of two (`p = 4^k`), so `p = 9` is not constructible —
+//! [`Driver::try_distributed`] rejects it identically regardless of
+//! transport (asserted below) and the equivalence matrix runs on
+//! p ∈ {1, 4, 16} instead.
+
+use srsf_core::{Driver, FactorOpts, Solver, SrsfError, Transport};
+use srsf_geometry::grid::UnitGrid;
+use srsf_kernels::helmholtz::HelmholtzKernel;
+use srsf_kernels::kernel::Kernel;
+use srsf_kernels::laplace::LaplaceKernel;
+use srsf_kernels::util::random_vector;
+use srsf_linalg::{c64, Scalar};
+use srsf_runtime::set_tcp_child_args;
+
+fn opts() -> FactorOpts {
+    FactorOpts::default().with_tol(1e-8).with_leaf_size(16)
+}
+
+/// Factor + solve over both transports for one `p`, asserting bitwise
+/// equality of the solution and the per-rank communication counters.
+fn assert_equivalent<K: Kernel>(kernel: &K, pts: &[srsf_geometry::point::Point], p: usize) {
+    let b = random_vector::<K::Elem>(pts.len(), 99);
+    // TCP first: spawned workers must exit inside this session.
+    let (f_tcp, x_tcp) = Solver::builder(kernel, pts)
+        .opts(opts())
+        .driver(Driver::distributed(p))
+        .transport(Transport::Tcp)
+        .build_with_solution(&b)
+        .expect("tcp factorization");
+    let (f_in, x_in) = Solver::builder(kernel, pts)
+        .opts(opts())
+        .driver(Driver::distributed(p))
+        .transport(Transport::InProc)
+        .build_with_solution(&b)
+        .expect("inproc factorization");
+
+    // Bit-identical solutions (not merely close).
+    assert_eq!(x_tcp.len(), x_in.len());
+    for (i, (a, b)) in x_tcp.iter().zip(x_in.iter()).enumerate() {
+        assert_eq!(a.re(), b.re(), "p={p}: solution differs at entry {i}");
+        assert_eq!(a.im(), b.im(), "p={p}: solution differs at entry {i}");
+    }
+    // Identical factorization shape.
+    assert_eq!(f_tcp.n_records(), f_in.n_records(), "p={p}: record count");
+    assert_eq!(f_tcp.top_size(), f_in.top_size(), "p={p}: top size");
+    assert_eq!(
+        f_tcp.stats().rank_table(),
+        f_in.stats().rank_table(),
+        "p={p}: skeleton ranks"
+    );
+    // Identical per-rank message and word counters.
+    let s_tcp = f_tcp.comm_stats().expect("tcp comm stats");
+    let s_in = f_in.comm_stats().expect("inproc comm stats");
+    assert_eq!(s_tcp.per_rank.len(), p);
+    assert_eq!(s_in.per_rank.len(), p);
+    for rank in 0..p {
+        assert_eq!(
+            (
+                s_tcp.per_rank[rank].msgs_sent,
+                s_tcp.per_rank[rank].words_sent
+            ),
+            (
+                s_in.per_rank[rank].msgs_sent,
+                s_in.per_rank[rank].words_sent
+            ),
+            "p={p}: rank {rank} counters differ across backends"
+        );
+    }
+    // The gathered records are semantically identical too: local applies
+    // of both factorizations agree bit for bit. (The in-world distributed
+    // solve above may differ from a *local* apply by summation order —
+    // that is solve-path variance, not transport variance.)
+    let loc_tcp = f_tcp.solve(&b);
+    let loc_in = f_in.solve(&b);
+    for (a, b) in loc_tcp.iter().zip(loc_in.iter()) {
+        assert_eq!(a.re(), b.re(), "p={p}: gathered records differ");
+        assert_eq!(a.im(), b.im(), "p={p}: gathered records differ");
+    }
+}
+
+/// One test per `(kernel, p)` cell so each test function runs exactly one
+/// TCP session: a spawned worker then joins the very first session it
+/// re-reaches instead of recomputing earlier ones (expensive under the
+/// unoptimized test profile).
+macro_rules! equiv_case {
+    ($name:ident, $kernel:expr, $p:expr) => {
+        #[test]
+        fn $name() {
+            set_tcp_child_args(Some(vec![stringify!($name).into(), "--exact".into()]));
+            let grid = UnitGrid::new(32); // N = 1024, leaf level 3
+            let kernel = $kernel(&grid);
+            let pts = grid.points();
+            assert_equivalent(&kernel, &pts, $p);
+        }
+    };
+}
+
+equiv_case!(tcp_matches_inproc_laplace_f64_p1, LaplaceKernel::new, 1);
+equiv_case!(tcp_matches_inproc_laplace_f64_p4, LaplaceKernel::new, 4);
+// 15 worker processes; leaf level 3 folds 16 -> 4 -> 1 ranks.
+equiv_case!(
+    tcp_matches_inproc_laplace_f64_p16_fold,
+    LaplaceKernel::new,
+    16
+);
+
+fn helmholtz(grid: &UnitGrid) -> HelmholtzKernel {
+    HelmholtzKernel::new(grid, 20.0)
+}
+equiv_case!(tcp_matches_inproc_helmholtz_c64_p1, helmholtz, 1);
+equiv_case!(tcp_matches_inproc_helmholtz_c64_p4, helmholtz, 4);
+
+#[test]
+fn p9_is_rejected_identically_on_both_transports() {
+    // 9 = 3^2 is not a power-of-four process count; the fold grid cannot
+    // halve q = 3, so construction fails before any transport is touched
+    // — the rejection is transport-independent by design.
+    for transport in [Transport::InProc, Transport::Tcp] {
+        let err = Driver::try_distributed(9).unwrap_err();
+        assert!(
+            matches!(err, SrsfError::InvalidProcessCount { p: 9 }),
+            "{transport}: {err:?}"
+        );
+    }
+    let _ = c64::ZERO; // keep the complex type linked into this test crate
+}

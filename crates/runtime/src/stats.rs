@@ -6,6 +6,7 @@
 //! `msgs = O(log N + log p)` and `words = O(sqrt(N/p) + log p)` (Eq. 13)
 //! can be measured rather than assumed.
 
+use crate::codec::{ByteReader, ByteWriter, CodecError, Wire};
 use crate::netmodel::NetworkModel;
 
 /// Counters for one rank.
@@ -33,6 +34,23 @@ impl CommStats {
     /// Modeled network time for this rank's traffic under `model`.
     pub fn modeled_comm_s(&self, model: &NetworkModel) -> f64 {
         model.cost(self.msgs_sent, self.words_sent)
+    }
+}
+
+impl Wire for CommStats {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.msgs_sent);
+        w.put_u64(self.words_sent);
+        w.put_f64(self.compute_s);
+        w.put_f64(self.wait_s);
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok(Self {
+            msgs_sent: r.try_get_u64()?,
+            words_sent: r.try_get_u64()?,
+            compute_s: r.try_get_f64()?,
+            wait_s: r.try_get_f64()?,
+        })
     }
 }
 

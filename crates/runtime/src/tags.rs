@@ -1,0 +1,140 @@
+//! The shared message-tag scheme of the distributed factorization.
+//!
+//! Both transport backends carry `(src, tag, payload)` frames; the tag is
+//! how a receiver matches a frame to the protocol step that expects it.
+//! The distributed driver packs three coordinates into one `u32`:
+//!
+//! ```text
+//! tag = level * 64 + phase * 8 + kind        (phase < 8, kind < 8)
+//! ```
+//!
+//! * `level` — quad-tree level the step belongs to;
+//! * `phase` — `0` = interior elimination, `1..=4` = the four boundary
+//!   color rounds, `5` = fold shipments, `6`/`7` = level-transition,
+//!   top-gather and solve bookkeeping steps;
+//! * `kind` — which message of the step (see the `KIND_*` constants).
+//!
+//! Keeping the scheme here — in the runtime, next to the transports —
+//! lets a receive timeout decode the tag it was waiting for back into
+//! algorithm terms (see [`describe`]), instead of reporting a bare
+//! integer: when a 4-process run hangs, "level 3, boundary color round 2,
+//! PHASE_UPDATE" locates the bug; "tag 218" does not.
+//!
+//! The top of the `u32` range ([`CTRL_BASE`]`..`) is reserved for the TCP
+//! backend's control frames (handshake, barrier, worker results); data
+//! tags must stay below it, which [`crate::world::RankCtx::send`]
+//! enforces.
+
+/// Per-box elimination side effects shipped to tracking neighbors.
+pub const KIND_PHASE_UPDATE: u32 = 0;
+/// Block + active-set shipment from a retiring rank to its fold corner.
+pub const KIND_FOLD: u32 = 1;
+/// Authoritative parent active sets after a level transition.
+pub const KIND_ACT_REFRESH: u32 = 2;
+/// Remaining active blocks gathered on rank 0 for the top factorization.
+pub const KIND_TOP: u32 = 3;
+/// Elimination records gathered on rank 0 into the `Factorization`.
+pub const KIND_RECORDS: u32 = 4;
+/// Upward-pass solve deltas on remotely-owned entries.
+pub const KIND_SOLVE_UP: u32 = 5;
+/// Downward-pass request for remotely-owned solution values.
+pub const KIND_SOLVE_REQ: u32 = 6;
+/// Solution values (downward-pass replies, fold/top value exchanges).
+pub const KIND_SOLVE_VAL: u32 = 7;
+
+/// First tag reserved for transport-internal control frames; algorithm
+/// data tags must be smaller.
+pub const CTRL_BASE: u32 = u32::MAX - 15;
+
+/// Compose a data tag from its `(level, phase, kind)` coordinates.
+pub fn tag(level: u8, phase: u8, kind: u32) -> u32 {
+    debug_assert!(phase < 8 && kind < 8);
+    (level as u32) * 64 + (phase as u32) * 8 + kind
+}
+
+/// Split a data tag back into `(level, phase, kind)`.
+pub fn decode(tag: u32) -> (u8, u8, u32) {
+    ((tag / 64) as u8, ((tag / 8) % 8) as u8, tag % 8)
+}
+
+/// `true` for tags in the transport-internal control range.
+pub fn is_control(tag: u32) -> bool {
+    tag >= CTRL_BASE
+}
+
+/// Human name of a message kind.
+pub fn kind_name(kind: u32) -> &'static str {
+    match kind {
+        KIND_PHASE_UPDATE => "PHASE_UPDATE",
+        KIND_FOLD => "FOLD",
+        KIND_ACT_REFRESH => "ACT_REFRESH",
+        KIND_TOP => "TOP",
+        KIND_RECORDS => "RECORDS",
+        KIND_SOLVE_UP => "SOLVE_UP",
+        KIND_SOLVE_REQ => "SOLVE_REQ",
+        KIND_SOLVE_VAL => "SOLVE_VAL",
+        _ => "UNKNOWN",
+    }
+}
+
+/// Human name of a phase slot.
+fn phase_name(phase: u8) -> String {
+    match phase {
+        0 => "interior".to_string(),
+        1..=4 => format!("boundary color round {}", phase - 1),
+        5 => "fold".to_string(),
+        _ => "transition/gather".to_string(),
+    }
+}
+
+/// Decode a tag into algorithm terms for diagnostics: level, phase and
+/// kind for data tags, the control-frame name for transport tags.
+pub fn describe(t: u32) -> String {
+    if is_control(t) {
+        let name = match t - CTRL_BASE {
+            0 => "HELLO",
+            1 => "PEERS",
+            2 => "DIAL",
+            3 => "BARRIER",
+            4 => "BARRIER_ACK",
+            5 => "RESULT",
+            6 => "PANIC",
+            _ => "RESERVED",
+        };
+        return format!("control {name}");
+    }
+    let (level, phase, kind) = decode(t);
+    format!(
+        "level {level}, {}, kind {}",
+        phase_name(phase),
+        kind_name(kind)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_orders() {
+        for level in [0u8, 1, 3, 7] {
+            for phase in 0..8u8 {
+                for kind in 0..8u32 {
+                    let t = tag(level, phase, kind);
+                    assert!(!is_control(t));
+                    assert_eq!(decode(t), (level, phase, kind));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn describe_names_algorithm_terms() {
+        let t = tag(3, 2, KIND_SOLVE_UP);
+        let d = describe(t);
+        assert!(d.contains("level 3"), "{d}");
+        assert!(d.contains("color round 1"), "{d}");
+        assert!(d.contains("SOLVE_UP"), "{d}");
+        assert!(describe(CTRL_BASE + 3).contains("BARRIER"));
+    }
+}

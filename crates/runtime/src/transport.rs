@@ -1,0 +1,1180 @@
+//! Pluggable message transports: ranks as threads or as real OS processes.
+//!
+//! A [`World`](crate::world::World) runs the same rank closure over one of
+//! two backends, selected with [`Transport`]:
+//!
+//! * [`Transport::InProc`] — every rank is an OS thread of the calling
+//!   process; frames move through in-memory channels. Fast to spin up,
+//!   deterministic, and the right default for tests and benches.
+//! * [`Transport::Tcp`] — every rank is a **separate OS process** and
+//!   frames move over localhost TCP sockets, so ranks genuinely share no
+//!   memory. The calling process becomes rank 0 and launches ranks
+//!   `1..p` by re-executing its own binary (`std::env::current_exe`)
+//!   with the `SRSF_RANK` / `SRSF_WORLD` / `SRSF_ADDR` / `SRSF_SEQ`
+//!   environment set. A spawned worker re-runs `main` until it reaches
+//!   the matching `World::run` call, joins the rendezvous, runs *only*
+//!   its rank, ships its result back to rank 0, and exits.
+//!
+//! Both backends implement [`RankTransport`] — tagged point-to-point
+//! send/recv with out-of-order buffering, plus a barrier — and the
+//! communication counters are maintained *above* the trait (in
+//! [`RankCtx`](crate::world::RankCtx)), so per-rank message/word counts
+//! are identical across backends by construction: the paper's §IV bounds
+//! measured over TCP are measurements of real inter-process traffic.
+//!
+//! # Wire format
+//!
+//! Every frame is length-prefixed: a 16-byte header
+//! `(payload_len: u64 LE, src: u32 LE, tag: u32 LE)` followed by
+//! `payload_len` raw bytes. Tags below [`tags::CTRL_BASE`] are algorithm
+//! data; the top of the range is transport-internal (handshake, barrier,
+//! worker results — see below). Frames from other processes are decoded
+//! with the bounds-checked [`codec`](crate::codec) readers, so a
+//! truncated or hostile frame surfaces as an error, not a panic or an
+//! attacker-sized allocation.
+//!
+//! # Rendezvous / handshake
+//!
+//! 1. Rank 0 binds an ephemeral rendezvous listener on `127.0.0.1` and
+//!    spawns ranks `1..p` with its address in `SRSF_ADDR`.
+//! 2. Each worker binds its own ephemeral peer listener, connects to the
+//!    rendezvous, and sends `HELLO{magic, version, session, world, rank,
+//!    peer_port}`. Rank 0 validates every field (stale sessions and
+//!    stray connections are rejected) and the hello assigns the worker
+//!    its slot.
+//! 3. Rank 0 broadcasts `PEERS{world, ports[0..p]}` over the rendezvous
+//!    connections, which stay open as the rank-0 data links.
+//! 4. Workers complete the mesh: rank `i` dials ranks `1..i` (sending
+//!    `DIAL{magic, session, rank}`) and accepts connections from ranks
+//!    `i+1..p`, giving every pair of ranks a dedicated socket.
+//!
+//! After the handshake each rank runs one reader thread per link that
+//! decodes frames into a single matching queue; barriers are centralized
+//! control frames through rank 0 (`BARRIER` / `BARRIER_ACK`), which do
+//! not touch the data counters — same as the in-process barrier. On both
+//! backends a barrier honors the world's receive timeout, so a rank that
+//! died before arriving surfaces as a panic, not a hang.
+//!
+//! When the rank closure returns, workers send `RESULT{CommStats, R}`
+//! (both [`Wire`]-encoded) to rank 0 and exit; a panicking worker sends
+//! `PANIC{message}` instead, and rank 0 re-panics with the worker's
+//! message so failures look the same as on the in-process backend.
+//!
+//! # Re-exec discipline
+//!
+//! Spawning by re-exec means a worker re-runs everything `main` does
+//! before the `World::run` call, so that prefix must be deterministic
+//! and reasonably cheap. Programs that run several TCP worlds are
+//! handled with a per-thread session counter (`SRSF_SEQ`): a worker
+//! executes earlier sessions on the in-process backend (pure
+//! recomputation to reach the same program point) and joins over TCP
+//! exactly at the session it was spawned for. Test binaries should pass
+//! `[test_name, "--exact"]` to [`set_tcp_child_args`] so a worker re-runs
+//! only the one test that spawned it.
+//!
+//! The session counter is per *launcher thread*, but a re-executed
+//! worker cannot tell which launcher thread a session belonged to —
+//! create TCP worlds from one thread of a program at a time.
+//! (Concurrent TCP worlds from *different test functions* are fine:
+//! `--exact` re-runs make each worker see only its own test's
+//! sessions.)
+
+use crate::codec::{ByteReader, ByteWriter, Bytes, Wire};
+use crate::stats::{CommStats, WorldStats};
+use crate::tags;
+use crate::world::{RankCtx, World};
+use std::cell::{Cell, RefCell};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Message-transport backend selection for a `World`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Transport {
+    /// Ranks as threads of this process, frames over in-memory channels.
+    #[default]
+    InProc,
+    /// Ranks as spawned OS processes, frames over localhost TCP sockets.
+    Tcp,
+}
+
+impl core::fmt::Display for Transport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Transport::InProc => "inproc",
+            Transport::Tcp => "tcp",
+        })
+    }
+}
+
+impl core::str::FromStr for Transport {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "inproc" | "threads" => Ok(Transport::InProc),
+            "tcp" | "process" | "processes" => Ok(Transport::Tcp),
+            other => Err(format!(
+                "unknown transport {other:?} (expected \"inproc\" or \"tcp\")"
+            )),
+        }
+    }
+}
+
+/// A received frame: source rank, tag, payload.
+#[derive(Debug)]
+pub struct RawMsg {
+    /// Sending rank.
+    pub src: usize,
+    /// Message tag.
+    pub tag: u32,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// What a reader pushes into the matching queue.
+enum Event {
+    Frame(RawMsg),
+    /// The link to `src` closed; no further frames from it can arrive.
+    Eof(usize),
+}
+
+/// Why a receive did not complete.
+#[derive(Debug)]
+pub enum RecvError {
+    /// No matching frame arrived within the timeout.
+    Timeout {
+        /// The waiting rank.
+        rank: usize,
+        /// Rank the frame was expected from.
+        src: usize,
+        /// Tag the receive was matching.
+        tag: u32,
+        /// How long the rank waited.
+        waited: Duration,
+    },
+    /// The link to `src` closed with the receive still unmatched.
+    Disconnected {
+        /// The waiting rank.
+        rank: usize,
+        /// Rank the frame was expected from.
+        src: usize,
+        /// Tag the receive was matching.
+        tag: u32,
+    },
+}
+
+impl core::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RecvError::Timeout {
+                rank,
+                src,
+                tag,
+                waited,
+            } => write!(
+                f,
+                "rank {rank} timed out after {waited:.1?} waiting for a message from rank {src} \
+                 with tag {tag} ({})",
+                tags::describe(*tag)
+            ),
+            RecvError::Disconnected { rank, src, tag } => write!(
+                f,
+                "rank {rank} lost rank {src} while waiting for tag {tag} ({})",
+                tags::describe(*tag)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// The backend surface a [`RankCtx`](crate::world::RankCtx) runs on:
+/// tagged point-to-point messaging with out-of-order buffering, plus a
+/// barrier. Implementations do **not** count traffic — the counters live
+/// in `RankCtx`, which is what makes the counts backend-invariant.
+pub trait RankTransport: Send {
+    /// This rank's id in `0..size`.
+    fn rank(&self) -> usize;
+
+    /// World size `p`.
+    fn size(&self) -> usize;
+
+    /// Ship `payload` to rank `dst` under `tag`.
+    fn send(&mut self, dst: usize, tag: u32, payload: Bytes);
+
+    /// Next frame from `src` whose tag is in `matching` (other frames are
+    /// buffered for later receives).
+    fn recv_any_of(
+        &mut self,
+        src: usize,
+        matching: &[u32],
+        timeout: Duration,
+    ) -> Result<RawMsg, RecvError>;
+
+    /// Blocking receive of the next `(src, tag)` frame.
+    fn recv(&mut self, src: usize, tag: u32, timeout: Duration) -> Result<Bytes, RecvError> {
+        Ok(self.recv_any_of(src, &[tag], timeout)?.payload)
+    }
+
+    /// Synchronize all ranks.
+    fn barrier(&mut self, timeout: Duration) -> Result<(), RecvError>;
+}
+
+/// Frame matching shared by both backends: a single incoming channel (fed
+/// by senders or reader threads) plus a buffer of frames received ahead
+/// of the receive that wants them.
+struct MsgQueue {
+    rank: usize,
+    pending: Vec<RawMsg>,
+    rx: Receiver<Event>,
+    closed: Vec<bool>,
+}
+
+impl MsgQueue {
+    fn new(rank: usize, size: usize, rx: Receiver<Event>) -> Self {
+        Self {
+            rank,
+            pending: Vec::new(),
+            rx,
+            closed: vec![false; size],
+        }
+    }
+
+    fn recv_where(
+        &mut self,
+        src: usize,
+        matching: &[u32],
+        timeout: Duration,
+    ) -> Result<RawMsg, RecvError> {
+        let hit = |m: &RawMsg| m.src == src && matching.contains(&m.tag);
+        if let Some(pos) = self.pending.iter().position(hit) {
+            return Ok(self.pending.swap_remove(pos));
+        }
+        let disconnected = || RecvError::Disconnected {
+            rank: self.rank,
+            src,
+            tag: matching[0],
+        };
+        if self.closed[src] {
+            return Err(disconnected());
+        }
+        let start = Instant::now();
+        let deadline = start + timeout;
+        let timed_out = || RecvError::Timeout {
+            rank: self.rank,
+            src,
+            tag: matching[0],
+            waited: start.elapsed(),
+        };
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(timed_out());
+            }
+            match self.rx.recv_timeout(deadline - now) {
+                Ok(Event::Frame(m)) if hit(&m) => return Ok(m),
+                Ok(Event::Frame(m)) => self.pending.push(m),
+                Ok(Event::Eof(s)) => {
+                    self.closed[s] = true;
+                    if s == src {
+                        return Err(disconnected());
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => return Err(timed_out()),
+                Err(RecvTimeoutError::Disconnected) => return Err(disconnected()),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process backend
+// ---------------------------------------------------------------------------
+
+/// A barrier whose wait can time out, so a rank that died before
+/// arriving surfaces as a diagnosable error instead of hanging the
+/// world forever — the same contract the TCP barrier gets from its
+/// control-frame receives.
+struct TimeoutBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    p: usize,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+impl TimeoutBarrier {
+    fn new(p: usize) -> Self {
+        Self {
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+            p,
+        }
+    }
+
+    /// `true` if all ranks arrived within `timeout`.
+    fn wait(&self, timeout: Duration) -> bool {
+        let mut s = self.state.lock().expect("barrier lock");
+        let gen = s.generation;
+        s.arrived += 1;
+        if s.arrived == self.p {
+            s.arrived = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        while s.generation == gen {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                // Withdraw this arrival so the state stays consistent for
+                // the ranks still waiting (they will time out themselves).
+                s.arrived -= 1;
+                return false;
+            }
+            s = self.cv.wait_timeout(s, remaining).expect("barrier lock").0;
+        }
+        true
+    }
+}
+
+/// The in-process backend: per-rank mpsc channels and a shared barrier.
+struct InProcTransport {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Event>>,
+    queue: MsgQueue,
+    barrier: Arc<TimeoutBarrier>,
+}
+
+impl RankTransport for InProcTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+    fn size(&self) -> usize {
+        self.size
+    }
+    fn send(&mut self, dst: usize, tag: u32, payload: Bytes) {
+        self.senders[dst]
+            .send(Event::Frame(RawMsg {
+                src: self.rank,
+                tag,
+                payload,
+            }))
+            .expect("receiver hung up");
+    }
+    fn recv_any_of(
+        &mut self,
+        src: usize,
+        matching: &[u32],
+        timeout: Duration,
+    ) -> Result<RawMsg, RecvError> {
+        self.queue.recv_where(src, matching, timeout)
+    }
+    fn barrier(&mut self, timeout: Duration) -> Result<(), RecvError> {
+        if self.barrier.wait(timeout) {
+            Ok(())
+        } else {
+            Err(RecvError::Timeout {
+                rank: self.rank,
+                src: 0,
+                tag: TAG_BARRIER,
+                waited: timeout,
+            })
+        }
+    }
+}
+
+/// Build the `p` connected in-process transports of one world.
+pub(crate) fn inproc_world(p: usize) -> Vec<Box<dyn RankTransport>> {
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = channel::<Event>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let barrier = Arc::new(TimeoutBarrier::new(p));
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, rx)| {
+            Box::new(InProcTransport {
+                rank,
+                size: p,
+                senders: senders.clone(),
+                queue: MsgQueue::new(rank, p, rx),
+                barrier: barrier.clone(),
+            }) as Box<dyn RankTransport>
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// TCP backend: framing
+// ---------------------------------------------------------------------------
+
+const TAG_HELLO: u32 = tags::CTRL_BASE;
+const TAG_PEERS: u32 = tags::CTRL_BASE + 1;
+const TAG_DIAL: u32 = tags::CTRL_BASE + 2;
+const TAG_BARRIER: u32 = tags::CTRL_BASE + 3;
+const TAG_BARRIER_ACK: u32 = tags::CTRL_BASE + 4;
+const TAG_RESULT: u32 = tags::CTRL_BASE + 5;
+const TAG_PANIC: u32 = tags::CTRL_BASE + 6;
+
+/// `b"SRSFTCP1"` — first field of every handshake payload.
+const MAGIC: u64 = u64::from_le_bytes(*b"SRSFTCP1");
+const VERSION: u64 = 1;
+const FRAME_HDR: usize = 16;
+/// Sanity cap on a data-frame payload; a corrupted header cannot demand
+/// more.
+const MAX_FRAME: u64 = 1 << 32;
+/// Cap on handshake-frame payloads, which are read from connectors that
+/// have not yet proven a magic number (HELLO/DIAL are 48 bytes; PEERS is
+/// `8 + 8p`).
+const HANDSHAKE_FRAME_CAP: u64 = 1 << 20;
+/// Per-connection budget for reading a HELLO/DIAL off a fresh accept: a
+/// genuine rank sends it immediately after connecting, so a connector
+/// silent for this long is a stray to reject — without letting it eat
+/// the whole handshake deadline while real ranks queue in the backlog.
+const ACCEPT_READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// Floor on how long the rendezvous, peer-table and mesh steps may take.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The handshake deadline: workers re-execute `main`'s prefix before they
+/// can connect — real recomputation, not a hang — and replay earlier TCP
+/// sessions in-process, so the deadline scales with the world's receive
+/// timeout (floored at [`HANDSHAKE_TIMEOUT`] so short test timeouts keep
+/// a functional handshake). `SRSF_HANDSHAKE_SECS` overrides it for
+/// launch prefixes heavier than the receive timeout.
+fn handshake_timeout(recv_timeout: Duration) -> Duration {
+    if let Some(secs) = std::env::var("SRSF_HANDSHAKE_SECS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        return Duration::from_secs(secs);
+    }
+    HANDSHAKE_TIMEOUT.max(recv_timeout)
+}
+/// Slice length for the result wait's liveness polling: rank 0 waits for
+/// a worker's result as long as the worker process is alive (its compute
+/// may legitimately outlast any protocol timeout — the in-process
+/// backend's join has the same semantics), failing fast only when the
+/// process has exited without reporting.
+const RESULT_POLL: Duration = Duration::from_secs(1);
+
+/// Environment a spawned worker process reads its assignment from.
+pub(crate) const ENV_RANK: &str = "SRSF_RANK";
+pub(crate) const ENV_WORLD: &str = "SRSF_WORLD";
+pub(crate) const ENV_ADDR: &str = "SRSF_ADDR";
+pub(crate) const ENV_SEQ: &str = "SRSF_SEQ";
+/// Set (to any value) to let worker processes inherit stdout instead of
+/// discarding it.
+pub(crate) const ENV_WORKER_STDOUT: &str = "SRSF_WORKER_STDOUT";
+
+fn write_frame(s: &mut TcpStream, src: usize, tag: u32, payload: &[u8]) -> std::io::Result<()> {
+    let mut hdr = [0u8; FRAME_HDR];
+    hdr[0..8].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    hdr[8..12].copy_from_slice(&(src as u32).to_le_bytes());
+    hdr[12..16].copy_from_slice(&tag.to_le_bytes());
+    s.write_all(&hdr)?;
+    s.write_all(payload)
+}
+
+/// Read one frame; `Ok(None)` on a clean EOF at a frame boundary.
+/// `cap` bounds the allocation the header can demand: handshake reads
+/// (which face arbitrary local connectors, *before* any magic check)
+/// pass [`HANDSHAKE_FRAME_CAP`]; established rank links pass
+/// [`MAX_FRAME`].
+fn read_frame(s: &mut TcpStream, cap: u64) -> std::io::Result<Option<(usize, u32, Bytes)>> {
+    let mut hdr = [0u8; FRAME_HDR];
+    if !read_exact_or_eof(s, &mut hdr)? {
+        return Ok(None);
+    }
+    let len = u64::from_le_bytes(hdr[0..8].try_into().unwrap());
+    if len > cap {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame claims {len} payload bytes (cap {cap})"),
+        ));
+    }
+    let src = u32::from_le_bytes(hdr[8..12].try_into().unwrap()) as usize;
+    let tag = u32::from_le_bytes(hdr[12..16].try_into().unwrap());
+    let mut payload = vec![0u8; len as usize];
+    s.read_exact(&mut payload)?;
+    Ok(Some((src, tag, payload)))
+}
+
+/// `read_exact`, except a clean EOF before the first byte returns
+/// `Ok(false)`.
+fn read_exact_or_eof(s: &mut impl Read, buf: &mut [u8]) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = s.read(&mut buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(false);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame",
+            ));
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+/// One reader thread per link: decode frames into the matching queue,
+/// then report the link's EOF. The per-link thread is what keeps sockets
+/// drained at all times — a rank blocked in compute cannot back-pressure
+/// its peers into a send/send deadlock.
+fn spawn_reader(mut stream: TcpStream, src: usize, tx: Sender<Event>) {
+    std::thread::Builder::new()
+        .name(format!("srsf-tcp-read-{src}"))
+        .spawn(move || loop {
+            match read_frame(&mut stream, MAX_FRAME) {
+                Ok(Some((hdr_src, tag, payload))) => {
+                    debug_assert_eq!(hdr_src, src, "frame src does not match its link");
+                    // The link identity (fixed at handshake) is
+                    // authoritative over the self-reported header field.
+                    if tx.send(Event::Frame(RawMsg { src, tag, payload })).is_err() {
+                        break;
+                    }
+                }
+                Ok(None) | Err(_) => {
+                    let _ = tx.send(Event::Eof(src));
+                    break;
+                }
+            }
+        })
+        .expect("spawn tcp reader thread");
+}
+
+// ---------------------------------------------------------------------------
+// TCP backend: transport
+// ---------------------------------------------------------------------------
+
+/// The TCP backend: one socket per peer (write side owned here, read side
+/// owned by the reader threads feeding `queue`).
+struct TcpTransport {
+    rank: usize,
+    size: usize,
+    peers: Vec<Option<TcpStream>>,
+    queue: MsgQueue,
+    barrier_seq: u64,
+}
+
+impl RankTransport for TcpTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+    fn size(&self) -> usize {
+        self.size
+    }
+    fn send(&mut self, dst: usize, tag: u32, payload: Bytes) {
+        let me = self.rank;
+        let s = self.peers[dst]
+            .as_mut()
+            .unwrap_or_else(|| panic!("rank {me} has no link to rank {dst}"));
+        write_frame(s, me, tag, &payload)
+            .unwrap_or_else(|e| panic!("rank {me} failed sending tag {tag} to rank {dst}: {e}"));
+    }
+    fn recv_any_of(
+        &mut self,
+        src: usize,
+        matching: &[u32],
+        timeout: Duration,
+    ) -> Result<RawMsg, RecvError> {
+        self.queue.recv_where(src, matching, timeout)
+    }
+
+    /// Centralized message barrier through rank 0. Control frames bypass
+    /// the data counters, mirroring the in-process `Barrier`.
+    fn barrier(&mut self, timeout: Duration) -> Result<(), RecvError> {
+        let seq = self.barrier_seq;
+        self.barrier_seq += 1;
+        if self.size == 1 {
+            return Ok(());
+        }
+        let me = self.rank;
+        let payload = seq.to_le_bytes().to_vec();
+        if me == 0 {
+            for src in 1..self.size {
+                let m = self.queue.recv_where(src, &[TAG_BARRIER], timeout)?;
+                assert_eq!(
+                    m.payload, payload,
+                    "barrier desync: rank {src} is at a different barrier than rank 0"
+                );
+            }
+            for dst in 1..self.size {
+                let s = self.peers[dst].as_mut().expect("barrier link");
+                write_frame(s, 0, TAG_BARRIER_ACK, &payload)
+                    .unwrap_or_else(|e| panic!("barrier ack to rank {dst}: {e}"));
+            }
+        } else {
+            let s = self.peers[0].as_mut().expect("barrier link");
+            write_frame(s, me, TAG_BARRIER, &payload)
+                .unwrap_or_else(|e| panic!("rank {me} barrier arrival: {e}"));
+            let m = self.queue.recv_where(0, &[TAG_BARRIER_ACK], timeout)?;
+            assert_eq!(m.payload, payload, "barrier desync at rank {me}");
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session bookkeeping, launcher configuration
+// ---------------------------------------------------------------------------
+
+/// The assignment a spawned worker process reads from its environment.
+pub(crate) struct WorkerJob {
+    pub rank: usize,
+    pub world: usize,
+    pub addr: String,
+    pub seq: u64,
+}
+
+fn parse_worker_env() -> Option<WorkerJob> {
+    let rank: usize = std::env::var(ENV_RANK).ok()?.parse().ok()?;
+    let world: usize = std::env::var(ENV_WORLD).ok()?.parse().ok()?;
+    let addr = std::env::var(ENV_ADDR).ok()?;
+    let seq: u64 = std::env::var(ENV_SEQ).ok()?.parse().ok()?;
+    Some(WorkerJob {
+        rank,
+        world,
+        addr,
+        seq,
+    })
+}
+
+pub(crate) fn worker_job() -> Option<&'static WorkerJob> {
+    static JOB: OnceLock<Option<WorkerJob>> = OnceLock::new();
+    JOB.get_or_init(parse_worker_env).as_ref()
+}
+
+/// `true` when this process is a spawned TCP worker rank rather than the
+/// launching process. Programs that print around `World::run` can use
+/// this to keep output on the launcher only (workers re-run `main` up to
+/// the `run` call and then exit inside it, so code *before* the call runs
+/// in every rank process).
+pub fn is_spawned_worker() -> bool {
+    worker_job().is_some()
+}
+
+thread_local! {
+    /// TCP sessions created by this thread, in order. A worker is spawned
+    /// for one specific session (`SRSF_SEQ`) and must re-reach exactly
+    /// that `World::run` call; earlier sessions re-run in-process.
+    static TCP_SESSION: Cell<u64> = const { Cell::new(0) };
+    /// Override for the argv a TCP world hands to spawned workers.
+    static CHILD_ARGS: RefCell<Option<Vec<String>>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn next_session_seq() -> u64 {
+    TCP_SESSION.with(|c| {
+        let v = c.get() + 1;
+        c.set(v);
+        v
+    })
+}
+
+/// Override the arguments passed to re-executed worker processes for TCP
+/// worlds created *by this thread* (`None` restores the default: the
+/// launching process's own arguments).
+///
+/// Required inside `cargo test` binaries, where the default would make a
+/// worker re-run the whole test suite: pass
+/// `vec!["<full_test_name>".into(), "--exact".into()]` so the worker
+/// re-runs only the test that spawned it.
+pub fn set_tcp_child_args(args: Option<Vec<String>>) {
+    CHILD_ARGS.with(|c| *c.borrow_mut() = args);
+}
+
+fn child_args() -> Vec<String> {
+    CHILD_ARGS
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(|| std::env::args().skip(1).collect())
+}
+
+/// Kills still-running workers if the launcher unwinds mid-session, so a
+/// failed test cannot strand rank processes waiting on their timeouts.
+#[derive(Default)]
+struct ChildGuard {
+    spawned: Vec<(usize, std::process::Child)>,
+    done: bool,
+}
+
+impl ChildGuard {
+    /// Panic early (with the worker's exit status) if a worker died
+    /// before completing the handshake.
+    fn check_none_exited(&mut self) {
+        for (rank, child) in &mut self.spawned {
+            if let Ok(Some(status)) = child.try_wait() {
+                panic!("worker rank {rank} exited during the handshake: {status}");
+            }
+        }
+    }
+
+    /// `Some(status)` if the worker for `rank` has exited.
+    fn exited(&mut self, rank: usize) -> Option<std::process::ExitStatus> {
+        self.spawned
+            .iter_mut()
+            .find(|(r, _)| *r == rank)
+            .and_then(|(_, child)| child.try_wait().ok().flatten())
+    }
+
+    /// Exit status of the worker for `rank`, waiting briefly for the
+    /// process to be reaped (its socket EOF precedes the exit by a
+    /// moment).
+    fn status_of(&mut self, rank: usize) -> String {
+        let Some((_, child)) = self.spawned.iter_mut().find(|(r, _)| *r == rank) else {
+            return "unknown worker".to_string();
+        };
+        for _ in 0..200 {
+            if let Ok(Some(status)) = child.try_wait() {
+                return status.to_string();
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        "process still running".to_string()
+    }
+
+    fn finish(mut self) {
+        self.done = true;
+        for (_, child) in &mut self.spawned {
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        if !self.done {
+            for (_, child) in &mut self.spawned {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP backend: launcher (rank 0) and worker entry
+// ---------------------------------------------------------------------------
+
+/// Validate a rendezvous `HELLO`; returns the worker's `(rank, peer
+/// port)`. Uses the bounds-checked readers throughout — this is the one
+/// place where bytes from an arbitrary connector reach the runtime.
+fn read_hello(s: &mut TcpStream, p: usize, seq: u64) -> Result<(usize, u16), String> {
+    let (_, tag, payload) = read_frame(s, HANDSHAKE_FRAME_CAP)
+        .map_err(|e| format!("hello read failed: {e}"))?
+        .ok_or("connection closed before HELLO")?;
+    if tag != TAG_HELLO {
+        return Err(format!("expected HELLO, got tag {tag}"));
+    }
+    let mut r = ByteReader::new(payload);
+    let mut next = |what: &'static str| {
+        r.try_get_u64()
+            .map_err(|e| format!("malformed HELLO ({what}): {e}"))
+    };
+    if next("magic")? != MAGIC {
+        return Err("bad magic — connector is not an srsf worker".into());
+    }
+    let version = next("version")?;
+    if version != VERSION {
+        return Err(format!("wire version {version}, expected {VERSION}"));
+    }
+    let got_seq = next("session")?;
+    if got_seq != seq {
+        return Err(format!(
+            "worker from session {got_seq}, this is session {seq}"
+        ));
+    }
+    let world = next("world")? as usize;
+    if world != p {
+        return Err(format!(
+            "worker built a {world}-rank world, launcher has {p}"
+        ));
+    }
+    let rank = next("rank")? as usize;
+    if rank == 0 || rank >= p {
+        return Err(format!("worker rank {rank} out of range 1..{p}"));
+    }
+    let port = next("port")?;
+    let port = u16::try_from(port).map_err(|_| format!("peer port {port} out of range"))?;
+    Ok((rank, port))
+}
+
+/// Rank-0 side of a TCP world: spawn workers, run the rendezvous, run
+/// rank 0 in this process, then collect the workers' results.
+pub(crate) fn run_tcp_parent<R, F>(world: &World, seq: u64, f: F) -> (Vec<R>, WorldStats)
+where
+    R: Send + Wire,
+    F: Fn(&mut RankCtx) -> R + Send + Sync,
+{
+    let p = world.size();
+    let recv_timeout = world.recv_timeout();
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind rendezvous listener");
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking rendezvous listener");
+    let addr = listener.local_addr().expect("rendezvous address");
+    let exe = std::env::current_exe().expect("current_exe for worker re-exec");
+    let args = child_args();
+
+    let mut children = ChildGuard::default();
+    for rank in 1..p {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.args(&args)
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_WORLD, p.to_string())
+            .env(ENV_ADDR, addr.to_string())
+            .env(ENV_SEQ, seq.to_string());
+        if std::env::var_os(ENV_WORKER_STDOUT).is_none() {
+            // Workers re-run main's prefix, so their stdout would
+            // duplicate the launcher's; panics still reach stderr.
+            cmd.stdout(std::process::Stdio::null());
+        }
+        let child = cmd
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawn worker rank {rank}: {e}"));
+        children.spawned.push((rank, child));
+    }
+
+    // Rendezvous: collect one valid HELLO per worker rank.
+    let handshake = handshake_timeout(recv_timeout);
+    let deadline = Instant::now() + handshake;
+    let mut streams: Vec<Option<TcpStream>> = (0..p).map(|_| None).collect();
+    let mut ports = vec![0u16; p];
+    let mut got = 0;
+    while got + 1 < p {
+        // The deadline binds every branch: a stray connector that stalls
+        // mid-hello must not extend the wait past it (its read timeout
+        // is capped at the remaining budget), and repeated dials cannot
+        // keep the accept arm hot forever.
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        assert!(
+            remaining > Duration::ZERO,
+            "rendezvous timed out with {got} of {} workers connected",
+            p - 1
+        );
+        match listener.accept() {
+            Ok((mut s, _)) => {
+                s.set_nonblocking(false).ok();
+                s.set_nodelay(true).ok();
+                s.set_read_timeout(Some(remaining.min(ACCEPT_READ_TIMEOUT)))
+                    .ok();
+                match read_hello(&mut s, p, seq) {
+                    Ok((rank, port)) => {
+                        assert!(
+                            streams[rank].is_none(),
+                            "worker rank {rank} connected twice"
+                        );
+                        ports[rank] = port;
+                        streams[rank] = Some(s);
+                        got += 1;
+                    }
+                    Err(e) => eprintln!("srsf-runtime: rejected rendezvous connection: {e}"),
+                }
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                children.check_none_exited();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => panic!("rendezvous accept failed: {e}"),
+        }
+    }
+
+    // Broadcast the peer table; the rendezvous links stay open as the
+    // rank-0 data links.
+    let mut w = ByteWriter::new();
+    w.put_u64(p as u64);
+    for &port in &ports {
+        w.put_u64(port as u64);
+    }
+    let table = w.finish();
+    for rank in 1..p {
+        let s = streams[rank].as_mut().expect("rendezvous link");
+        s.set_read_timeout(None).ok();
+        write_frame(s, 0, TAG_PEERS, &table)
+            .unwrap_or_else(|e| panic!("send peer table to rank {rank}: {e}"));
+    }
+
+    let (tx, rx) = channel();
+    for rank in 1..p {
+        let read_half = streams[rank]
+            .as_ref()
+            .unwrap()
+            .try_clone()
+            .expect("clone rank link");
+        spawn_reader(read_half, rank, tx.clone());
+    }
+    drop(tx);
+
+    let transport = TcpTransport {
+        rank: 0,
+        size: p,
+        peers: streams,
+        queue: MsgQueue::new(0, p, rx),
+        barrier_seq: 0,
+    };
+    let mut ctx = RankCtx::from_transport(Box::new(transport), recv_timeout);
+    let r0 = f(&mut ctx);
+    let stats0 = ctx.stats();
+    let mut transport = ctx.into_transport();
+
+    // Collect worker results (or their panics). The wait mirrors the
+    // in-process join: block as long as the worker process is alive
+    // (post-communication compute has no protocol deadline), fail fast
+    // once it has exited without reporting — the exit status then names
+    // the real cause instead of a timeout.
+    let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+    let mut world_stats = WorldStats {
+        per_rank: vec![CommStats::default(); p],
+    };
+    results[0] = Some(r0);
+    world_stats.per_rank[0] = stats0;
+    for src in 1..p {
+        let m = loop {
+            match transport.recv_any_of(src, &[TAG_RESULT, TAG_PANIC], RESULT_POLL) {
+                Ok(m) => break m,
+                Err(e @ RecvError::Disconnected { .. }) => {
+                    let status = children.status_of(src);
+                    panic!("worker rank {src} exited without reporting a result ({status}): {e}");
+                }
+                Err(RecvError::Timeout { .. }) => {
+                    if let Some(status) = children.exited(src) {
+                        // The result frame may still be draining through
+                        // the reader thread (exit closely follows the
+                        // send); give it one more poll before declaring
+                        // the worker dead.
+                        match transport.recv_any_of(src, &[TAG_RESULT, TAG_PANIC], RESULT_POLL) {
+                            Ok(m) => break m,
+                            Err(e) => panic!(
+                                "worker rank {src} exited without reporting a result \
+                                 ({status}): {e}"
+                            ),
+                        }
+                    }
+                }
+            }
+        };
+        if m.tag == TAG_PANIC {
+            let msg = String::from_utf8_lossy(&m.payload).into_owned();
+            panic!("rank {src} panicked: {msg}");
+        }
+        let mut r = ByteReader::new(m.payload);
+        let s =
+            CommStats::decode(&mut r).unwrap_or_else(|e| panic!("rank {src} result frame: {e}"));
+        let val = R::decode(&mut r).unwrap_or_else(|e| panic!("rank {src} result frame: {e}"));
+        world_stats.per_rank[src] = s;
+        results[src] = Some(val);
+    }
+    children.finish();
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("missing rank result"))
+        .collect();
+    (results, world_stats)
+}
+
+/// Worker side of a TCP world: join the rendezvous, complete the mesh,
+/// run this rank's closure, report the result, and exit the process
+/// (nothing after the launching `World::run` call may execute here).
+pub(crate) fn run_tcp_worker<R, F>(job: &WorkerJob, world: &World, f: F) -> !
+where
+    R: Send + Wire,
+    F: Fn(&mut RankCtx) -> R + Send + Sync,
+{
+    let p = world.size();
+    let rank = job.rank;
+    assert_eq!(
+        job.world, p,
+        "worker rank {rank} was spawned for a {}-rank world but this process built one with \
+         {p} ranks — the program must be deterministic up to its World::run calls",
+        job.world
+    );
+    assert!(rank >= 1 && rank < p, "worker rank {rank} out of range");
+
+    let mut hub = TcpStream::connect(job.addr.as_str())
+        .unwrap_or_else(|e| panic!("rank {rank}: cannot reach rendezvous {}: {e}", job.addr));
+    hub.set_nodelay(true).ok();
+    let handshake = handshake_timeout(world.recv_timeout());
+    hub.set_read_timeout(Some(handshake)).ok();
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind peer listener");
+    let my_port = listener.local_addr().expect("peer listener address").port();
+
+    let mut w = ByteWriter::new();
+    w.put_u64(MAGIC);
+    w.put_u64(VERSION);
+    w.put_u64(job.seq);
+    w.put_u64(p as u64);
+    w.put_u64(rank as u64);
+    w.put_u64(my_port as u64);
+    write_frame(&mut hub, rank, TAG_HELLO, &w.finish())
+        .unwrap_or_else(|e| panic!("rank {rank}: send HELLO: {e}"));
+
+    let (src, tag, payload) = read_frame(&mut hub, HANDSHAKE_FRAME_CAP)
+        .unwrap_or_else(|e| panic!("rank {rank}: read peer table: {e}"))
+        .unwrap_or_else(|| panic!("rank {rank}: rendezvous closed before the peer table"));
+    assert_eq!((src, tag), (0, TAG_PEERS), "handshake: expected PEERS");
+    let mut r = ByteReader::new(payload);
+    let world_size = r
+        .try_get_u64()
+        .unwrap_or_else(|e| panic!("rank {rank}: peer table: {e}")) as usize;
+    assert_eq!(world_size, p, "peer table world size mismatch");
+    let ports: Vec<u16> = (0..p)
+        .map(|_| {
+            r.try_get_u64()
+                .unwrap_or_else(|e| panic!("rank {rank}: peer table: {e}")) as u16
+        })
+        .collect();
+
+    // Mesh: dial every lower worker rank, accept every higher one.
+    let mut peers: Vec<Option<TcpStream>> = (0..p).map(|_| None).collect();
+    for dst in 1..rank {
+        let mut s = TcpStream::connect(("127.0.0.1", ports[dst]))
+            .unwrap_or_else(|e| panic!("rank {rank}: dial rank {dst}: {e}"));
+        s.set_nodelay(true).ok();
+        let mut w = ByteWriter::new();
+        w.put_u64(MAGIC);
+        w.put_u64(job.seq);
+        w.put_u64(rank as u64);
+        write_frame(&mut s, rank, TAG_DIAL, &w.finish())
+            .unwrap_or_else(|e| panic!("rank {rank}: DIAL rank {dst}: {e}"));
+        peers[dst] = Some(s);
+    }
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking peer listener");
+    let deadline = Instant::now() + handshake;
+    let mut accepted = 0;
+    while accepted < p - 1 - rank {
+        // As in the rendezvous loop: the deadline binds every branch and
+        // caps how long a stalled dialer can hold the accept arm.
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        assert!(
+            remaining > Duration::ZERO,
+            "rank {rank}: peer mesh timed out ({accepted} of {} dials)",
+            p - 1 - rank
+        );
+        match listener.accept() {
+            Ok((mut s, _)) => {
+                s.set_nonblocking(false).ok();
+                s.set_nodelay(true).ok();
+                s.set_read_timeout(Some(remaining.min(ACCEPT_READ_TIMEOUT)))
+                    .ok();
+                match read_dial(&mut s, p, job.seq) {
+                    Ok(peer) => {
+                        assert!(
+                            peer > rank && peers[peer].is_none(),
+                            "unexpected DIAL from rank {peer}"
+                        );
+                        s.set_read_timeout(None).ok();
+                        peers[peer] = Some(s);
+                        accepted += 1;
+                    }
+                    Err(e) => eprintln!("srsf-runtime: rank {rank} rejected peer dial: {e}"),
+                }
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => panic!("rank {rank}: peer accept failed: {e}"),
+        }
+    }
+
+    hub.set_read_timeout(None).ok();
+    // A second handle to the rank-0 link for the result frame, taken
+    // before the transport owns the stream.
+    let mut result_link = hub.try_clone().expect("clone rank-0 link");
+    peers[0] = Some(hub);
+
+    let (tx, rx) = channel();
+    for peer in 0..p {
+        if peer == rank {
+            continue;
+        }
+        let read_half = peers[peer]
+            .as_ref()
+            .unwrap_or_else(|| panic!("rank {rank}: missing link to rank {peer}"))
+            .try_clone()
+            .expect("clone peer link");
+        spawn_reader(read_half, peer, tx.clone());
+    }
+    drop(tx);
+
+    let transport = TcpTransport {
+        rank,
+        size: p,
+        peers,
+        queue: MsgQueue::new(rank, p, rx),
+        barrier_seq: 0,
+    };
+    let mut ctx = RankCtx::from_transport(Box::new(transport), world.recv_timeout());
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
+    let code = match outcome {
+        Ok(val) => {
+            let mut w = ByteWriter::new();
+            ctx.stats().encode(&mut w);
+            val.encode(&mut w);
+            write_frame(&mut result_link, rank, TAG_RESULT, &w.finish())
+                .unwrap_or_else(|e| panic!("rank {rank}: send result: {e}"));
+            0
+        }
+        Err(payload) => {
+            let msg = panic_message(payload);
+            let _ = write_frame(&mut result_link, rank, TAG_PANIC, msg.as_bytes());
+            101
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Validate a peer-mesh `DIAL`; returns the dialing rank.
+fn read_dial(s: &mut TcpStream, p: usize, seq: u64) -> Result<usize, String> {
+    let (_, tag, payload) = read_frame(s, HANDSHAKE_FRAME_CAP)
+        .map_err(|e| format!("dial read failed: {e}"))?
+        .ok_or("connection closed before DIAL")?;
+    if tag != TAG_DIAL {
+        return Err(format!("expected DIAL, got tag {tag}"));
+    }
+    let mut r = ByteReader::new(payload);
+    let mut next = |what: &'static str| {
+        r.try_get_u64()
+            .map_err(|e| format!("malformed DIAL ({what}): {e}"))
+    };
+    if next("magic")? != MAGIC {
+        return Err("bad magic".into());
+    }
+    let got_seq = next("session")?;
+    if got_seq != seq {
+        return Err(format!(
+            "dial from session {got_seq}, this is session {seq}"
+        ));
+    }
+    let rank = next("rank")? as usize;
+    if rank == 0 || rank >= p {
+        return Err(format!("dialing rank {rank} out of range"));
+    }
+    Ok(rank)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

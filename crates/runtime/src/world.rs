@@ -1,105 +1,110 @@
-//! The rank world: `p` simulated processes over OS threads.
+//! The rank world: `p` ranks over a pluggable message transport.
 //!
 //! Each rank runs a user closure against a [`RankCtx`] that exposes the
 //! message-passing surface (tagged point-to-point send/recv, barrier) and
 //! the accounting hooks. Ranks share no mutable state: all coordination
 //! goes through byte messages, so the algorithm code is structured exactly
-//! as an MPI program would be — the property that makes this an honest
-//! stand-in for the paper's multi-node runs (DESIGN.md §5).
+//! as an MPI program would be. Which fabric carries the bytes is chosen
+//! with [`World::transport`]:
+//!
+//! * [`Transport::InProc`] (default) — ranks as scoped OS threads of this
+//!   process over in-memory channels;
+//! * [`Transport::Tcp`] — ranks as spawned OS processes over localhost
+//!   sockets (see [`crate::transport`] for the launcher, handshake and
+//!   wire format).
+//!
+//! The per-rank [`CommStats`] counters are maintained here, *above* the
+//! transport, so the same program moves the same messages and words on
+//! either backend — backend equivalence of the counters is structural,
+//! and the paper's §IV communication bounds can be measured over real
+//! inter-process traffic.
 //!
 //! Deadlock discipline: the factorization's protocol is bulk-synchronous
 //! (compute phases separated by barriers; every `recv` has a matching
 //! `send` issued in the same round), and `recv` carries a generous timeout
-//! so protocol bugs surface as panics rather than hangs.
+//! so protocol bugs surface as panics rather than hangs. The panic names
+//! the waiting rank, the expected source, and the tag decoded back into
+//! algorithm terms (level / phase / kind — see [`crate::tags`]).
 
-use crate::codec::Bytes;
+use crate::codec::{Bytes, Wire};
 use crate::stats::{CommStats, WorldStats};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Barrier};
+use crate::tags;
+use crate::transport::{self, RankTransport, Transport};
 use std::time::{Duration, Instant};
 
-/// A tagged point-to-point message.
-#[derive(Clone, Debug)]
-struct Msg {
-    src: usize,
-    tag: u32,
-    payload: Bytes,
-}
-
-/// Per-rank handle: rank id, world size, channels, counters.
+/// Per-rank handle: rank id, world size, messaging, counters.
 pub struct RankCtx {
-    rank: usize,
-    size: usize,
-    senders: Vec<Sender<Msg>>,
-    receiver: Receiver<Msg>,
-    /// Messages received but not yet claimed by a matching `recv`.
-    pending: Vec<Msg>,
-    barrier: Arc<Barrier>,
+    transport: Box<dyn RankTransport>,
     stats: CommStats,
     recv_timeout: Duration,
 }
 
 impl RankCtx {
+    pub(crate) fn from_transport(
+        transport: Box<dyn RankTransport>,
+        recv_timeout: Duration,
+    ) -> Self {
+        Self {
+            transport,
+            stats: CommStats::default(),
+            recv_timeout,
+        }
+    }
+
+    pub(crate) fn into_transport(self) -> Box<dyn RankTransport> {
+        self.transport
+    }
+
     /// This rank's id in `0..size`.
     pub fn rank(&self) -> usize {
-        self.rank
+        self.transport.rank()
     }
 
     /// World size `p`.
     pub fn size(&self) -> usize {
-        self.size
+        self.transport.size()
     }
 
     /// Send `payload` to rank `dst` under `tag`. Counts one message and
     /// `ceil(len/8)` words.
     pub fn send(&mut self, dst: usize, tag: u32, payload: Bytes) {
-        assert!(dst < self.size, "rank {dst} out of range");
-        assert_ne!(dst, self.rank, "self-sends are a protocol bug");
+        assert!(dst < self.size(), "rank {dst} out of range");
+        assert_ne!(dst, self.rank(), "self-sends are a protocol bug");
+        assert!(
+            !tags::is_control(tag),
+            "tag {tag} is reserved for transport control frames"
+        );
         self.stats.msgs_sent += 1;
         self.stats.words_sent += (payload.len() as u64).div_ceil(8);
-        self.senders[dst]
-            .send(Msg {
-                src: self.rank,
-                tag,
-                payload,
-            })
-            .expect("receiver hung up");
+        self.transport.send(dst, tag, payload);
     }
 
     /// Blocking receive of the next message from `src` with `tag`.
     /// Out-of-order messages are buffered, so rank pairs can interleave
     /// tags freely.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no matching message arrives within the world's receive
+    /// timeout (or the link to `src` dies), naming the waiting rank, the
+    /// expected source and the decoded tag — on both backends.
     pub fn recv(&mut self, src: usize, tag: u32) -> Bytes {
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|m| m.src == src && m.tag == tag)
-        {
-            return self.pending.swap_remove(pos).payload;
-        }
         let start = Instant::now();
-        loop {
-            let m = self
-                .receiver
-                .recv_timeout(self.recv_timeout)
-                .unwrap_or_else(|_| {
-                    panic!(
-                        "rank {} timed out waiting for (src={src}, tag={tag})",
-                        self.rank
-                    )
-                });
-            if m.src == src && m.tag == tag {
+        match self.transport.recv_any_of(src, &[tag], self.recv_timeout) {
+            Ok(m) => {
                 self.stats.wait_s += start.elapsed().as_secs_f64();
-                return m.payload;
+                m.payload
             }
-            self.pending.push(m);
+            Err(e) => panic!("{e}"),
         }
     }
 
     /// Synchronize all ranks.
     pub fn barrier(&mut self) {
         let start = Instant::now();
-        self.barrier.wait();
+        if let Err(e) = self.transport.barrier(self.recv_timeout) {
+            panic!("barrier failed: {e}");
+        }
         self.stats.wait_s += start.elapsed().as_secs_f64();
     }
 
@@ -121,56 +126,93 @@ impl RankCtx {
 pub struct World {
     p: usize,
     recv_timeout: Duration,
+    transport: Transport,
 }
 
 impl World {
-    /// Create a world with `p` ranks.
+    /// Create a world with `p` ranks on the in-process backend.
     pub fn new(p: usize) -> Self {
         assert!(p >= 1);
         Self {
             p,
             recv_timeout: Duration::from_secs(120),
+            transport: Transport::InProc,
         }
     }
 
-    /// Override the receive timeout (tests use short ones).
+    /// Select the message transport (default: [`Transport::InProc`]).
+    pub fn transport(mut self, t: Transport) -> Self {
+        self.transport = t;
+        self
+    }
+
+    /// Override the receive timeout (tests use short ones). Honored by
+    /// both backends.
     pub fn with_recv_timeout(mut self, t: Duration) -> Self {
         self.recv_timeout = t;
         self
     }
 
+    /// World size `p`.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    pub(crate) fn recv_timeout(&self) -> Duration {
+        self.recv_timeout
+    }
+
     /// Run `f(rank_ctx)` on every rank concurrently; returns the per-rank
     /// results and the communication statistics.
+    ///
+    /// On [`Transport::Tcp`] this call spawns ranks `1..p` as real OS
+    /// processes (re-executing the current binary; see
+    /// [`crate::transport`]) and runs rank 0 in the calling process. In a
+    /// spawned worker the call never returns: the worker runs its rank,
+    /// reports its result to rank 0, and exits. `R: Wire` is what carries
+    /// the workers' results across the process boundary; on the
+    /// in-process backend it is not exercised.
     pub fn run<R, F>(&self, f: F) -> (Vec<R>, WorldStats)
+    where
+        R: Send + Wire,
+        F: Fn(&mut RankCtx) -> R + Send + Sync,
+    {
+        match self.transport {
+            Transport::InProc => self.run_inproc(f),
+            Transport::Tcp => {
+                let seq = transport::next_session_seq();
+                if let Some(job) = transport::worker_job() {
+                    if job.seq == seq {
+                        transport::run_tcp_worker(job, self, f)
+                    } else {
+                        // A worker re-running main's prefix has hit a TCP
+                        // session *earlier* than the one it was spawned
+                        // for: recompute it in-process to reach the same
+                        // program point with the same state.
+                        self.run_inproc(f)
+                    }
+                } else if self.p == 1 {
+                    // A 1-rank world exchanges no messages; there is no
+                    // transport to exercise and nothing to spawn.
+                    self.run_inproc(f)
+                } else {
+                    transport::run_tcp_parent(self, seq, f)
+                }
+            }
+        }
+    }
+
+    fn run_inproc<R, F>(&self, f: F) -> (Vec<R>, WorldStats)
     where
         R: Send,
         F: Fn(&mut RankCtx) -> R + Send + Sync,
     {
         let p = self.p;
-        let mut senders = Vec::with_capacity(p);
-        let mut receivers = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = channel::<Msg>();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let barrier = Arc::new(Barrier::new(p));
         let f = &f;
-        let mut ctxs: Vec<RankCtx> = receivers
+        let mut ctxs: Vec<RankCtx> = transport::inproc_world(p)
             .into_iter()
-            .enumerate()
-            .map(|(rank, receiver)| RankCtx {
-                rank,
-                size: p,
-                senders: senders.clone(),
-                receiver,
-                pending: Vec::new(),
-                barrier: barrier.clone(),
-                stats: CommStats::default(),
-                recv_timeout: self.recv_timeout,
-            })
+            .map(|t| RankCtx::from_transport(t, self.recv_timeout))
             .collect();
-        drop(senders);
 
         let mut out: Vec<Option<(R, CommStats)>> = (0..p).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -185,7 +227,13 @@ impl World {
                 ));
             }
             for (rank, h) in handles {
-                out[rank] = Some(h.join().expect("rank panicked"));
+                match h.join() {
+                    Ok(v) => out[rank] = Some(v),
+                    // Re-raise the rank's own panic payload so the
+                    // diagnostic (e.g. a decoded recv timeout) survives,
+                    // mirroring how the TCP backend relays worker panics.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         });
 
@@ -291,7 +339,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "timed out")]
     fn recv_timeout_panics_rather_than_hangs() {
         World::new(2)
             .with_recv_timeout(Duration::from_millis(50))
@@ -300,5 +348,51 @@ mod tests {
                     let _ = ctx.recv(0, 9); // never sent
                 }
             });
+    }
+
+    #[test]
+    fn timeout_panic_names_rank_src_and_decoded_tag() {
+        let t = crate::tags::tag(3, 2, crate::tags::KIND_SOLVE_UP);
+        let err = std::panic::catch_unwind(|| {
+            World::new(2)
+                .with_recv_timeout(Duration::from_millis(30))
+                .run(|ctx| {
+                    if ctx.rank() == 1 {
+                        let _ = ctx.recv(0, t);
+                    }
+                });
+        })
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "?".into());
+        assert!(msg.contains("rank 1 timed out"), "{msg}");
+        assert!(msg.contains("from rank 0"), "{msg}");
+        assert!(msg.contains("level 3"), "{msg}");
+        assert!(msg.contains("SOLVE_UP"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier failed")]
+    fn barrier_with_a_missing_rank_times_out_instead_of_hanging() {
+        World::new(2)
+            .with_recv_timeout(Duration::from_millis(50))
+            .run(|ctx| {
+                // Rank 1 returns without arriving; rank 0 must not hang.
+                if ctx.rank() == 0 {
+                    ctx.barrier();
+                }
+            });
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for transport control")]
+    fn control_tags_are_rejected_on_the_data_path() {
+        World::new(2).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, u32::MAX, Vec::new());
+            }
+        });
     }
 }

@@ -16,8 +16,9 @@
 //!   circles, process grids.
 //! * [`kernels`] — the 2-D Laplace and Helmholtz (Lippmann–Schwinger)
 //!   kernels and matrix assembly.
-//! * [`runtime`] — a simulated distributed-memory runtime (ranks as threads,
-//!   explicit messages, communication counters, α–β network model).
+//! * [`runtime`] — the distributed-memory runtime: pluggable transports
+//!   (ranks as threads, or as real OS processes over localhost TCP),
+//!   explicit messages, communication counters, α–β network model.
 //! * [`core`] — the factorization itself, behind the unified
 //!   [`Solver`](prelude::Solver) builder: sequential, shared-memory
 //!   box-colored, and distributed-memory process-colored drivers.
@@ -78,7 +79,7 @@ pub use srsf_special as special;
 pub mod prelude {
     pub use srsf_core::{
         colored::ColorScheme, sequential::Factorization, solver::SolverBuilder, stats::FactorStats,
-        Driver, FactorOpts, Factorized, Solver, SrsfError,
+        Driver, FactorOpts, Factorized, Solver, SrsfError, Transport,
     };
     // Deprecated free-function drivers, kept so pre-builder call sites
     // continue to compile against the prelude.
