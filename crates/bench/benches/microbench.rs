@@ -232,6 +232,38 @@ fn main() {
                     .expect("distributed factorization")
             });
         }
+
+        // Resident solve latency: factor once on a persistent in-process
+        // rank world, then serve repeated blocked solves in place
+        // (records stay on their ranks; each iteration is one full
+        // scatter -> distributed sweep -> gather round trip). The
+        // gathered case serves the same factorization from the rank-0
+        // global object — the serial path residency replaces.
+        let bm16 = {
+            let mut m = Mat::zeros(grid.n(), 16);
+            for j in 0..16 {
+                m.col_mut(j)
+                    .copy_from_slice(&random_vector::<f64>(grid.n(), 300 + j as u64));
+            }
+            m
+        };
+        let resident = Solver::builder(&kernel, &pts)
+            .opts(opts_for(Transport::InProc))
+            .driver(Driver::distributed(4))
+            .resident(true)
+            .build()
+            .expect("resident factorization");
+        h.bench("dist_solve/resident_1024_p4_nrhs16", || {
+            resident.solve_mat(&bm16)
+        });
+        let gathered = Solver::builder(&kernel, &pts)
+            .opts(opts_for(Transport::InProc))
+            .driver(Driver::distributed(4))
+            .build()
+            .expect("gathered factorization");
+        h.bench("dist_solve/gathered_1024_p4_nrhs16", || {
+            gathered.solve_mat(&bm16)
+        });
     }
 
     h.bench("bessel/hankel0_sweep", || {

@@ -1,4 +1,5 @@
-//! Algorithm 2: the distributed-memory parallel factorization and solve.
+//! The distributed factorization (Algorithm 2) and the gathered serving
+//! mode.
 //!
 //! Leaf boxes are block-partitioned over a `q x q` process grid (Figure 4).
 //! Every level runs as:
@@ -26,7 +27,14 @@
 //! [`FactorOpts::transport`] — and this module is backend-agnostic: the
 //! same code, solutions, and counters on both (see
 //! `tests/transport_equiv.rs`).
+//!
+//! The phase machinery up to (and including) the top factorization is
+//! shared with the resident serving mode as [`factor_phase`]; everything
+//! below it — the record gather onto rank 0, the one-shot in-world vector
+//! solve — is the *gathered* mode only. The resident mode's counterpart
+//! lives in [`super::serve`].
 
+use super::{box_near_region, get_box, get_ids, order_key, owner_of_point, region_of, RankState};
 use crate::elimination::{
     apply_output, eliminate_box, BoxElimination, EliminationOutput, FactorError,
 };
@@ -35,7 +43,7 @@ use crate::sequential::{domain_for, factor_top, Factorization};
 use crate::solve::{apply_downward, apply_upward, gather, scatter};
 use crate::stats::FactorStats;
 use crate::store::{ActiveSets, BlockStore};
-use crate::wire::{put_box, put_ids, try_get_box, try_get_ids, ScalarVec};
+use crate::wire::{put_box, put_ids, ScalarVec};
 use crate::FactorOpts;
 use srsf_geometry::neighbors::near_field;
 use srsf_geometry::point::Point;
@@ -54,50 +62,6 @@ use srsf_runtime::tags::{
 use srsf_runtime::world::{RankCtx, World};
 use srsf_runtime::WorldStats;
 use std::collections::{HashMap, HashSet};
-
-fn get_box(r: &mut ByteReader) -> BoxId {
-    try_get_box(r).unwrap_or_else(|e| panic!("{e}"))
-}
-
-fn get_ids(r: &mut ByteReader) -> Vec<u32> {
-    try_get_ids(r).unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Inclusive box-coordinate bounds of a rank's block at a level.
-fn region_of(grid: &ProcessGrid, rank: usize, level: u8) -> (i64, i64, i64, i64) {
-    let qe = grid.effective_q(level);
-    let s = 1u32 << level;
-    let block = (s / qe) as i64;
-    let (ex, ey) = grid.effective_coords(rank, level);
-    let x0 = ex as i64 * block;
-    let y0 = ey as i64 * block;
-    (x0, y0, x0 + block - 1, y0 + block - 1)
-}
-
-/// `true` if `b` is within Chebyshev distance `d` of the rank's region.
-fn box_near_region(b: &BoxId, region: (i64, i64, i64, i64), d: i64) -> bool {
-    let (x0, y0, x1, y1) = region;
-    let bx = b.ix as i64;
-    let by = b.iy as i64;
-    bx >= x0 - d && bx <= x1 + d && by >= y0 - d && by <= y1 + d
-}
-
-/// Owner rank of point `ptid` at `level` (via its ancestor box).
-fn owner_of_point(
-    grid: &ProcessGrid,
-    tree: &QuadTree,
-    pts: &[Point],
-    ptid: u32,
-    level: u8,
-) -> usize {
-    let p = pts[ptid as usize];
-    let s = 1u64 << level;
-    let dom = tree.domain();
-    let inv = s as f64 / dom.side;
-    let ix = (((p.x - dom.lo.x) * inv) as u64).min(s - 1) as u32;
-    let iy = (((p.y - dom.lo.y) * inv) as u64).min(s - 1) as u32;
-    grid.owner(&BoxId { level, ix, iy })
-}
 
 /// Serialize one box's elimination side effects for a tracking rank:
 /// skeleton metadata always, block payloads filtered by the owner rule.
@@ -186,26 +150,20 @@ fn decode_record<T: Scalar>(r: &mut ByteReader) -> (u64, BoxElimination<T>) {
     (key, rec)
 }
 
-/// Global elimination-order key: level sweep, then phase, then row-major.
-fn order_key(leaf: u8, level: u8, phase: u8, b: &BoxId) -> u64 {
-    (((leaf - level) as u64) << 44) | ((phase as u64) << 40) | b.flat() as u64
-}
-
 /// A factorization gathered on rank 0, the per-rank communication
 /// counters, and (when a right-hand side was supplied) the solution.
-type DistOutcome<T> = Result<(Factorization<T>, WorldStats, Option<Vec<T>>), FactorError>;
+pub type DistOutcome<T> = Result<(Factorization<T>, WorldStats, Option<Vec<T>>), FactorError>;
 
-/// Per-rank state shared between the factorization and solve passes.
-struct RankState<T> {
-    records: Vec<(u64, BoxElimination<T>)>,
-    /// `(level, phase)` per record, aligned with `records`.
-    record_phase: Vec<(u8, u8)>,
-    /// Post-elimination active sets of *owned* boxes per level.
-    act_end: HashMap<u8, Vec<(BoxId, Vec<u32>)>>,
-    /// Fold bookkeeping for the solve: ids received from each retiring
-    /// member at each fold level.
-    fold_ids: HashMap<(u8, usize), Vec<u32>>,
-    stats: FactorStats,
+/// What the gathered-mode build yields: the factorization assembled on
+/// rank 0, the algorithmic per-rank counters, the optional in-world
+/// solution, and each rank's *resident* record footprint in bytes — what
+/// the rank held before shipping its records to the gather (the number
+/// [`crate::Solver::memory_bytes_per_rank`] reports).
+pub(crate) struct DistBuild<T> {
+    pub(crate) fact: Factorization<T>,
+    pub(crate) stats: WorldStats,
+    pub(crate) x: Option<Vec<T>>,
+    pub(crate) per_rank_bytes: Vec<usize>,
 }
 
 /// Distributed factorization; returns the factorization assembled on rank
@@ -221,8 +179,8 @@ pub fn dist_factorize<K: Kernel>(
     opts: &FactorOpts,
 ) -> Result<(Factorization<K::Elem>, WorldStats), FactorError> {
     let tree = QuadTree::build(pts, domain_for(pts), opts.leaf_size);
-    let (f, s, _) = dist_factorize_with_tree(kernel, pts, &tree, grid, opts, None)?;
-    Ok((f, s))
+    let b = dist_factorize_with_tree(kernel, pts, &tree, grid, opts, None)?;
+    Ok((b.fact, b.stats))
 }
 
 /// Distributed factorization plus (optionally) one distributed solve.
@@ -239,11 +197,12 @@ pub fn dist_factorize_and_solve<K: Kernel>(
     rhs: Option<&[K::Elem]>,
 ) -> DistOutcome<K::Elem> {
     let tree = QuadTree::build(pts, domain_for(pts), opts.leaf_size);
-    dist_factorize_with_tree(kernel, pts, &tree, grid, opts, rhs)
+    let b = dist_factorize_with_tree(kernel, pts, &tree, grid, opts, rhs)?;
+    Ok((b.fact, b.stats, b.x))
 }
 
-/// Distributed factorization against a caller-provided tree (the driver
-/// entry point used by `Solver`).
+/// Distributed factorization against a caller-provided tree (the
+/// gathered-mode driver entry point used by `Solver`).
 pub(crate) fn dist_factorize_with_tree<K: Kernel>(
     kernel: &K,
     pts: &[Point],
@@ -251,7 +210,7 @@ pub(crate) fn dist_factorize_with_tree<K: Kernel>(
     grid: &ProcessGrid,
     opts: &FactorOpts,
     rhs: Option<&[K::Elem]>,
-) -> DistOutcome<K::Elem> {
+) -> Result<DistBuild<K::Elem>, FactorError> {
     let leaf = tree.leaf_level();
     let lmin = (opts.min_compress_level as u8).min(leaf);
     let world = World::new(grid.p()).transport(opts.transport);
@@ -264,10 +223,12 @@ pub(crate) fn dist_factorize_with_tree<K: Kernel>(
     // outside Algorithm 2's communication analysis.
     let mut fact = None;
     let mut stats = WorldStats::default();
+    let mut per_rank_bytes = Vec::with_capacity(grid.p());
     for r in results {
         match r {
-            Ok((rank_stats, payload)) => {
+            Ok((rank_stats, bytes, payload)) => {
                 stats.per_rank.push(rank_stats);
+                per_rank_bytes.push(bytes as usize);
                 if let Some(p) = payload {
                     fact = Some(p);
                 }
@@ -276,24 +237,41 @@ pub(crate) fn dist_factorize_with_tree<K: Kernel>(
         }
     }
     let (f, x) = fact.expect("rank 0 must produce the factorization");
-    Ok((f, stats, x.map(|v| v.0)))
+    Ok(DistBuild {
+        fact: f,
+        stats,
+        x: x.map(|v| v.0),
+        per_rank_bytes,
+    })
 }
 
-/// What every rank returns from the world: its algorithmic counters and,
-/// on rank 0 only, the gathered factorization (plus the solution when a
+/// What every rank returns from the world: its algorithmic counters, its
+/// resident record bytes (what the rank held before the gather), and, on
+/// rank 0 only, the gathered factorization (plus the solution when a
 /// right-hand side was supplied). On the TCP backend this type crosses
 /// the process boundary as a result frame, hence the [`Wire`] bound met
 /// via `crate::wire` ([`ScalarVec`] wraps the solution vector).
 type RankOutput<T> = Result<
     (
         srsf_runtime::stats::CommStats,
+        u64,
         Option<(Factorization<T>, Option<ScalarVec<T>>)>,
     ),
     FactorError,
 >;
 
+/// A rank's factorization-phase output: its records and routing state,
+/// plus (rank 0 only) the dense top factorization.
+pub(crate) type FactorPhaseOutcome<T> = Result<(RankState<T>, TopFactor<T>), FactorError>;
+
+/// The factorization half of a rank's work: the level sweep (interior
+/// phase, four color rounds, level transitions with folds) and the top
+/// gather/factorization, leaving this rank's elimination records and
+/// solve-routing metadata in the returned [`RankState`]. Everything both
+/// serving modes share ends here; the caller decides whether the records
+/// are then gathered (this module) or stay resident ([`super::serve`]).
 #[allow(clippy::too_many_arguments)]
-fn run_rank<K: Kernel>(
+pub(crate) fn factor_phase<K: Kernel>(
     ctx: &mut RankCtx,
     kernel: &K,
     pts: &[Point],
@@ -302,8 +280,7 @@ fn run_rank<K: Kernel>(
     opts: &FactorOpts,
     leaf: u8,
     lmin: u8,
-    rhs: Option<&[K::Elem]>,
-) -> RankOutput<K::Elem> {
+) -> FactorPhaseOutcome<K::Elem> {
     let me = ctx.rank();
     let t_total = std::time::Instant::now();
     let mut store = BlockStore::new(kernel, pts);
@@ -376,6 +353,39 @@ fn run_rank<K: Kernel>(
     let top_level = if leaf >= lmin { lmin } else { leaf };
     let top = gather_top(ctx, grid, tree, &mut store, &mut act, top_level)?;
     state.stats.total_s = t_total.elapsed().as_secs_f64();
+    Ok((state, top))
+}
+
+/// This rank's resident record footprint: what it holds when records stay
+/// in place (records plus, on rank 0, the dense top factorization).
+pub(crate) fn resident_bytes<T: Scalar>(state: &RankState<T>, top: &TopFactor<T>) -> u64 {
+    let records: usize = state
+        .records
+        .iter()
+        .map(|(_, r)| r.heap_bytes())
+        .sum::<usize>();
+    let top: usize = top
+        .as_ref()
+        .map(|(idx, lu)| lu.heap_bytes() + idx.capacity() * 4)
+        .unwrap_or(0);
+    (records + top) as u64
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_rank<K: Kernel>(
+    ctx: &mut RankCtx,
+    kernel: &K,
+    pts: &[Point],
+    tree: &QuadTree,
+    grid: &ProcessGrid,
+    opts: &FactorOpts,
+    leaf: u8,
+    lmin: u8,
+    rhs: Option<&[K::Elem]>,
+) -> RankOutput<K::Elem> {
+    let (mut state, top) = factor_phase(ctx, kernel, pts, tree, grid, opts, leaf, lmin)?;
+    let top_level = if leaf >= lmin { lmin } else { leaf };
+    let bytes = resident_bytes(&state, &top);
     // Snapshot the *algorithmic* communication counters here: everything
     // after this point (solve traffic is reported separately; shipping the
     // records to rank 0 is an API convenience, not part of Algorithm 2)
@@ -408,7 +418,7 @@ fn run_rank<K: Kernel>(
 
     // Gather records on rank 0 and assemble the factorization object.
     let f = gather_factorization(ctx, grid, top, state, pts.len())?;
-    Ok((algo_stats, f.map(|f| (f, x.map(ScalarVec)))))
+    Ok((algo_stats, bytes, f.map(|f| (f, x.map(ScalarVec)))))
 }
 
 /// Eliminate `boxes` (phase `phase` of `level`), then exchange updates with
@@ -658,7 +668,7 @@ fn level_transition<K: Kernel>(
 }
 
 /// The dense top factorization (index map + LU), present on rank 0 only.
-type TopFactor<T> = Option<(Vec<u32>, Lu<T>)>;
+pub(crate) type TopFactor<T> = Option<(Vec<u32>, Lu<T>)>;
 
 /// Gather the remaining active blocks on rank 0 and factor the top.
 fn gather_top<K: Kernel>(

@@ -88,6 +88,14 @@ pub struct FactorOpts {
     /// per-rank message/word counters are identical across backends; the
     /// other drivers ignore this knob.
     pub transport: Transport,
+    /// Residency mode for the distributed driver (default: off). When
+    /// on, the rank world stays alive after factorization and serves
+    /// every solve in place — records stay on their owning ranks and
+    /// rank 0 never assembles the global record set. Off, all records
+    /// are gathered onto rank 0 and solves run locally there. See
+    /// [`solver::SolverBuilder::resident`]; the other drivers ignore
+    /// this knob.
+    pub resident: bool,
 }
 
 impl Default for FactorOpts {
@@ -101,6 +109,7 @@ impl Default for FactorOpts {
             min_compress_level: 3,
             gemm_threads: 1,
             transport: Transport::InProc,
+            resident: false,
         }
     }
 }
@@ -157,6 +166,14 @@ impl FactorOpts {
     /// Set the message transport for the distributed driver.
     pub fn with_transport(mut self, transport: Transport) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Set the distributed driver's residency mode (keep the rank world
+    /// alive and serve solves in place; see
+    /// [`solver::SolverBuilder::resident`]).
+    pub fn with_resident(mut self, resident: bool) -> Self {
+        self.resident = resident;
         self
     }
 }

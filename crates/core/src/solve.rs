@@ -110,7 +110,10 @@ pub(crate) fn apply_inverse<T: Scalar>(f: &Factorization<T>, b: &mut [T]) {
 /// returns `(B_R, B_S, EN B_R)` where `B_R` and `B_S` are the updated
 /// redundant/skeleton row blocks and `EN B_R` is the *additive* neighbor
 /// delta, left unapplied so callers can merge it in a fixed record order.
-fn upward_parts<T: Scalar>(rec: &BoxElimination<T>, b: &Mat<T>) -> (Mat<T>, Mat<T>, Mat<T>) {
+pub(crate) fn upward_parts<T: Scalar>(
+    rec: &BoxElimination<T>,
+    b: &Mat<T>,
+) -> (Mat<T>, Mat<T>, Mat<T>) {
     let mut br = b.gather_rows(&rec.redundant);
     let mut bs = b.gather_rows(&rec.skel);
     // B_R -= T^H B_S
@@ -125,7 +128,7 @@ fn upward_parts<T: Scalar>(rec: &BoxElimination<T>, b: &Mat<T>) -> (Mat<T>, Mat<
 
 /// Merge half of the upward application: overwrite the box's own row
 /// blocks, subtract the neighbor delta.
-fn merge_upward<T: Scalar>(
+pub(crate) fn merge_upward<T: Scalar>(
     rec: &BoxElimination<T>,
     b: &mut Mat<T>,
     br: Mat<T>,
@@ -147,7 +150,7 @@ pub(crate) fn apply_upward_mat<T: Scalar>(rec: &BoxElimination<T>, b: &mut Mat<T
 /// The snapshot-read compute half of the downward record application:
 /// returns the updated `(B_R, B_S)` row blocks. Downward writes touch
 /// only the box's own rows, so no delta is needed.
-fn downward_parts<T: Scalar>(rec: &BoxElimination<T>, b: &Mat<T>) -> (Mat<T>, Mat<T>) {
+pub(crate) fn downward_parts<T: Scalar>(rec: &BoxElimination<T>, b: &Mat<T>) -> (Mat<T>, Mat<T>) {
     let mut br = b.gather_rows(&rec.redundant);
     let mut bs = b.gather_rows(&rec.skel);
     let bn = b.gather_rows(&rec.nbr);

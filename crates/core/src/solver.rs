@@ -29,7 +29,7 @@
 //! `srsf-iterative` as a preconditioner unchanged.
 
 use crate::colored::colored_factorize_with_tree;
-use crate::distributed::dist_factorize_with_tree;
+use crate::distributed::{dist_factorize_resident, dist_factorize_with_tree, ResidentService};
 use crate::error::SrsfError;
 use crate::sequential::{domain_for, factorize_with_tree, Factorization};
 use crate::stats::FactorStats;
@@ -158,15 +158,32 @@ impl<T: Scalar> Factorized<T> for Factorization<T> {
     }
 }
 
+/// How a built solver serves its solves.
+enum SolverBackend<T> {
+    /// A factorization object local to the calling thread — the
+    /// sequential and colored drivers always, and the distributed driver
+    /// in its (default) gather mode, where rank 0 assembled the global
+    /// record set. Boxed so the enum stays pointer-sized either way.
+    Local(Box<Factorization<T>>),
+    /// A live resident rank world ([`SolverBuilder::resident`]): records
+    /// stay on their owning ranks and every solve runs Algorithm 2's
+    /// solve phase in place. Boxed: the service (mutex + session handle +
+    /// rank-0 state) dwarfs the `Local` variant.
+    Resident(Box<ResidentService<T>>),
+}
+
 /// A built factorization plus the metadata of the driver that produced it.
 ///
 /// Construct with [`Solver::builder`]. Implements [`Factorized`] and
 /// `LinOp` (as the approximate *inverse*, which is what makes it a
 /// preconditioner).
 pub struct Solver<T> {
-    fact: Factorization<T>,
+    backend: SolverBackend<T>,
     driver: Driver,
     comm: Option<WorldStats>,
+    /// Resident factor bytes per rank ([`Driver::Distributed`] only —
+    /// what each rank holds when records stay in place).
+    per_rank_bytes: Option<Vec<usize>>,
 }
 
 impl<T: Scalar> Solver<T> {
@@ -188,63 +205,137 @@ impl<T: Scalar> Solver<T> {
 
     /// Problem size `N`.
     pub fn n(&self) -> usize {
-        self.fact.n()
+        match &self.backend {
+            SolverBackend::Local(f) => f.n(),
+            SolverBackend::Resident(s) => s.n(),
+        }
     }
 
-    /// Solve `A x = b`.
+    /// Solve `A x = b`. In residency mode the solve runs on the live rank
+    /// world (records applied where they live); otherwise on the local
+    /// factorization object.
     pub fn solve(&self, b: &[T]) -> Vec<T> {
-        self.fact.solve(b)
+        match &self.backend {
+            SolverBackend::Local(f) => f.solve(b),
+            SolverBackend::Resident(s) => s.solve(b),
+        }
     }
 
     /// Apply the approximate inverse in place: `b := A^{-1} b`.
     pub fn apply_inverse(&self, b: &mut [T]) {
-        self.fact.apply_inverse(b);
+        match &self.backend {
+            SolverBackend::Local(f) => f.apply_inverse(b),
+            SolverBackend::Resident(s) => b.copy_from_slice(&s.solve(b)),
+        }
     }
 
     /// Solve `A X = B` for every column of `b` at once (one blocked
-    /// sweep over the records instead of `nrhs` vector sweeps).
+    /// sweep over the records instead of `nrhs` vector sweeps). In
+    /// residency mode the column block is scattered by row ownership and
+    /// swept in place on the rank world.
     pub fn solve_mat(&self, b: &Mat<T>) -> Mat<T> {
-        self.fact.solve_mat(b)
+        match &self.backend {
+            SolverBackend::Local(f) => f.solve_mat(b),
+            SolverBackend::Resident(s) => s.solve_mat(b),
+        }
     }
 
     /// Apply the approximate inverse to an `n x nrhs` block in place.
     pub fn apply_inverse_mat(&self, b: &mut Mat<T>) {
-        self.fact.apply_inverse_mat(b);
+        match &self.backend {
+            SolverBackend::Local(f) => f.apply_inverse_mat(b),
+            SolverBackend::Resident(s) => *b = s.solve_mat(b),
+        }
     }
 
     /// Blocked apply scheduled over `n_threads` workers by the records'
     /// `(level, color)` stamps; bit-identical to
     /// [`Solver::apply_inverse_mat`] for any thread count. Whole color
     /// rounds run concurrently when the factorization came from the
-    /// colored driver.
+    /// colored driver. In residency mode the solve is already
+    /// rank-parallel — the thread count is ignored and the resident sweep
+    /// runs instead.
     pub fn apply_inverse_mat_threaded(&self, b: &mut Mat<T>, n_threads: usize) {
-        self.fact.apply_inverse_mat_threaded(b, n_threads);
+        match &self.backend {
+            SolverBackend::Local(f) => f.apply_inverse_mat_threaded(b, n_threads),
+            SolverBackend::Resident(s) => *b = s.solve_mat(b),
+        }
     }
 
     /// Threaded apply of one right-hand side vector; see
     /// [`Solver::apply_inverse_mat_threaded`].
     pub fn apply_inverse_threaded(&self, b: &mut [T], n_threads: usize) {
-        self.fact.apply_inverse_threaded(b, n_threads);
+        match &self.backend {
+            SolverBackend::Local(f) => f.apply_inverse_threaded(b, n_threads),
+            SolverBackend::Resident(s) => b.copy_from_slice(&s.solve(b)),
+        }
     }
 
-    /// Factorization statistics (ranks per level, timings, memory).
+    /// Factorization statistics (ranks per level, timings, memory). In
+    /// residency mode the rank table is merged from every rank's records
+    /// in place; timings are rank 0's.
     pub fn stats(&self) -> &FactorStats {
-        self.fact.stats()
+        match &self.backend {
+            SolverBackend::Local(f) => f.stats(),
+            SolverBackend::Resident(s) => s.stats(),
+        }
     }
 
     /// Approximate memory footprint of the factorization in bytes.
+    ///
+    /// This is the *global* footprint: the rank-0 object in gather mode,
+    /// the sum over ranks in residency mode. For the distributed driver
+    /// the serving-relevant number is usually
+    /// [`Solver::memory_bytes_max_rank`] — the paper's O(N/p) per-rank
+    /// bound is about the largest single rank, which residency preserves
+    /// and the gather path concentrates onto rank 0.
     pub fn memory_bytes(&self) -> usize {
-        self.fact.memory_bytes()
+        match &self.backend {
+            SolverBackend::Local(f) => f.memory_bytes(),
+            SolverBackend::Resident(s) => s.bytes_per_rank().iter().sum(),
+        }
     }
 
-    /// Number of per-box elimination records.
+    /// Peak resident factor bytes over ranks ([`Driver::Distributed`]
+    /// only): what the most loaded rank holds when records stay in place.
+    /// In gather mode this reports what the ranks held *before* shipping
+    /// their records to rank 0 — the footprint residency would keep.
+    pub fn memory_bytes_max_rank(&self) -> Option<usize> {
+        self.per_rank_bytes
+            .as_ref()
+            .map(|v| v.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Resident factor bytes per rank ([`Driver::Distributed`] only);
+    /// see [`Solver::memory_bytes_max_rank`].
+    pub fn memory_bytes_per_rank(&self) -> Option<&[usize]> {
+        self.per_rank_bytes.as_deref()
+    }
+
+    /// Number of per-box elimination records (global count; in residency
+    /// mode the records themselves are never assembled in one place).
     pub fn n_records(&self) -> usize {
-        self.fact.n_records()
+        match &self.backend {
+            SolverBackend::Local(f) => f.n_records(),
+            SolverBackend::Resident(s) => s.records_per_rank().iter().sum(),
+        }
+    }
+
+    /// Elimination records resident on each rank (residency mode only) —
+    /// the probe asserting rank 0 never holds the global record set.
+    pub fn records_per_rank(&self) -> Option<&[usize]> {
+        match &self.backend {
+            SolverBackend::Local(_) => None,
+            SolverBackend::Resident(s) => Some(s.records_per_rank()),
+        }
     }
 
     /// Size of the dense top block.
     pub fn top_size(&self) -> usize {
-        self.fact.top_size()
+        match &self.backend {
+            SolverBackend::Local(f) => f.top_size(),
+            SolverBackend::Resident(s) => s.top_size(),
+        }
     }
 
     /// The driver that built this solver.
@@ -252,19 +343,71 @@ impl<T: Scalar> Solver<T> {
         self.driver
     }
 
-    /// Per-rank communication counters ([`Driver::Distributed`] only).
+    /// `true` when this solver serves from a live resident rank world.
+    pub fn is_resident(&self) -> bool {
+        matches!(self.backend, SolverBackend::Resident(_))
+    }
+
+    /// Per-rank communication counters of the factorization phase
+    /// ([`Driver::Distributed`] only).
     pub fn comm_stats(&self) -> Option<&WorldStats> {
         self.comm.as_ref()
     }
 
+    /// Snapshot every rank's *cumulative* communication counters
+    /// (residency mode only). Two snapshots bracketing `k` solves give
+    /// exact per-solve message/word counts — how
+    /// `comm_counts --solve-reps` measures the §IV solve-phase bound.
+    pub fn resident_comm_probe(&self) -> Option<WorldStats> {
+        match &self.backend {
+            SolverBackend::Local(_) => None,
+            SolverBackend::Resident(s) => Some(s.comm_probe()),
+        }
+    }
+
+    /// Shut the resident rank world down (broadcast the shutdown command,
+    /// join the workers) and return the session's final per-rank
+    /// counters. `None` for non-resident solvers or if already shut down;
+    /// dropping the solver shuts the world down implicitly.
+    pub fn shutdown(&self) -> Option<WorldStats> {
+        match &self.backend {
+            SolverBackend::Local(_) => None,
+            SolverBackend::Resident(s) => s.shutdown(),
+        }
+    }
+
+    /// Borrow the underlying factorization object, if one exists locally
+    /// (`None` in residency mode — the records live on their ranks).
+    pub fn try_factorization(&self) -> Option<&Factorization<T>> {
+        match &self.backend {
+            SolverBackend::Local(f) => Some(f),
+            SolverBackend::Resident(_) => None,
+        }
+    }
+
     /// Borrow the underlying factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics in residency mode, where no global factorization object is
+    /// ever assembled; use [`Solver::try_factorization`] to branch.
     pub fn factorization(&self) -> &Factorization<T> {
-        &self.fact
+        self.try_factorization()
+            .expect("a resident solver has no gathered factorization object")
     }
 
     /// Consume the solver, yielding the underlying factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics in residency mode; see [`Solver::factorization`].
     pub fn into_factorization(self) -> Factorization<T> {
-        self.fact
+        match self.backend {
+            SolverBackend::Local(f) => *f,
+            SolverBackend::Resident(_) => {
+                panic!("a resident solver has no gathered factorization object")
+            }
+        }
     }
 }
 
@@ -381,6 +524,27 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
         self
     }
 
+    /// Residency mode for [`Driver::Distributed`] (default: off). When
+    /// on, `build` returns a solver backed by a **live resident rank
+    /// world**: elimination records stay on the ranks that produced them
+    /// (rank 0 holds only the dense top factorization and routing
+    /// metadata — it never assembles the global record set), and every
+    /// [`Solver::solve`]/[`Solver::solve_mat`] runs Algorithm 2's solve
+    /// phase in place over a request/response command loop. This is the
+    /// serving deployment of the paper: O(N/p) factor memory per rank and
+    /// O(sqrt(N/p)) words moved per rank per solve, amortized over
+    /// arbitrarily many right-hand sides. Results are bit-identical to
+    /// the gather path's local solves on both transports.
+    ///
+    /// The world shuts down when the solver is dropped (or explicitly via
+    /// [`Solver::shutdown`]). Off, the driver falls back to gathering all
+    /// records onto rank 0 after factorization. Ignored by the other
+    /// drivers.
+    pub fn resident(mut self, resident: bool) -> Self {
+        self.opts = self.opts.with_resident(resident);
+        self
+    }
+
     /// Replace the whole option set at once.
     pub fn opts(mut self, opts: FactorOpts) -> Self {
         self.opts = opts;
@@ -438,11 +602,11 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
             return Err(SrsfError::InvalidLeafSize);
         }
         let tree = QuadTree::build(pts, domain_for(pts), opts.leaf_size);
-        let (fact, comm, x) = match driver {
+        let (backend, comm, x, per_rank_bytes) = match driver {
             Driver::Sequential => {
                 let fact = factorize_with_tree(kernel, pts, &tree, &opts)?;
                 let x = rhs.map(|b| fact.solve(b));
-                (fact, None, x)
+                (SolverBackend::Local(Box::new(fact)), None, x, None)
             }
             Driver::Colored { scheme, threads } => {
                 if threads == 0 {
@@ -450,7 +614,7 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
                 }
                 let fact = colored_factorize_with_tree(kernel, pts, &tree, &opts, scheme, threads)?;
                 let x = rhs.map(|b| fact.solve(b));
-                (fact, None, x)
+                (SolverBackend::Local(Box::new(fact)), None, x, None)
             }
             Driver::Distributed { grid } => {
                 let leaf = tree.leaf_level();
@@ -464,11 +628,36 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
                         leaf_boxes: 1usize << (2 * leaf),
                     });
                 }
-                let (fact, stats, x) =
-                    dist_factorize_with_tree(kernel, pts, &tree, &grid, &opts, rhs)?;
-                (fact, Some(stats), x)
+                if opts.resident {
+                    let svc = dist_factorize_resident(kernel, pts, &tree, &grid, &opts)?;
+                    let comm = svc.comm().clone();
+                    let bytes = svc.bytes_per_rank().to_vec();
+                    let x = rhs.map(|b| svc.solve(b));
+                    (
+                        SolverBackend::Resident(Box::new(svc)),
+                        Some(comm),
+                        x,
+                        Some(bytes),
+                    )
+                } else {
+                    let b = dist_factorize_with_tree(kernel, pts, &tree, &grid, &opts, rhs)?;
+                    (
+                        SolverBackend::Local(Box::new(b.fact)),
+                        Some(b.stats),
+                        b.x,
+                        Some(b.per_rank_bytes),
+                    )
+                }
             }
         };
-        Ok((Solver { fact, driver, comm }, x))
+        Ok((
+            Solver {
+                backend,
+                driver,
+                comm,
+                per_rank_bytes,
+            },
+            x,
+        ))
     }
 }

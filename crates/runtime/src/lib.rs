@@ -53,4 +53,4 @@ pub use codec::{CodecError, Wire};
 pub use netmodel::NetworkModel;
 pub use stats::{CommStats, WorldStats};
 pub use transport::{is_spawned_worker, set_tcp_child_args, Transport};
-pub use world::{RankCtx, World};
+pub use world::{RankCtx, World, WorldHandle};

@@ -46,6 +46,31 @@ pub const KIND_SOLVE_VAL: u32 = 7;
 /// data tags must be smaller.
 pub const CTRL_BASE: u32 = u32::MAX - 15;
 
+/// Base of the resident serve-session tag range: the request/response
+/// command loop a [`crate::world::WorldHandle`] session runs between rank
+/// 0 and the resident worker ranks. Far above any `(level, phase, kind)`
+/// data tag, below the transport control range.
+pub const SERVE_BASE: u32 = 1 << 20;
+/// Worker → rank 0: factorization outcome, sent once when the rank
+/// enters its serve loop.
+pub const TAG_SERVE_READY: u32 = SERVE_BASE;
+/// Rank 0 → worker: next command (solve / probe / shutdown).
+pub const TAG_SERVE_CMD: u32 = SERVE_BASE + 1;
+/// Rank 0 → worker: the right-hand-side row slab this rank owns.
+pub const TAG_SERVE_RHS: u32 = SERVE_BASE + 2;
+/// Worker → rank 0: the solved row slab this rank owns.
+pub const TAG_SERVE_SOL: u32 = SERVE_BASE + 3;
+/// Worker → rank 0: communication-counter snapshot (probe reply).
+pub const TAG_SERVE_STATS: u32 = SERVE_BASE + 4;
+
+/// `true` for tags in the resident serve-session range. Serve frames are
+/// the service *envelope* (command dispatch, RHS/solution slabs, stats
+/// probes) rather than Algorithm 2 traffic, and are exempt from the §IV
+/// data counters — see [`crate::world::RankCtx::send_service`].
+pub fn is_serve(tag: u32) -> bool {
+    (SERVE_BASE..SERVE_BASE + 8).contains(&tag)
+}
+
 /// Compose a data tag from its `(level, phase, kind)` coordinates.
 pub fn tag(level: u8, phase: u8, kind: u32) -> u32 {
     debug_assert!(phase < 8 && kind < 8);
@@ -88,7 +113,8 @@ fn phase_name(phase: u8) -> String {
 }
 
 /// Decode a tag into algorithm terms for diagnostics: level, phase and
-/// kind for data tags, the control-frame name for transport tags.
+/// kind for data tags, the serve-loop step for resident-session tags,
+/// the control-frame name for transport tags.
 pub fn describe(t: u32) -> String {
     if is_control(t) {
         let name = match t - CTRL_BASE {
@@ -102,6 +128,17 @@ pub fn describe(t: u32) -> String {
             _ => "RESERVED",
         };
         return format!("control {name}");
+    }
+    if is_serve(t) {
+        let name = match t - SERVE_BASE {
+            0 => "READY (factorization outcome)",
+            1 => "CMD (solve/probe/shutdown dispatch)",
+            2 => "RHS (right-hand-side row slab)",
+            3 => "SOL (solution row slab)",
+            4 => "STATS (counter probe reply)",
+            _ => "RESERVED",
+        };
+        return format!("resident serve {name}");
     }
     let (level, phase, kind) = decode(t);
     format!(
@@ -136,5 +173,25 @@ mod tests {
         assert!(d.contains("color round 1"), "{d}");
         assert!(d.contains("SOLVE_UP"), "{d}");
         assert!(describe(CTRL_BASE + 3).contains("BARRIER"));
+    }
+
+    #[test]
+    fn describe_names_serve_steps() {
+        assert!(describe(TAG_SERVE_CMD).contains("resident serve CMD"));
+        assert!(describe(TAG_SERVE_RHS).contains("RHS"));
+        assert!(describe(TAG_SERVE_SOL).contains("SOL"));
+        assert!(describe(TAG_SERVE_READY).contains("READY"));
+        assert!(describe(TAG_SERVE_STATS).contains("STATS"));
+        for t in [
+            TAG_SERVE_READY,
+            TAG_SERVE_CMD,
+            TAG_SERVE_RHS,
+            TAG_SERVE_SOL,
+            TAG_SERVE_STATS,
+        ] {
+            assert!(is_serve(t) && !is_control(t));
+        }
+        assert!(!is_serve(tag(7, 7, 7)));
+        assert!(!is_serve(CTRL_BASE));
     }
 }

@@ -163,6 +163,17 @@ pub enum RecvError {
         /// Tag the receive was matching.
         tag: u32,
     },
+    /// The peer died of a panic and relayed its message before the link
+    /// closed — reported instead of a bare disconnect so a resident
+    /// session names the root cause, not the symptom.
+    PeerPanicked {
+        /// The waiting rank.
+        rank: usize,
+        /// The rank that panicked.
+        src: usize,
+        /// The peer's panic message.
+        message: String,
+    },
 }
 
 impl core::fmt::Display for RecvError {
@@ -184,7 +195,18 @@ impl core::fmt::Display for RecvError {
                 "rank {rank} lost rank {src} while waiting for tag {tag} ({})",
                 tags::describe(*tag)
             ),
+            RecvError::PeerPanicked { rank, src, message } => {
+                write!(f, "rank {rank}: rank {src} panicked: {message}")
+            }
         }
+    }
+}
+
+impl RecvError {
+    /// `true` when the peer is gone (link closed or panic relayed), as
+    /// opposed to a matching frame simply not having arrived yet.
+    pub fn is_fatal(&self) -> bool {
+        !matches!(self, RecvError::Timeout { .. })
     }
 }
 
@@ -220,6 +242,14 @@ pub trait RankTransport: Send {
 
     /// Synchronize all ranks.
     fn barrier(&mut self, timeout: Duration) -> Result<(), RecvError>;
+
+    /// Tell every peer this rank is going away without further sends, so
+    /// their blocked receives fail fast (`Disconnected`) instead of
+    /// waiting out the timeout. The TCP backend gets this for free from
+    /// socket EOF on process exit; the in-process backend pushes explicit
+    /// EOF events (a dead thread closes no channels — its peers all still
+    /// hold clones of every sender).
+    fn announce_death(&mut self) {}
 }
 
 /// Frame matching shared by both backends: a single incoming channel (fed
@@ -252,13 +282,8 @@ impl MsgQueue {
         if let Some(pos) = self.pending.iter().position(hit) {
             return Ok(self.pending.swap_remove(pos));
         }
-        let disconnected = || RecvError::Disconnected {
-            rank: self.rank,
-            src,
-            tag: matching[0],
-        };
         if self.closed[src] {
-            return Err(disconnected());
+            return Err(self.link_down(src, matching[0]));
         }
         let start = Instant::now();
         let deadline = start + timeout;
@@ -279,12 +304,34 @@ impl MsgQueue {
                 Ok(Event::Eof(s)) => {
                     self.closed[s] = true;
                     if s == src {
-                        return Err(disconnected());
+                        return Err(self.link_down(src, matching[0]));
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => return Err(timed_out()),
-                Err(RecvTimeoutError::Disconnected) => return Err(disconnected()),
+                Err(RecvTimeoutError::Disconnected) => return Err(self.link_down(src, matching[0])),
             }
+        }
+    }
+
+    /// The error for a dead link to `src`: if the peer relayed a panic
+    /// frame before closing, surface its message as the cause.
+    fn link_down(&mut self, src: usize, tag: u32) -> RecvError {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.src == src && m.tag == TAG_PANIC)
+        {
+            let m = self.pending.swap_remove(pos);
+            return RecvError::PeerPanicked {
+                rank: self.rank,
+                src,
+                message: String::from_utf8_lossy(&m.payload).into_owned(),
+            };
+        }
+        RecvError::Disconnected {
+            rank: self.rank,
+            src,
+            tag,
         }
     }
 }
@@ -389,6 +436,13 @@ impl RankTransport for InProcTransport {
                 tag: TAG_BARRIER,
                 waited: timeout,
             })
+        }
+    }
+    fn announce_death(&mut self) {
+        for (dst, tx) in self.senders.iter().enumerate() {
+            if dst != self.rank {
+                let _ = tx.send(Event::Eof(self.rank));
+            }
         }
     }
 }
@@ -708,7 +762,7 @@ fn child_args() -> Vec<String> {
 /// Kills still-running workers if the launcher unwinds mid-session, so a
 /// failed test cannot strand rank processes waiting on their timeouts.
 #[derive(Default)]
-struct ChildGuard {
+pub(crate) struct ChildGuard {
     spawned: Vec<(usize, std::process::Child)>,
     done: bool,
 }
@@ -725,7 +779,7 @@ impl ChildGuard {
     }
 
     /// `Some(status)` if the worker for `rank` has exited.
-    fn exited(&mut self, rank: usize) -> Option<std::process::ExitStatus> {
+    pub(crate) fn exited(&mut self, rank: usize) -> Option<std::process::ExitStatus> {
         self.spawned
             .iter_mut()
             .find(|(r, _)| *r == rank)
@@ -735,7 +789,7 @@ impl ChildGuard {
     /// Exit status of the worker for `rank`, waiting briefly for the
     /// process to be reaped (its socket EOF precedes the exit by a
     /// moment).
-    fn status_of(&mut self, rank: usize) -> String {
+    pub(crate) fn status_of(&mut self, rank: usize) -> String {
         let Some((_, child)) = self.spawned.iter_mut().find(|(r, _)| *r == rank) else {
             return "unknown worker".to_string();
         };
@@ -748,10 +802,36 @@ impl ChildGuard {
         "process still running".to_string()
     }
 
-    fn finish(mut self) {
+    /// Mark the session complete and reap every worker, leaving the
+    /// guard disarmed for its eventual drop.
+    pub(crate) fn finish_ref(&mut self) {
         self.done = true;
         for (_, child) in &mut self.spawned {
             let _ = child.wait();
+        }
+    }
+
+    /// Give workers up to `budget` to exit on their own (they observe the
+    /// closed rank-0 links), disarming the guard if they all do; any
+    /// stragglers are killed by the guard's drop.
+    pub(crate) fn wait_graceful(&mut self, budget: Duration) {
+        if self.done {
+            return;
+        }
+        let deadline = Instant::now() + budget;
+        loop {
+            let all_exited = self
+                .spawned
+                .iter_mut()
+                .all(|(_, child)| matches!(child.try_wait(), Ok(Some(_))));
+            if all_exited {
+                self.done = true;
+                return;
+            }
+            if Instant::now() >= deadline {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(20));
         }
     }
 }
@@ -814,13 +894,13 @@ fn read_hello(s: &mut TcpStream, p: usize, seq: u64) -> Result<(usize, u16), Str
     Ok((rank, port))
 }
 
-/// Rank-0 side of a TCP world: spawn workers, run the rendezvous, run
-/// rank 0 in this process, then collect the workers' results.
-pub(crate) fn run_tcp_parent<R, F>(world: &World, seq: u64, f: F) -> (Vec<R>, WorldStats)
-where
-    R: Send + Wire,
-    F: Fn(&mut RankCtx) -> R + Send + Sync,
-{
+/// Rank-0 side of the TCP launch: spawn the worker processes, run the
+/// rendezvous and peer-table broadcast, and wire up rank 0's transport.
+/// Shared between the run-to-completion path ([`run_tcp_parent`]) and the
+/// resident-session path (`World::run_resident`), which keeps the
+/// returned transport and guard alive inside a
+/// [`crate::world::WorldHandle`].
+pub(crate) fn tcp_parent_setup(world: &World, seq: u64) -> (Box<dyn RankTransport>, ChildGuard) {
     let p = world.size();
     let recv_timeout = world.recv_timeout();
     let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind rendezvous listener");
@@ -927,27 +1007,27 @@ where
         queue: MsgQueue::new(0, p, rx),
         barrier_seq: 0,
     };
-    let mut ctx = RankCtx::from_transport(Box::new(transport), recv_timeout);
-    let r0 = f(&mut ctx);
-    let stats0 = ctx.stats();
-    let mut transport = ctx.into_transport();
+    (Box::new(transport), children)
+}
 
-    // Collect worker results (or their panics). The wait mirrors the
-    // in-process join: block as long as the worker process is alive
-    // (post-communication compute has no protocol deadline), fail fast
-    // once it has exited without reporting — the exit status then names
-    // the real cause instead of a timeout.
-    let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
-    let mut world_stats = WorldStats {
-        per_rank: vec![CommStats::default(); p],
-    };
-    results[0] = Some(r0);
-    world_stats.per_rank[0] = stats0;
+/// Collect the `RESULT`/`PANIC` frame of every worker rank. The wait
+/// mirrors the in-process join: block as long as the worker process is
+/// alive (post-communication compute has no protocol deadline), fail
+/// fast once it has exited without reporting — the exit status then
+/// names the real cause instead of a timeout. A relayed worker panic
+/// re-panics here.
+pub(crate) fn collect_tcp_results<R: Wire>(
+    transport: &mut dyn RankTransport,
+    children: &mut ChildGuard,
+    p: usize,
+) -> (Vec<R>, Vec<CommStats>) {
+    let mut results = Vec::with_capacity(p - 1);
+    let mut stats = Vec::with_capacity(p - 1);
     for src in 1..p {
         let m = loop {
             match transport.recv_any_of(src, &[TAG_RESULT, TAG_PANIC], RESULT_POLL) {
                 Ok(m) => break m,
-                Err(e @ RecvError::Disconnected { .. }) => {
+                Err(e @ (RecvError::Disconnected { .. } | RecvError::PeerPanicked { .. })) => {
                     let status = children.status_of(src);
                     panic!("worker rank {src} exited without reporting a result ({status}): {e}");
                 }
@@ -976,14 +1056,37 @@ where
         let s =
             CommStats::decode(&mut r).unwrap_or_else(|e| panic!("rank {src} result frame: {e}"));
         let val = R::decode(&mut r).unwrap_or_else(|e| panic!("rank {src} result frame: {e}"));
-        world_stats.per_rank[src] = s;
-        results[src] = Some(val);
+        stats.push(s);
+        results.push(val);
     }
-    children.finish();
-    let results = results
-        .into_iter()
-        .map(|r| r.expect("missing rank result"))
-        .collect();
+    children.finish_ref();
+    (results, stats)
+}
+
+/// Rank-0 side of a TCP world: spawn workers, run the rendezvous, run
+/// rank 0 in this process, then collect the workers' results.
+pub(crate) fn run_tcp_parent<R, F>(world: &World, seq: u64, f: F) -> (Vec<R>, WorldStats)
+where
+    R: Send + Wire,
+    F: Fn(&mut RankCtx) -> R + Send + Sync,
+{
+    let p = world.size();
+    let (transport, mut children) = tcp_parent_setup(world, seq);
+    let mut ctx = RankCtx::from_transport(transport, world.recv_timeout());
+    let r0 = f(&mut ctx);
+    let stats0 = ctx.stats();
+    let mut transport = ctx.into_transport();
+
+    let (worker_results, worker_stats) =
+        collect_tcp_results::<R>(&mut *transport, &mut children, p);
+    let mut results = Vec::with_capacity(p);
+    let mut world_stats = WorldStats {
+        per_rank: Vec::with_capacity(p),
+    };
+    results.push(r0);
+    world_stats.per_rank.push(stats0);
+    results.extend(worker_results);
+    world_stats.per_rank.extend(worker_stats);
     (results, world_stats)
 }
 

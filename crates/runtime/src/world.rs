@@ -29,14 +29,23 @@
 use crate::codec::{Bytes, Wire};
 use crate::stats::{CommStats, WorldStats};
 use crate::tags;
-use crate::transport::{self, RankTransport, Transport};
+use crate::transport::{self, RankTransport, RecvError, Transport};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How finely the idle wait of a resident serve loop slices its receive,
+/// so a cleared session-liveness flag is noticed promptly.
+const IDLE_POLL: Duration = Duration::from_millis(100);
 
 /// Per-rank handle: rank id, world size, messaging, counters.
 pub struct RankCtx {
     transport: Box<dyn RankTransport>,
     stats: CommStats,
     recv_timeout: Duration,
+    /// Cleared when the resident session this rank serves is torn down
+    /// (in-process backend only; TCP ranks learn the same from link EOF).
+    alive: Option<Arc<AtomicBool>>,
 }
 
 impl RankCtx {
@@ -48,7 +57,18 @@ impl RankCtx {
             transport,
             stats: CommStats::default(),
             recv_timeout,
+            alive: None,
         }
+    }
+
+    pub(crate) fn set_alive_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.alive = Some(flag);
+    }
+
+    /// Propagate this rank's death to its peers so their blocked receives
+    /// fail fast; see [`RankTransport::announce_death`].
+    pub(crate) fn announce_death(&mut self) {
+        self.transport.announce_death();
     }
 
     pub(crate) fn into_transport(self) -> Box<dyn RankTransport> {
@@ -74,9 +94,52 @@ impl RankCtx {
             !tags::is_control(tag),
             "tag {tag} is reserved for transport control frames"
         );
+        assert!(
+            !tags::is_serve(tag),
+            "tag {tag} is a serve-envelope tag; use send_service"
+        );
         self.stats.msgs_sent += 1;
         self.stats.words_sent += (payload.len() as u64).div_ceil(8);
         self.transport.send(dst, tag, payload);
+    }
+
+    /// Send a resident-session service frame (command dispatch, RHS or
+    /// solution slab, stats probe — a [`tags::is_serve`] tag), **without**
+    /// touching the §IV data counters. Service frames are the serving
+    /// API's envelope — the residency analogue of the old rank-0 record
+    /// gather, and of the transports' own control frames — not Algorithm
+    /// 2 traffic, so counting them would pollute the per-solve
+    /// communication-bound measurements the counters exist for.
+    pub fn send_service(&mut self, dst: usize, tag: u32, payload: Bytes) {
+        assert!(dst < self.size(), "rank {dst} out of range");
+        assert_ne!(dst, self.rank(), "self-sends are a protocol bug");
+        assert!(tags::is_serve(tag), "send_service requires a serve tag");
+        self.transport.send(dst, tag, payload);
+    }
+
+    /// Blocking wait for the next `(src, tag)` service frame during the
+    /// *idle* phase of a resident serve loop. Idleness is not a protocol
+    /// error — a resident rank may legitimately wait arbitrarily long for
+    /// the next command — so no receive timeout applies; instead the wait
+    /// is sliced so session teardown is noticed promptly. Returns `None`
+    /// when the session is over without a frame: the rank-0 handle was
+    /// dropped (liveness flag cleared on the in-process backend, link EOF
+    /// on TCP), which a resident worker treats as an implicit shutdown.
+    pub fn recv_service_idle(&mut self, src: usize, tag: u32) -> Option<Bytes> {
+        loop {
+            match self.transport.recv_any_of(src, &[tag], IDLE_POLL) {
+                Ok(m) => return Some(m.payload),
+                Err(RecvError::Timeout { .. }) => {
+                    if let Some(flag) = &self.alive {
+                        if !flag.load(Ordering::SeqCst) {
+                            return None;
+                        }
+                    }
+                }
+                // Rank 0 is gone (or died of a panic): session over.
+                Err(_) => return None,
+            }
+        }
     }
 
     /// Blocking receive of the next message from `src` with `tag`.
@@ -246,6 +309,246 @@ impl World {
         }
         (results, stats)
     }
+
+    /// Run a **resident** session: `factor` runs once on every rank (the
+    /// expensive build phase, free to borrow caller state); its per-rank
+    /// output `S` then stays on the rank that produced it, where `serve`
+    /// keeps ranks `1..p` alive — typically a request/response command
+    /// loop built from [`RankCtx::recv_service_idle`] — until the session
+    /// is shut down. Rank 0 returns to the caller as soon as *its*
+    /// `factor` completes, yielding its own `S` plus a live
+    /// [`WorldHandle`] through which the caller drives further protocol
+    /// rounds against the resident ranks.
+    ///
+    /// Backend mapping:
+    ///
+    /// * [`Transport::InProc`] — `factor` runs on scoped rank threads
+    ///   (borrows allowed); each rank's `S` then moves into a fresh
+    ///   detached serve thread over a new channel fabric. `serve` must
+    ///   therefore own its captures (`'static`).
+    /// * [`Transport::Tcp`] — one continuous session: worker processes run
+    ///   `factor` then `serve` back to back and only exit (reporting their
+    ///   final counters) when `serve` returns; the handle keeps rank 0's
+    ///   sockets and the child guard alive.
+    ///
+    /// Shutdown is cooperative and tag-based: the caller's protocol makes
+    /// every `serve` return (e.g. a broadcast shutdown command), then
+    /// [`WorldHandle::finish`] joins/collects the workers. Dropping the
+    /// handle without that round is safe — workers observe the teardown
+    /// (liveness flag / link EOF) from their idle wait and exit cleanly.
+    pub fn run_resident<S, F, G>(&self, factor: F, serve: G) -> (S, WorldHandle)
+    where
+        S: Send + 'static,
+        F: Fn(&mut RankCtx) -> S + Send + Sync,
+        G: Fn(&mut RankCtx, S) + Send + Sync + 'static,
+    {
+        match self.transport {
+            Transport::InProc => self.resident_inproc(factor, Arc::new(serve)),
+            Transport::Tcp => {
+                let seq = transport::next_session_seq();
+                if let Some(job) = transport::worker_job() {
+                    if job.seq == seq {
+                        // This process is a spawned worker of this very
+                        // session: run factor + serve to completion and
+                        // exit inside the call (never returns).
+                        transport::run_tcp_worker(job, self, move |ctx: &mut RankCtx| {
+                            let s = factor(ctx);
+                            serve(ctx, s);
+                        })
+                    } else {
+                        // A worker replaying an *earlier* resident session
+                        // of main's prefix: recompute it in-process so the
+                        // prefix reaches the same program point with the
+                        // same state (the handle's solves are
+                        // backend-invariant by construction).
+                        self.resident_inproc(factor, Arc::new(serve))
+                    }
+                } else if self.p == 1 {
+                    self.resident_inproc(factor, Arc::new(serve))
+                } else {
+                    self.resident_tcp_parent(seq, factor)
+                }
+            }
+        }
+    }
+
+    fn resident_inproc<S, F, G>(&self, factor: F, serve: Arc<G>) -> (S, WorldHandle)
+    where
+        S: Send + 'static,
+        F: Fn(&mut RankCtx) -> S + Send + Sync,
+        G: Fn(&mut RankCtx, S) + Send + Sync + 'static,
+    {
+        let p = self.p;
+        // Phase 1: the build runs on scoped rank threads exactly like a
+        // normal `run` (the closure may borrow caller state).
+        let (mut states, _) = self.run_inproc(factor);
+        let s0 = states.remove(0);
+        // Phase 2: a fresh channel fabric whose worker ranks own their
+        // resident state. The fabric swap is invisible to the protocol —
+        // the serve loop's first frame is the first frame on it.
+        let mut transports = transport::inproc_world(p);
+        let alive = Arc::new(AtomicBool::new(true));
+        let mut ctx0 = RankCtx::from_transport(transports.remove(0), self.recv_timeout);
+        ctx0.set_alive_flag(alive.clone());
+        let mut joins = Vec::with_capacity(p - 1);
+        for (i, (t, s)) in transports.into_iter().zip(states).enumerate() {
+            let serve = serve.clone();
+            let timeout = self.recv_timeout;
+            let alive = alive.clone();
+            let join = std::thread::Builder::new()
+                .name(format!("srsf-serve-{}", i + 1))
+                .spawn(move || {
+                    let mut ctx = RankCtx::from_transport(t, timeout);
+                    ctx.set_alive_flag(alive);
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        serve(&mut ctx, s)
+                    }));
+                    match out {
+                        Ok(()) => ctx.stats(),
+                        Err(payload) => {
+                            // Fail peers fast: a dead thread closes no
+                            // channels, so push explicit EOFs first.
+                            ctx.announce_death();
+                            std::panic::resume_unwind(payload)
+                        }
+                    }
+                })
+                .expect("spawn resident serve thread");
+            joins.push(join);
+        }
+        (
+            s0,
+            WorldHandle {
+                ctx: Some(ctx0),
+                backend: ResidentBackend::InProc { joins },
+                alive,
+                p,
+            },
+        )
+    }
+
+    fn resident_tcp_parent<S, F>(&self, seq: u64, factor: F) -> (S, WorldHandle)
+    where
+        F: Fn(&mut RankCtx) -> S + Send + Sync,
+    {
+        let (transport, children) = transport::tcp_parent_setup(self, seq);
+        let mut ctx = RankCtx::from_transport(transport, self.recv_timeout);
+        let s0 = factor(&mut ctx);
+        (
+            s0,
+            WorldHandle {
+                ctx: Some(ctx),
+                backend: ResidentBackend::Tcp { children },
+                alive: Arc::new(AtomicBool::new(true)),
+                p: self.p,
+            },
+        )
+    }
+}
+
+enum ResidentBackend {
+    /// Detached serve threads over in-memory channels.
+    InProc {
+        joins: Vec<std::thread::JoinHandle<CommStats>>,
+    },
+    /// Worker processes held by the kill-on-unwind guard.
+    Tcp { children: transport::ChildGuard },
+}
+
+/// A live resident rank world, returned by [`World::run_resident`]: rank
+/// 0's context plus the worker ranks parked in their serve loops.
+///
+/// The handle is the session's lifetime. Drive protocol rounds through
+/// [`WorldHandle::ctx`]; end the session by making every worker's serve
+/// closure return (the caller's shutdown round) and then calling
+/// [`WorldHandle::finish`] to join the workers and collect their final
+/// counters. Dropping the handle instead is safe on both backends:
+/// teardown is observed from the workers' idle wait (liveness flag /
+/// link EOF) and they exit cleanly; TCP children that still fail to exit
+/// within a short grace period are killed by the guard.
+pub struct WorldHandle {
+    ctx: Option<RankCtx>,
+    backend: ResidentBackend,
+    alive: Arc<AtomicBool>,
+    p: usize,
+}
+
+impl WorldHandle {
+    /// Rank 0's live context, for issuing protocol rounds against the
+    /// resident ranks.
+    pub fn ctx(&mut self) -> &mut RankCtx {
+        self.ctx
+            .as_mut()
+            .expect("resident session already finished")
+    }
+
+    /// World size `p`.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    /// `true` while the worker for `rank` is still running its serve
+    /// loop — lets a shutdown round skip ranks that already exited (e.g.
+    /// after reporting a factorization error) instead of writing to a
+    /// dead link.
+    pub fn worker_live(&mut self, rank: usize) -> bool {
+        assert!(rank >= 1 && rank < self.p, "rank {rank} is not a worker");
+        match &mut self.backend {
+            ResidentBackend::InProc { joins } => !joins[rank - 1].is_finished(),
+            ResidentBackend::Tcp { children } => children.exited(rank).is_none(),
+        }
+    }
+
+    /// Join every worker after the caller's shutdown round has made their
+    /// serve closures return; yields the cumulative per-rank counters
+    /// (rank 0's from its live context; workers' as reported at exit).
+    /// Worker panics propagate. On TCP the wait is liveness-aware: a
+    /// worker process that died without reporting fails fast with its
+    /// exit status rather than hanging.
+    pub fn finish(mut self) -> WorldStats {
+        self.alive.store(false, Ordering::SeqCst);
+        let ctx = self.ctx.take().expect("resident session already finished");
+        let stats0 = ctx.stats();
+        let mut per_rank = vec![CommStats::default(); self.p];
+        per_rank[0] = stats0;
+        match &mut self.backend {
+            ResidentBackend::InProc { joins } => {
+                // Close rank 0's side first so any worker still idling
+                // observes the teardown instead of waiting on a command.
+                drop(ctx);
+                for (i, join) in joins.drain(..).enumerate() {
+                    match join.join() {
+                        Ok(s) => per_rank[i + 1] = s,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+            }
+            ResidentBackend::Tcp { children } => {
+                let mut transport = ctx.into_transport();
+                let (_, stats) =
+                    transport::collect_tcp_results::<()>(&mut *transport, children, self.p);
+                for (i, s) in stats.into_iter().enumerate() {
+                    per_rank[i + 1] = s;
+                }
+            }
+        }
+        WorldStats { per_rank }
+    }
+}
+
+impl Drop for WorldHandle {
+    fn drop(&mut self) {
+        self.alive.store(false, Ordering::SeqCst);
+        // Closing rank 0's transport EOFs the TCP links / drops the
+        // channel senders; workers notice from their idle wait and exit.
+        drop(self.ctx.take());
+        if let ResidentBackend::Tcp { children } = &mut self.backend {
+            children.wait_graceful(Duration::from_secs(5));
+        }
+        // InProc serve threads are detached; they exit on the cleared
+        // flag without anything to join (a join here could block a drop
+        // behind a worker that is mid-solve).
+    }
 }
 
 #[cfg(test)]
@@ -394,5 +697,112 @@ mod tests {
                 ctx.send(1, u32::MAX, Vec::new());
             }
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "use send_service")]
+    fn serve_tags_are_rejected_on_the_counted_path() {
+        World::new(2).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, crate::tags::TAG_SERVE_CMD, Vec::new());
+            }
+        });
+    }
+
+    /// A worker-side echo loop: empty command = shutdown, otherwise the
+    /// payload comes back with this rank's id appended.
+    fn echo_serve(ctx: &mut RankCtx, base: u64) {
+        while let Some(cmd) = ctx.recv_service_idle(0, crate::tags::TAG_SERVE_CMD) {
+            if cmd.is_empty() {
+                break;
+            }
+            let mut w = ByteWriter::new();
+            w.put_u64(ByteReader::new(cmd).get_u64() + base + ctx.rank() as u64);
+            ctx.send_service(0, crate::tags::TAG_SERVE_SOL, w.finish());
+        }
+    }
+
+    #[test]
+    fn resident_world_serves_repeated_rounds_then_shuts_down() {
+        let p = 4;
+        let (s0, mut handle) =
+            World::new(p).run_resident(|ctx| ctx.rank() as u64 + 100, echo_serve);
+        assert_eq!(s0, 100, "rank 0 keeps its own factor output");
+        for round in 0..3u64 {
+            for dst in 1..p {
+                let mut w = ByteWriter::new();
+                w.put_u64(round);
+                handle
+                    .ctx()
+                    .send_service(dst, crate::tags::TAG_SERVE_CMD, w.finish());
+            }
+            for src in 1..p {
+                let reply = handle.ctx().recv(src, crate::tags::TAG_SERVE_SOL);
+                let v = ByteReader::new(reply).get_u64();
+                assert_eq!(v, round + 100 + src as u64 + src as u64);
+            }
+        }
+        // Service-envelope traffic must not touch the data counters.
+        assert_eq!(handle.ctx().stats().msgs_sent, 0);
+        for dst in 1..p {
+            assert!(handle.worker_live(dst), "rank {dst} died early");
+            handle
+                .ctx()
+                .send_service(dst, crate::tags::TAG_SERVE_CMD, Vec::new());
+        }
+        let stats = handle.finish();
+        assert_eq!(stats.per_rank.len(), p);
+        assert_eq!(stats.total_msgs(), 0);
+    }
+
+    #[test]
+    fn dropped_handle_leaves_no_live_workers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let exits = Arc::new(AtomicUsize::new(0));
+        let p = 4;
+        let (_, handle) = {
+            let exits = exits.clone();
+            World::new(p).run_resident(
+                |ctx| ctx.rank(),
+                move |ctx, _| {
+                    echo_serve(ctx, 0);
+                    exits.fetch_add(1, Ordering::SeqCst);
+                },
+            )
+        };
+        // No shutdown round: dropping the handle is the teardown.
+        drop(handle);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while exits.load(Ordering::SeqCst) < p - 1 {
+            assert!(
+                Instant::now() < deadline,
+                "workers still alive after the handle was dropped"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn dead_resident_rank_fails_the_next_round_instead_of_hanging() {
+        let p = 2;
+        let (_, mut handle) = World::new(p)
+            .with_recv_timeout(Duration::from_secs(5))
+            .run_resident(
+                |ctx| ctx.rank(),
+                |_ctx, _| panic!("worker died before serving"),
+            );
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // The worker is gone; the receive must fail fast with a
+            // link-down diagnostic, not wait out a timeout.
+            let start = Instant::now();
+            let _ = handle.ctx().recv(1, crate::tags::TAG_SERVE_SOL);
+            start.elapsed()
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "?".into());
+        assert!(msg.contains("lost rank 1"), "{msg}");
     }
 }

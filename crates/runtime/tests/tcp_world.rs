@@ -218,3 +218,59 @@ fn tcp_sessions_in_sequence_reach_their_own_workers() {
     assert_eq!(a, vec![1, 0]);
     assert_eq!(b, vec![3, 0, 1, 2]);
 }
+
+#[test]
+fn tcp_resident_session_serves_rounds_and_shuts_down_cleanly() {
+    set_tcp_child_args(worker_args(
+        "tcp_resident_session_serves_rounds_and_shuts_down_cleanly",
+    ));
+    // A resident session over real OS processes: the workers stay alive
+    // between rounds (same processes, same sockets), echo commands back,
+    // and exit on the tag-based shutdown — collected liveness-aware by
+    // finish(). A worker must never be respawned between rounds: it
+    // proves identity by echoing a counter it keeps in process memory.
+    let p = 4;
+    let (s0, mut handle) = World::new(p).transport(Transport::Tcp).run_resident(
+        |ctx| ctx.rank() * 10,
+        |ctx, seed| {
+            let mut served = 0u64;
+            while let Some(cmd) = ctx.recv_service_idle(0, tags::TAG_SERVE_CMD) {
+                if cmd.is_empty() {
+                    break;
+                }
+                served += 1;
+                let mut w = ByteWriter::new();
+                w.put_u64(seed as u64 + served);
+                ctx.send_service(0, tags::TAG_SERVE_SOL, w.finish());
+            }
+        },
+    );
+    assert_eq!(s0, 0, "rank 0 keeps its factor output");
+    assert!(!srsf_runtime::is_spawned_worker(), "workers exit in serve");
+    for round in 1..=3u64 {
+        for dst in 1..p {
+            let mut w = ByteWriter::new();
+            w.put_u64(round);
+            handle
+                .ctx()
+                .send_service(dst, tags::TAG_SERVE_CMD, w.finish());
+        }
+        for src in 1..p {
+            let reply = handle.ctx().recv(src, tags::TAG_SERVE_SOL);
+            let v = ByteReader::new(reply).get_u64();
+            // seed (10 * rank) + per-process served counter: only a
+            // process that survived every earlier round reports this.
+            assert_eq!(v, src as u64 * 10 + round, "round {round} from {src}");
+        }
+    }
+    // Service frames are envelope traffic: no data messages were counted.
+    assert_eq!(handle.ctx().stats().msgs_sent, 0);
+    for dst in 1..p {
+        assert!(handle.worker_live(dst), "rank {dst} died early");
+        handle
+            .ctx()
+            .send_service(dst, tags::TAG_SERVE_CMD, Vec::new());
+    }
+    let stats = handle.finish();
+    assert_eq!(stats.per_rank.len(), p);
+}

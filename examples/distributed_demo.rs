@@ -12,17 +12,25 @@
 //! # bit-identical solutions and identical counters.
 //! cargo run --release --example distributed_demo -- --transport tcp
 //!
+//! # Resident serving: factor once, keep the rank world alive, amortize
+//! # k solves against it — records never leave their ranks, and the
+//! # per-solve communication is measured separately from factorization.
+//! cargo run --release --example distributed_demo -- --resident --solve-reps 5
+//!
 //! # Vary the grid and the process count (p must be a power of four).
 //! cargo run --release --example distributed_demo -- --p 16 --side 128
 //! ```
 
 use srsf::prelude::*;
 use srsf::runtime::NetworkModel;
+use std::time::Instant;
 
 struct Args {
     side: usize,
     p: usize,
     transport: Transport,
+    resident: bool,
+    solve_reps: usize,
 }
 
 fn parse_args() -> Args {
@@ -30,6 +38,8 @@ fn parse_args() -> Args {
         side: 64,
         p: 4,
         transport: Transport::InProc,
+        resident: false,
+        solve_reps: 5,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -45,10 +55,20 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|e| panic!("{e}"))
             }
+            "--resident" => args.resident = true,
+            "--solve-reps" => {
+                // At least one solve: the per-solve counter math divides
+                // by the rep count.
+                args.solve_reps = value("--solve-reps")
+                    .parse::<usize>()
+                    .expect("--solve-reps K")
+                    .max(1)
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: distributed_demo [--side N] [--p N] [--transport inproc|tcp]\n\
-                     defaults: --side 64 --p 4 --transport inproc"
+                     \x20                       [--resident [--solve-reps K]]\n\
+                     defaults: --side 64 --p 4 --transport inproc --solve-reps 5"
                 );
                 std::process::exit(0);
             }
@@ -58,8 +78,113 @@ fn parse_args() -> Args {
     args
 }
 
+/// Resident-service demo: factor once on a persistent rank world, serve
+/// `reps` solves in place, report the amortization and the per-solve
+/// communication, and check the served results against the gathered
+/// factorization bit for bit.
+fn run_resident(side: usize, p: usize, transport: Transport, reps: usize) {
+    let grid = UnitGrid::new(side);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    let b = random_vector::<f64>(grid.n(), 11);
+
+    let t0 = Instant::now();
+    // On the TCP transport this call spawns `p - 1` worker processes that
+    // stay alive — parked in their serve loops — until the solver is shut
+    // down; everything below runs in the launching process only.
+    let f = Solver::builder(&kernel, &pts)
+        .tol(1e-6)
+        .driver(Driver::distributed(p))
+        .transport(transport)
+        .resident(true)
+        .build()
+        .expect("resident factorization");
+    let t_factor = t0.elapsed().as_secs_f64();
+
+    println!(
+        "resident service: N = {}, p = {p} ranks, transport = {transport}",
+        grid.n()
+    );
+    let records = f.records_per_rank().expect("resident record probe");
+    println!("\nper-rank residency (records never leave their ranks):");
+    println!("{:>5} {:>10} {:>14}", "rank", "records", "factor bytes");
+    let bytes = f.memory_bytes_per_rank().expect("per-rank bytes");
+    for (r, (n, bb)) in records.iter().zip(bytes.iter()).enumerate() {
+        println!("{r:>5} {n:>10} {bb:>14}");
+    }
+    println!(
+        "rank 0 holds {} of {} records (top block {} resident on rank 0)",
+        records[0],
+        f.n_records(),
+        f.top_size()
+    );
+
+    // Amortized serving: k solves against the one resident factorization,
+    // with exact per-solve counters from bracketing probes.
+    let before = f.resident_comm_probe().expect("probe");
+    let t1 = Instant::now();
+    let mut x = Vec::new();
+    for _ in 0..reps {
+        x = f.solve(&b);
+    }
+    let t_solves = t1.elapsed().as_secs_f64();
+    let after = f.resident_comm_probe().expect("probe");
+
+    let fast = FastKernelOp::laplace(&kernel, &grid);
+    println!(
+        "\n{reps} resident solves in {:.3}s ({:.3}s each) after a {:.3}s factorization",
+        t_solves,
+        t_solves / reps as f64,
+        t_factor
+    );
+    println!("relres = {:.3e}", relative_residual(&fast, &x, &b));
+    let max_msgs = (0..p)
+        .map(|r| (after.per_rank[r].msgs_sent - before.per_rank[r].msgs_sent) / reps as u64)
+        .max()
+        .unwrap();
+    let max_words = (0..p)
+        .map(|r| (after.per_rank[r].words_sent - before.per_rank[r].words_sent) / reps as u64)
+        .max()
+        .unwrap();
+    let sqrt_np = (grid.n() as f64 / p as f64).sqrt();
+    println!(
+        "per-solve communication: max msgs = {max_msgs}, max words = {max_words} \
+         ({:.1} x sqrt(N/p) = {:.0})",
+        max_words as f64 / sqrt_np,
+        sqrt_np
+    );
+
+    // The served results are the gathered factorization's blocked sweep,
+    // bit for bit — residency changes where records live, not the answer.
+    let gathered = Solver::builder(&kernel, &pts)
+        .tol(1e-6)
+        .driver(Driver::distributed(p))
+        .build()
+        .expect("gathered comparison factorization");
+    let want = gathered.solve_mat(&Mat::from_vec(b.len(), 1, b.clone()));
+    assert_eq!(
+        x,
+        want.as_slice().to_vec(),
+        "resident solve must match the gathered blocked sweep bit for bit"
+    );
+    println!("\nresident vs gathered: solutions bit-identical across {reps} served solves");
+
+    let stats = f.shutdown().expect("resident shutdown");
+    assert_eq!(stats.per_rank.len(), p);
+    println!("resident shutdown: clean (no live workers)");
+}
+
 fn main() {
-    let Args { side, p, transport } = parse_args();
+    let Args {
+        side,
+        p,
+        transport,
+        resident,
+        solve_reps,
+    } = parse_args();
+    if resident {
+        return run_resident(side, p, transport, solve_reps);
+    }
     let grid = UnitGrid::new(side);
     let kernel = LaplaceKernel::new(&grid);
     let pts = grid.points();
