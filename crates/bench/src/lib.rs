@@ -9,6 +9,8 @@
 //! crossovers) are made on the critical path, with wall time shown for
 //! transparency.
 
+#![forbid(unsafe_code)]
+
 use srsf_core::{Driver, FactorOpts, Solver};
 use srsf_geometry::grid::UnitGrid;
 use srsf_geometry::procgrid::ProcessGrid;
@@ -94,6 +96,7 @@ fn factor_and_solve<K: srsf_kernels::kernel::Kernel>(
         let f = Solver::builder(kernel, pts)
             .opts(opts.clone())
             .build()
+            // INVARIANT: deliberate — the experiment harness aborts on setup failure
             .expect("factorization");
         let tfact = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
@@ -114,10 +117,12 @@ fn factor_and_solve<K: srsf_kernels::kernel::Kernel>(
             .opts(opts.clone())
             .driver(Driver::Distributed { grid })
             .build_with_solution(b)
+            // INVARIANT: deliberate — the experiment harness aborts on setup failure
             .expect("distributed factorization");
         let total = t0.elapsed().as_secs_f64();
         let tsolve = f.stats().solve_s;
         let tfact = (total - tsolve).max(0.0);
+        // INVARIANT: a Distributed-driver solver always carries comm stats
         let stats = f.comm_stats().expect("distributed comm stats").clone();
         (f, x, stats, (tfact, tsolve))
     }
@@ -163,6 +168,7 @@ pub fn laplace_pcg_iters(side: usize, opts: &FactorOpts, tol: f64) -> (usize, f6
     let f = Solver::builder(&kernel, &pts)
         .opts(opts.clone())
         .build()
+        // INVARIANT: deliberate — the experiment harness aborts on setup failure
         .expect("factorization");
     let fast = FastKernelOp::laplace(&kernel, &grid);
     let b = random_vector::<f64>(grid.n(), 77);
@@ -186,6 +192,7 @@ pub fn helmholtz_gmres_iters(
     let f = Solver::builder(&kernel, &pts)
         .opts(opts.clone())
         .build()
+        // INVARIANT: deliberate — the experiment harness aborts on setup failure
         .expect("factorization");
     let fast = FastKernelOp::helmholtz(&kernel, &grid);
     let b = random_vector::<c64>(grid.n(), 77);

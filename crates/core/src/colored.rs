@@ -28,8 +28,11 @@ use srsf_geometry::point::Point;
 pub use srsf_geometry::procgrid::BoxColoring as ColorScheme;
 use srsf_geometry::tree::{BoxId, QuadTree};
 use srsf_kernels::kernel::Kernel;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+// Sync primitives come through the srsf-verify shims: identical to
+// `std::sync` in a normal build, schedule-explored under
+// `--cfg srsf_model` (see crates/verify).
+use srsf_verify::sync::atomic::{AtomicUsize, Ordering};
+use srsf_verify::sync::OnceLock;
 use std::time::Instant;
 
 /// Factor with the box-colored parallel schedule using `n_threads` worker
@@ -145,6 +148,10 @@ fn eliminate_color_round<K: Kernel>(
     std::thread::scope(|scope| {
         for _ in 0..n_threads.min(boxes.len()) {
             scope.spawn(|| loop {
+                // Relaxed is enough: the claim index carries no data — each worker
+                // publishes its elimination through the slot's OnceLock, whose set/get
+                // provides the release/acquire edge (verified schedule-independent by
+                // work_stealing_claims_each_chunk_once in crates/verify/tests/models.rs).
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= boxes.len() {
                     break;
@@ -155,6 +162,8 @@ fn eliminate_color_round<K: Kernel>(
     });
     slots
         .into_iter()
+        // INVARIANT: the per-color barrier guarantees every slot in a finished
+        // color was written exactly once
         .map(|s| s.into_inner().expect("missing elimination output"))
         .collect()
 }

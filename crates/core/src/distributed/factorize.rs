@@ -119,21 +119,29 @@ fn decode_and_apply_update<K: Kernel>(
     if was_eliminated {
         store.shrink_box(&b, &skel_positions);
     }
+    // INVARIANT: this frame was encoded by a peer rank under the matching tag
+    // and the transport delivers whole messages, so decode cannot truncate
     let n_replaced = r.get_u64() as usize;
     let mut replaced = Vec::with_capacity(n_replaced);
     for _ in 0..n_replaced {
         let x = get_box(r);
         let y = get_box(r);
+        // INVARIANT: this frame was encoded by a peer rank under the matching tag
+        // and the transport delivers whole messages, so decode cannot truncate
         replaced.push((x, y, r.get_mat::<K::Elem>()));
     }
     for (x, y, m) in replaced {
         store.insert(x, y, m);
     }
     act.set(b, skel_ids);
+    // INVARIANT: this frame was encoded by a peer rank under the matching tag
+    // and the transport delivers whole messages, so decode cannot truncate
     let n_deltas = r.get_u64() as usize;
     for _ in 0..n_deltas {
         let x = get_box(r);
         let y = get_box(r);
+        // INVARIANT: this frame was encoded by a peer rank under the matching tag
+        // and the transport delivers whole messages, so decode cannot truncate
         let m: Mat<K::Elem> = r.get_mat();
         store.add_delta(x, y, &m, act);
     }
@@ -145,7 +153,11 @@ fn encode_record<T: Scalar>(w: &mut ByteWriter, key: u64, rec: &BoxElimination<T
 }
 
 fn decode_record<T: Scalar>(r: &mut ByteReader) -> (u64, BoxElimination<T>) {
+    // INVARIANT: this frame was encoded by a peer rank under the matching tag
+    // and the transport delivers whole messages, so decode cannot truncate
     let key = r.get_u64();
+    // INVARIANT: record frames are produced by our own encoder (trusted peer
+    // rank); a malformed one is a peer bug worth dying loudly on
     let rec = BoxElimination::decode(r).unwrap_or_else(|e| panic!("malformed record frame: {e}"));
     (key, rec)
 }
@@ -236,6 +248,8 @@ pub(crate) fn dist_factorize_with_tree<K: Kernel>(
             Err(e) => return Err(e),
         }
     }
+    // INVARIANT: the rank-0 closure always assembles the factorization when
+    // no rank returned an error above
     let (f, x) = fact.expect("rank 0 must produce the factorization");
     Ok(DistBuild {
         fact: f,
@@ -450,6 +464,8 @@ fn run_phase<K: Kernel>(
     for (i, b) in boxes.iter().enumerate() {
         for (r, region) in &regions {
             if box_near_region(b, *region, 2) {
+                // INVARIANT: per_dst was pre-seeded with every region key two
+                // lines above this loop
                 per_dst.get_mut(r).expect("dst").push(i);
             }
         }
@@ -496,6 +512,8 @@ fn run_phase<K: Kernel>(
     for &src in &neighbors {
         let payload = ctx.recv(src, tag(level, phase, KIND_PHASE_UPDATE));
         let mut r = ByteReader::new(payload);
+        // INVARIANT: this frame was encoded by a peer rank under the matching tag
+        // and the transport delivers whole messages, so decode cannot truncate
         let n_updates = r.get_u64();
         for _ in 0..n_updates {
             decode_and_apply_update(&mut r, store, act);
@@ -572,13 +590,19 @@ fn level_transition<K: Kernel>(
                 let member = grid.rank_of(cx + dx * stride, cy + dy * stride);
                 let payload = ctx.recv(member, tag(child_level, 5, KIND_FOLD));
                 let mut r = ByteReader::new(payload);
+                // INVARIANT: this frame was encoded by a peer rank under the matching tag
+                // and the transport delivers whole messages, so decode cannot truncate
                 let n_pairs = r.get_u64();
                 for _ in 0..n_pairs {
                     let a = get_box(&mut r);
                     let b = get_box(&mut r);
+                    // INVARIANT: this frame was encoded by a peer rank under the matching tag
+                    // and the transport delivers whole messages, so decode cannot truncate
                     let m: Mat<K::Elem> = r.get_mat();
                     store.insert(a, b, m);
                 }
+                // INVARIANT: this frame was encoded by a peer rank under the matching tag
+                // and the transport delivers whole messages, so decode cannot truncate
                 let n_acts = r.get_u64();
                 for _ in 0..n_acts {
                     let b = get_box(&mut r);
@@ -652,6 +676,8 @@ fn level_transition<K: Kernel>(
         for &src in &neighbors {
             let payload = ctx.recv(src, tag(parent_level, 6, KIND_ACT_REFRESH));
             let mut r = ByteReader::new(payload);
+            // INVARIANT: this frame was encoded by a peer rank under the matching tag
+            // and the transport delivers whole messages, so decode cannot truncate
             let n = r.get_u64();
             for _ in 0..n {
                 let b = get_box(&mut r);
@@ -714,16 +740,22 @@ fn gather_top<K: Kernel>(
     for &src in active.iter().filter(|&&r| r != 0) {
         let payload = ctx.recv(src, tag(top_level, 6, KIND_TOP));
         let mut r = ByteReader::new(payload);
+        // INVARIANT: this frame was encoded by a peer rank under the matching tag
+        // and the transport delivers whole messages, so decode cannot truncate
         let n_acts = r.get_u64();
         for _ in 0..n_acts {
             let b = get_box(&mut r);
             let ids = get_ids(&mut r);
             act.set(b, ids);
         }
+        // INVARIANT: this frame was encoded by a peer rank under the matching tag
+        // and the transport delivers whole messages, so decode cannot truncate
         let n_pairs = r.get_u64();
         for _ in 0..n_pairs {
             let a = get_box(&mut r);
             let b = get_box(&mut r);
+            // INVARIANT: this frame was encoded by a peer rank under the matching tag
+            // and the transport delivers whole messages, so decode cannot truncate
             let m: Mat<K::Elem> = r.get_mat();
             store.insert(a, b, m);
         }
@@ -754,6 +786,8 @@ fn gather_factorization<T: Scalar>(
     for src in 1..grid.p() {
         let payload = ctx.recv(src, tag(0, 7, KIND_RECORDS));
         let mut r = ByteReader::new(payload);
+        // INVARIANT: this frame was encoded by a peer rank under the matching tag
+        // and the transport delivers whole messages, so decode cannot truncate
         let n_recs = r.get_u64();
         for _ in 0..n_recs {
             keyed.push(decode_record(&mut r));
@@ -771,6 +805,7 @@ fn gather_factorization<T: Scalar>(
             rec
         })
         .collect();
+    // INVARIANT: rank 0 runs the top-level merge, so its record always exists
     let (top_idx, top_lu) = top.expect("rank 0 holds the top factorization");
     Ok(Some(Factorization::from_parts(
         n, records, top_idx, top_lu, stats,
@@ -834,9 +869,15 @@ fn dist_solve<T: Scalar>(
                 for &src in &neighbors {
                     let payload = ctx.recv(src, tag(level, phase, KIND_SOLVE_UP));
                     let mut r = ByteReader::new(payload);
+                    // INVARIANT: this frame was encoded by a peer rank under the matching tag
+                    // and the transport delivers whole messages, so decode cannot truncate
                     let n_items = r.get_u64();
                     for _ in 0..n_items {
+                        // INVARIANT: this frame was encoded by a peer rank under the matching tag
+                        // and the transport delivers whole messages, so decode cannot truncate
                         let id = r.get_u64() as usize;
+                        // INVARIANT: this frame was encoded by a peer rank under the matching tag
+                        // and the transport delivers whole messages, so decode cannot truncate
                         let v: T = r.get_scalar();
                         x[id] += v;
                     }
@@ -857,11 +898,14 @@ fn dist_solve<T: Scalar>(
             let payload = ctx.recv(src, tag(top_level, 6, KIND_SOLVE_VAL));
             let mut r = ByteReader::new(payload);
             let ids = get_ids(&mut r);
+            // INVARIANT: this frame was encoded by a peer rank under the matching tag
+            // and the transport delivers whole messages, so decode cannot truncate
             let vals: Vec<T> = r.get_scalar_slice();
             for (id, v) in ids.iter().zip(vals.iter()) {
                 x[*id as usize] = *v;
             }
         }
+        // INVARIANT: rank 0 runs the top-level merge, so its record always exists
         let (top_idx, top_lu) = top.expect("rank 0 has the top");
         let mut vals = gather(&x, top_idx);
         top_lu.solve_vec(&mut vals);
@@ -892,6 +936,8 @@ fn dist_solve<T: Scalar>(
         let payload = ctx.recv(0, tag(top_level, 7, KIND_SOLVE_VAL));
         let mut r = ByteReader::new(payload);
         let ids = get_ids(&mut r);
+        // INVARIANT: this frame was encoded by a peer rank under the matching tag
+        // and the transport delivers whole messages, so decode cannot truncate
         let vals: Vec<T> = r.get_scalar_slice();
         for (id, v) in ids.iter().zip(vals.iter()) {
             x[*id as usize] = *v;
@@ -943,6 +989,8 @@ fn dist_solve<T: Scalar>(
                     let payload = ctx.recv(src, tag(level, phase, KIND_SOLVE_VAL));
                     let mut r = ByteReader::new(payload);
                     let ids = get_ids(&mut r);
+                    // INVARIANT: this frame was encoded by a peer rank under the matching tag
+                    // and the transport delivers whole messages, so decode cannot truncate
                     let vals: Vec<T> = r.get_scalar_slice();
                     for (id, v) in ids.iter().zip(vals.iter()) {
                         x[*id as usize] = *v;
@@ -966,6 +1014,8 @@ fn dist_solve<T: Scalar>(
             let payload = ctx.recv(src, tag(1, 7, KIND_SOLVE_VAL));
             let mut r = ByteReader::new(payload);
             let ids = get_ids(&mut r);
+            // INVARIANT: this frame was encoded by a peer rank under the matching tag
+            // and the transport delivers whole messages, so decode cannot truncate
             let vals: Vec<T> = r.get_scalar_slice();
             for (id, v) in ids.iter().zip(vals.iter()) {
                 x[*id as usize] = *v;
@@ -1031,6 +1081,8 @@ fn solve_fold_up<T: Scalar>(
             let payload = ctx.recv(member, tag(child_level, 5, KIND_SOLVE_VAL));
             let mut r = ByteReader::new(payload);
             let ids = get_ids(&mut r);
+            // INVARIANT: this frame was encoded by a peer rank under the matching tag
+            // and the transport delivers whole messages, so decode cannot truncate
             let vals: Vec<T> = r.get_scalar_slice();
             for (id, v) in ids.iter().zip(vals.iter()) {
                 x[*id as usize] = *v;
@@ -1072,6 +1124,8 @@ fn solve_fold_down<T: Scalar>(
         let mut r = ByteReader::new(payload);
         let got_ids = get_ids(&mut r);
         debug_assert_eq!(got_ids, ids);
+        // INVARIANT: this frame was encoded by a peer rank under the matching tag
+        // and the transport delivers whole messages, so decode cannot truncate
         let vals: Vec<T> = r.get_scalar_slice();
         for (id, v) in got_ids.iter().zip(vals.iter()) {
             x[*id as usize] = *v;

@@ -53,10 +53,13 @@ use srsf_runtime::codec::ByteReader;
 use std::collections::HashMap;
 
 pub(crate) fn get_box(r: &mut ByteReader) -> BoxId {
+    // INVARIANT: deliberate — these frames come from our own encoder over a
+    // reliable transport; try_get_box is the path for untrusted bytes
     try_get_box(r).unwrap_or_else(|e| panic!("{e}"))
 }
 
 pub(crate) fn get_ids(r: &mut ByteReader) -> Vec<u32> {
+    // INVARIANT: deliberate — same trusted-frame argument as get_box above
     try_get_ids(r).unwrap_or_else(|e| panic!("{e}"))
 }
 

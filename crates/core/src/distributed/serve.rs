@@ -62,7 +62,10 @@ use srsf_runtime::tags::{
 use srsf_runtime::world::{RankCtx, World, WorldHandle};
 use srsf_runtime::{CommStats, WorldStats};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+// Sync primitives come through the srsf-verify shims: identical to
+// `std::sync` in a normal build, schedule-explored under
+// `--cfg srsf_model` (see crates/verify).
+use srsf_verify::sync::{Arc, Mutex};
 
 /// Serve-loop opcodes (first u64 of a `TAG_SERVE_CMD` payload).
 const CMD_SHUTDOWN: u64 = 0;
@@ -314,6 +317,8 @@ fn solve_resident_mat<T: Scalar>(
                         let rows = dn.gather_rows(pos);
                         outgoing
                             .get_mut(dst)
+                            // INVARIANT: outgoing was pre-seeded with every
+                            // neighbouring rank before the delta pass
                             .expect("delta for a non-adjacent rank")
                             .push((ids, rows));
                     }
@@ -332,9 +337,13 @@ fn solve_resident_mat<T: Scalar>(
                 for &src in &neighbors {
                     let payload = ctx.recv(src, tag(level, phase, KIND_SOLVE_UP));
                     let mut r = ByteReader::new(payload);
+                    // INVARIANT: this frame was encoded by a peer rank under the matching tag
+                    // and the transport delivers whole messages, so decode cannot truncate
                     let n = r.get_u64();
                     for _ in 0..n {
                         let ids = get_ids(&mut r);
+                        // INVARIANT: this frame was encoded by a peer rank under the matching tag
+                        // and the transport delivers whole messages, so decode cannot truncate
                         let rows: Mat<T> = r.get_mat();
                         x.scatter_rows_sub(&ids, &rows);
                     }
@@ -355,9 +364,12 @@ fn solve_resident_mat<T: Scalar>(
             let payload = ctx.recv(src, tag(st.top_level, 6, KIND_SOLVE_VAL));
             let mut r = ByteReader::new(payload);
             let ids = get_ids(&mut r);
+            // INVARIANT: this frame was encoded by a peer rank under the matching tag
+            // and the transport delivers whole messages, so decode cannot truncate
             let rows: Mat<T> = r.get_mat();
             x.scatter_rows(&ids, &rows);
         }
+        // INVARIANT: rank 0 runs the top-level merge, so its record always exists
         let (top_idx, top_lu) = st.top.as_ref().expect("rank 0 holds the top");
         let mut vals = x.gather_rows(top_idx);
         top_lu.solve_mat(&mut vals);
@@ -377,6 +389,8 @@ fn solve_resident_mat<T: Scalar>(
         let payload = ctx.recv(0, tag(st.top_level, 7, KIND_SOLVE_VAL));
         let mut r = ByteReader::new(payload);
         let ids = get_ids(&mut r);
+        // INVARIANT: this frame was encoded by a peer rank under the matching tag
+        // and the transport delivers whole messages, so decode cannot truncate
         let rows: Mat<T> = r.get_mat();
         x.scatter_rows(&ids, &rows);
     }
@@ -418,6 +432,8 @@ fn solve_resident_mat<T: Scalar>(
                     let payload = ctx.recv(src, tag(level, phase, KIND_SOLVE_VAL));
                     let mut r = ByteReader::new(payload);
                     let ids = get_ids(&mut r);
+                    // INVARIANT: this frame was encoded by a peer rank under the matching tag
+                    // and the transport delivers whole messages, so decode cannot truncate
                     let rows: Mat<T> = r.get_mat();
                     x.scatter_rows(&ids, &rows);
                 }
@@ -435,9 +451,12 @@ fn solve_resident_mat<T: Scalar>(
 
     // ---- Solution slab gather on rank 0 (service envelope) ----------------
     if me == 0 {
+        // INVARIANT: the driver passes rank 0 its slab row map on entry
         let owned = rank0_owned.expect("rank 0 passes its slab row map");
         for src in 1..grid.p() {
             let payload = ctx.recv(src, TAG_SERVE_SOL);
+            // INVARIANT: this frame was encoded by a peer rank under the matching tag
+            // and the transport delivers whole messages, so decode cannot truncate
             let rows: Mat<T> = ByteReader::new(payload).get_mat();
             x.scatter_rows(&owned[src], &rows);
         }
@@ -483,6 +502,8 @@ fn fold_up_mat<T: Scalar>(
             let payload = ctx.recv(member, tag(child_level, 5, KIND_SOLVE_VAL));
             let mut r = ByteReader::new(payload);
             let ids = get_ids(&mut r);
+            // INVARIANT: this frame was encoded by a peer rank under the matching tag
+            // and the transport delivers whole messages, so decode cannot truncate
             let rows: Mat<T> = r.get_mat();
             x.scatter_rows(&ids, &rows);
         }
@@ -516,6 +537,8 @@ fn fold_down_mat<T: Scalar>(
         let mut r = ByteReader::new(payload);
         let ids = get_ids(&mut r);
         debug_assert_eq!(ids, st.owned_act_ids(child_level));
+        // INVARIANT: this frame was encoded by a peer rank under the matching tag
+        // and the transport delivers whole messages, so decode cannot truncate
         let rows: Mat<T> = r.get_mat();
         x.scatter_rows(&ids, &rows);
     } else {
@@ -568,10 +591,16 @@ fn serve_rank<T: Scalar>(
     };
     while let Some(cmd) = ctx.recv_service_idle(0, TAG_SERVE_CMD) {
         let mut r = ByteReader::new(cmd);
+        // INVARIANT: this frame was encoded by a peer rank under the matching tag
+        // and the transport delivers whole messages, so decode cannot truncate
         match r.get_u64() {
             CMD_SHUTDOWN => break,
             CMD_SOLVE => {
+                // INVARIANT: this frame was encoded by a peer rank under the matching tag
+                // and the transport delivers whole messages, so decode cannot truncate
                 let nrhs = r.get_u64() as usize;
+                // INVARIANT: this frame was encoded by a peer rank under the matching tag
+                // and the transport delivers whole messages, so decode cannot truncate
                 let slab: Mat<T> = ByteReader::new(ctx.recv(0, TAG_SERVE_RHS)).get_mat();
                 assert_eq!(slab.ncols(), nrhs, "rank {me}: RHS slab shape mismatch");
                 let mut x = Mat::zeros(geo.n, nrhs);
@@ -583,6 +612,8 @@ fn serve_rank<T: Scalar>(
                 ctx.stats().encode(&mut w);
                 ctx.send_service(0, TAG_SERVE_STATS, w.finish());
             }
+            // INVARIANT: deliberate — an unknown opcode means a protocol-version
+            // mismatch between driver and rank; dying loudly beats misinterpreting
             op => panic!("rank {me}: unknown serve opcode {op}"),
         }
     }
@@ -651,10 +682,13 @@ impl<T: Scalar> ResidentService<T> {
     /// [`crate::Factorization::solve_mat`].
     pub fn solve_mat(&self, b: &Mat<T>) -> Mat<T> {
         assert_eq!(b.nrows(), self.n, "right-hand side row count mismatch");
+        // INVARIANT: poisoning requires a panicked driver call, which already
+        // surfaced to the caller
         let inner = &mut *self.inner.lock().expect("resident service poisoned");
         let handle = inner
             .handle
             .as_mut()
+            // INVARIANT: documented — solve after shutdown() is a caller bug
             .expect("resident service already shut down");
         let nrhs = b.ncols() as u64;
         for dst in 1..self.p {
@@ -691,10 +725,13 @@ impl<T: Scalar> ResidentService<T> {
     /// `comm_counts --solve-reps` uses this to measure the §IV solve
     /// bound.
     pub fn comm_probe(&self) -> WorldStats {
+        // INVARIANT: poisoning requires a panicked driver call, which already
+        // surfaced to the caller
         let inner = &mut *self.inner.lock().expect("resident service poisoned");
         let handle = inner
             .handle
             .as_mut()
+            // INVARIANT: documented — probing after shutdown() is a caller bug
             .expect("resident service already shut down");
         for dst in 1..self.p {
             let mut w = ByteWriter::new();
@@ -706,6 +743,8 @@ impl<T: Scalar> ResidentService<T> {
         for src in 1..self.p {
             let payload = handle.ctx().recv(src, TAG_SERVE_STATS);
             per_rank[src] = CommStats::decode(&mut ByteReader::new(payload))
+                // INVARIANT: stats frames come from our own encoder over a reliable
+                // transport; a malformed one is a peer bug worth dying loudly on
                 .unwrap_or_else(|e| panic!("rank {src} stats frame: {e}"));
         }
         WorldStats { per_rank }
@@ -715,6 +754,8 @@ impl<T: Scalar> ResidentService<T> {
     /// session's final per-rank counters. Idempotent: `None` if the
     /// service was already shut down.
     pub fn shutdown(&self) -> Option<WorldStats> {
+        // INVARIANT: poisoning requires a panicked driver call, which already
+        // surfaced to the caller
         let mut inner = self.inner.lock().expect("resident service poisoned");
         Self::shutdown_locked(&mut inner)
     }
@@ -804,16 +845,26 @@ pub(crate) fn dist_factorize_resident<K: Kernel>(
     for src in 1..p {
         let payload = handle.ctx().recv(src, TAG_SERVE_READY);
         let mut r = ByteReader::new(payload);
+        // INVARIANT: this frame was encoded by a peer rank under the matching tag
+        // and the transport delivers whole messages, so decode cannot truncate
         if r.get_u64() == 1 {
+            // INVARIANT: this frame was encoded by a peer rank under the matching tag
+            // and the transport delivers whole messages, so decode cannot truncate
             per_rank_records[src] = r.get_u64() as usize;
+            // INVARIANT: this frame was encoded by a peer rank under the matching tag
+            // and the transport delivers whole messages, so decode cannot truncate
             per_rank_bytes[src] = r.get_u64() as usize;
             let fstats = FactorStats::decode(&mut r)
+                // INVARIANT: ready frames come from our own encoder; a malformed one
+                // is a peer bug worth dying loudly on
                 .unwrap_or_else(|e| panic!("rank {src} ready frame: {e}"));
             comm.per_rank[src] =
+            // INVARIANT: same trusted ready-frame argument as above
                 CommStats::decode(&mut r).unwrap_or_else(|e| panic!("rank {src} ready frame: {e}"));
             worker_stats.push(fstats);
         } else {
             let e = FactorError::decode(&mut r)
+                // INVARIANT: same trusted ready-frame argument as above
                 .unwrap_or_else(|e| panic!("rank {src} ready frame: {e}"));
             first_err.get_or_insert(e);
         }
@@ -825,6 +876,8 @@ pub(crate) fn dist_factorize_resident<K: Kernel>(
             // Shut down the ranks that did reach their serve loops, then
             // report the failure.
             let _ = shutdown_session(handle);
+            // INVARIANT: this branch is only reached when some rank reported a
+            // failure, so at least one error exists
             return Err(err.unwrap_or_else(|| my.err().expect("some rank failed")));
         }
     };

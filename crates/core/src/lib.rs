@@ -25,6 +25,8 @@
 //! level-transition logic), [`solve`] (upward/downward substitution passes),
 //! [`stats`] (ranks per level, memory, timing breakdowns).
 
+#![forbid(unsafe_code)]
+
 pub mod colored;
 pub mod distributed;
 pub mod elimination;

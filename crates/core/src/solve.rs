@@ -32,8 +32,11 @@ use crate::sequential::Factorization;
 use srsf_linalg::gemm::{adjoint_matmul_sub, matmul, matmul_sub};
 use srsf_linalg::{Mat, Scalar};
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex, RwLock};
+// Sync primitives come through the srsf-verify shims: identical to
+// `std::sync` in a normal build, schedule-explored under
+// `--cfg srsf_model` (see crates/verify).
+use srsf_verify::sync::atomic::{AtomicUsize, Ordering};
+use srsf_verify::sync::{Barrier, Mutex, RwLock};
 
 #[inline]
 pub(crate) fn gather<T: Scalar>(b: &[T], idx: &[u32]) -> Vec<T> {
@@ -249,8 +252,14 @@ fn threaded_pass<T: Scalar>(
         for &gi in &order {
             let g = &groups[gi];
             {
+                // INVARIANT: poisoning requires a panicked worker, and that panic
+                // already propagates through the scope join
                 let snapshot = lock.read().expect("rhs lock poisoned");
                 loop {
+                    // Relaxed is enough: the counter only partitions record indices — the
+                    // per-record Mutex slots publish the data, and the group barrier orders
+                    // every write before the merger reads (modeled by
+                    // delta_merge_order_is_schedule_independent in crates/verify/tests/models.rs).
                     let k = counters[gi].fetch_add(1, Ordering::Relaxed);
                     if k >= g.len() {
                         break;
@@ -264,11 +273,15 @@ fn threaded_pass<T: Scalar>(
                         let (br, bs, dn) = upward_parts(rec, &snapshot);
                         (br, bs, Some(dn))
                     };
+                    // INVARIANT: poisoning requires a panicked worker, whose panic
+                    // already propagates through the scope join
                     *slots[i].lock().expect("slot poisoned") = Some(out);
                 }
             }
             barrier.wait();
             if is_merger {
+                // INVARIANT: poisoning requires a panicked worker, whose panic
+                // already propagates through the scope join
                 let mut bm = lock.write().expect("rhs lock poisoned");
                 let idx: Vec<usize> = if downward {
                     g.clone().rev().collect()
@@ -278,8 +291,12 @@ fn threaded_pass<T: Scalar>(
                 for i in idx {
                     let (br, bs, dn) = slots[i]
                         .lock()
+                        // INVARIANT: poisoning requires a panicked worker (propagated
+                        // at scope join)
                         .expect("slot poisoned")
                         .take()
+                        // INVARIANT: the barrier orders every record's slot write
+                        // before the merger's take
                         .expect("missing record output");
                     let rec = &records[i];
                     bm.scatter_rows(&rec.redundant, &br);
@@ -298,6 +315,8 @@ fn threaded_pass<T: Scalar>(
         }
         worker(true);
     });
+    // INVARIANT: all workers joined at scope end; poisoning would mean a panic
+    // that already propagated
     *b = lock.into_inner().expect("rhs lock poisoned");
 }
 

@@ -393,6 +393,8 @@ impl<T: Scalar> Solver<T> {
     /// ever assembled; use [`Solver::try_factorization`] to branch.
     pub fn factorization(&self) -> &Factorization<T> {
         self.try_factorization()
+            // INVARIANT: deliberate — documented panicking accessor;
+            // try_factorization is the fallible path
             .expect("a resident solver has no gathered factorization object")
     }
 
@@ -405,6 +407,8 @@ impl<T: Scalar> Solver<T> {
         match self.backend {
             SolverBackend::Local(f) => *f,
             SolverBackend::Resident(_) => {
+                // INVARIANT: deliberate — documented panicking accessor;
+                // try_factorization is the fallible path
                 panic!("a resident solver has no gathered factorization object")
             }
         }
@@ -582,6 +586,7 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
             });
         }
         let (solver, x) = self.build_inner(Some(rhs))?;
+        // INVARIANT: build_inner(Some(rhs)) always produces a solution
         Ok((solver, x.expect("solution requested")))
     }
 

@@ -11,6 +11,8 @@
 //! * [`fft2`] — row/column 2-D transforms.
 //! * [`toeplitz`] — the circulant-embedded fast matvec.
 
+#![forbid(unsafe_code)]
+
 pub mod fft;
 pub mod fft2;
 pub mod toeplitz;

@@ -12,6 +12,8 @@
 //!   interior/boundary classification, and the 4-coloring of Figure 5 (plus
 //!   a distance-3 9-coloring used by the lock-free shared-memory ablation).
 
+#![forbid(unsafe_code)]
+
 pub mod grid;
 pub mod neighbors;
 pub mod point;

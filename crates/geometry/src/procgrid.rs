@@ -27,6 +27,8 @@ impl ProcessGrid {
     /// for fallible construction.
     pub fn new(p: usize) -> Self {
         Self::try_new(p).unwrap_or_else(|| {
+            // INVARIANT: deliberate — documented panicking constructor; try_new is
+            // the fallible path
             panic!("process count must be a power of four (1, 4, 16, ...), got {p}")
         })
     }

@@ -90,6 +90,8 @@ pub fn gmres<T: Scalar>(
         let mut hcols: Vec<Vec<T>> = Vec::new();
         let mut inner = 0usize;
         while inner < opts.restart && total_iters < opts.max_iters {
+            // INVARIANT: basis is seeded with the normalized residual before the
+            // loop and only ever grows
             let vj = basis.last().expect("basis nonempty");
             // w = A M^{-1} v_j
             let mv = match m {

@@ -10,6 +10,8 @@
 //! * [`cg`] — conjugate gradients and preconditioned CG.
 //! * [`gmres`] — restarted GMRES with optional (right) preconditioning.
 
+#![forbid(unsafe_code)]
+
 pub mod cg;
 pub mod gmres;
 pub mod op;

@@ -19,6 +19,8 @@
 //! * [`util`] — seeded random vectors and small helpers shared by tests,
 //!   examples and the bench harness.
 
+#![forbid(unsafe_code)]
+
 pub mod assemble;
 pub mod fast_op;
 pub mod field;

@@ -21,6 +21,8 @@
 //! solves — each keeping its level-2 predecessor as a `*_naive` /
 //! `*_unblocked` reference oracle for the randomized agreement tests.
 
+#![forbid(unsafe_code)]
+
 pub mod complex;
 pub mod gemm;
 pub mod id;

@@ -293,22 +293,27 @@ impl ByteReader {
     /// Panics on a truncated payload; use [`ByteReader::try_get_u64`] for
     /// untrusted bytes.
     pub fn get_u64(&mut self) -> u64 {
+        // INVARIANT: deliberate — this is the documented panicking variant;
+        // untrusted bytes go through try_get_u64
         self.try_get_u64().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Read a double (panicking; see [`ByteReader::try_get_f64`]).
     pub fn get_f64(&mut self) -> f64 {
+        // INVARIANT: deliberate — documented panicking variant of try_get_f64
         self.try_get_f64().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Read a scalar (panicking; see [`ByteReader::try_get_scalar`]).
     pub fn get_scalar<T: Scalar>(&mut self) -> T {
+        // INVARIANT: deliberate — documented panicking variant of try_get_scalar
         self.try_get_scalar().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Read a length-prefixed `u64` slice (panicking; see
     /// [`ByteReader::try_get_u64_slice`]).
     pub fn get_u64_slice(&mut self) -> Vec<u64> {
+        // INVARIANT: deliberate — documented panicking variant of try_get_u64_slice
         self.try_get_u64_slice().unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -316,11 +321,14 @@ impl ByteReader {
     /// [`ByteReader::try_get_scalar_slice`]).
     pub fn get_scalar_slice<T: Scalar>(&mut self) -> Vec<T> {
         self.try_get_scalar_slice()
+            // INVARIANT: deliberate — documented panicking variant of
+            // try_get_scalar_slice
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Read a matrix (panicking; see [`ByteReader::try_get_mat`]).
     pub fn get_mat<T: Scalar>(&mut self) -> Mat<T> {
+        // INVARIANT: deliberate — documented panicking variant of try_get_mat
         self.try_get_mat().unwrap_or_else(|e| panic!("{e}"))
     }
 

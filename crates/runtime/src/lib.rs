@@ -42,6 +42,8 @@
 //!   process boundary, and the [`codec::Wire`] trait that carries typed
 //!   rank results back from worker processes.
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod netmodel;
 pub mod stats;

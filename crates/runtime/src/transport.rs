@@ -86,8 +86,11 @@ use crate::world::{RankCtx, World};
 use std::cell::{Cell, RefCell};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+// Sync primitives come through the srsf-verify shims: identical to
+// `std::sync` in a normal build, schedule-explored under
+// `--cfg srsf_model` (see crates/verify).
+use srsf_verify::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use srsf_verify::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Message-transport backend selection for a `World`.
@@ -369,6 +372,7 @@ impl TimeoutBarrier {
 
     /// `true` if all ranks arrived within `timeout`.
     fn wait(&self, timeout: Duration) -> bool {
+        // INVARIANT: poisoning requires a panicked holder, whose panic already ends the run
         let mut s = self.state.lock().expect("barrier lock");
         let gen = s.generation;
         s.arrived += 1;
@@ -387,6 +391,7 @@ impl TimeoutBarrier {
                 s.arrived -= 1;
                 return false;
             }
+            // INVARIANT: poisoning requires a panicked holder, whose panic already ends the run
             s = self.cv.wait_timeout(s, remaining).expect("barrier lock").0;
         }
         true
@@ -416,6 +421,8 @@ impl RankTransport for InProcTransport {
                 tag,
                 payload,
             }))
+            // INVARIANT: the matching-queue receiver lives as long as the rank; a hung-up
+            // receiver means the rank already died
             .expect("receiver hung up");
     }
     fn recv_any_of(
@@ -553,6 +560,7 @@ fn read_frame(s: &mut TcpStream, cap: u64) -> std::io::Result<Option<(usize, u32
     if !read_exact_or_eof(s, &mut hdr)? {
         return Ok(None);
     }
+    // INVARIANT: the slice is a fixed-width field of the 16-byte header
     let len = u64::from_le_bytes(hdr[0..8].try_into().unwrap());
     if len > cap {
         return Err(std::io::Error::new(
@@ -560,7 +568,9 @@ fn read_frame(s: &mut TcpStream, cap: u64) -> std::io::Result<Option<(usize, u32
             format!("frame claims {len} payload bytes (cap {cap})"),
         ));
     }
+    // INVARIANT: the slice is a fixed-width field of the 16-byte header
     let src = u32::from_le_bytes(hdr[8..12].try_into().unwrap()) as usize;
+    // INVARIANT: the slice is a fixed-width field of the 16-byte header
     let tag = u32::from_le_bytes(hdr[12..16].try_into().unwrap());
     let mut payload = vec![0u8; len as usize];
     s.read_exact(&mut payload)?;
@@ -610,6 +620,7 @@ fn spawn_reader(mut stream: TcpStream, src: usize, tx: Sender<Event>) {
                 }
             }
         })
+        // INVARIANT: OS-thread spawn fails only on resource exhaustion
         .expect("spawn tcp reader thread");
 }
 
@@ -638,8 +649,14 @@ impl RankTransport for TcpTransport {
         let me = self.rank;
         let s = self.peers[dst]
             .as_mut()
+            // INVARIANT: deliberate — an unreachable peer is unrecoverable for this rank;
+            // panicking with rank/tag context is how workers report fatal transport faults
+            // (the parent maps it to TAG_PANIC / exit status)
             .unwrap_or_else(|| panic!("rank {me} has no link to rank {dst}"));
         write_frame(s, me, tag, &payload)
+            // INVARIANT: deliberate — an unreachable peer is unrecoverable for this rank;
+            // panicking with rank/tag context is how workers report fatal transport faults
+            // (the parent maps it to TAG_PANIC / exit status)
             .unwrap_or_else(|e| panic!("rank {me} failed sending tag {tag} to rank {dst}: {e}"));
     }
     fn recv_any_of(
@@ -670,13 +687,21 @@ impl RankTransport for TcpTransport {
                 );
             }
             for dst in 1..self.size {
+                // INVARIANT: the handshake established a link to every rank
                 let s = self.peers[dst].as_mut().expect("barrier link");
                 write_frame(s, 0, TAG_BARRIER_ACK, &payload)
+                    // INVARIANT: deliberate — an unreachable peer is unrecoverable for this rank;
+                    // panicking with rank/tag context is how workers report fatal transport faults
+                    // (the parent maps it to TAG_PANIC / exit status)
                     .unwrap_or_else(|e| panic!("barrier ack to rank {dst}: {e}"));
             }
         } else {
+            // INVARIANT: the handshake established a link to rank 0
             let s = self.peers[0].as_mut().expect("barrier link");
             write_frame(s, me, TAG_BARRIER, &payload)
+                // INVARIANT: deliberate — an unreachable peer is unrecoverable for this rank;
+                // panicking with rank/tag context is how workers report fatal transport faults
+                // (the parent maps it to TAG_PANIC / exit status)
                 .unwrap_or_else(|e| panic!("rank {me} barrier arrival: {e}"));
             let m = self.queue.recv_where(0, &[TAG_BARRIER_ACK], timeout)?;
             assert_eq!(m.payload, payload, "barrier desync at rank {me}");
@@ -773,6 +798,8 @@ impl ChildGuard {
     fn check_none_exited(&mut self) {
         for (rank, child) in &mut self.spawned {
             if let Ok(Some(status)) = child.try_wait() {
+                // INVARIANT: deliberate — a worker dying mid-handshake leaves the job
+                // unstartable; failing fast with its exit status is the report
                 panic!("worker rank {rank} exited during the handshake: {status}");
             }
         }
@@ -903,11 +930,19 @@ fn read_hello(s: &mut TcpStream, p: usize, seq: u64) -> Result<(usize, u16), Str
 pub(crate) fn tcp_parent_setup(world: &World, seq: u64) -> (Box<dyn RankTransport>, ChildGuard) {
     let p = world.size();
     let recv_timeout = world.recv_timeout();
+    // INVARIANT: deliberate — a handshake fault before the transport exists can
+    // only be reported by dying; the parent turns it into a worker exit status
     let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind rendezvous listener");
     listener
         .set_nonblocking(true)
+        // INVARIANT: deliberate — a handshake fault before the transport exists can
+        // only be reported by dying; the parent turns it into a worker exit status
         .expect("nonblocking rendezvous listener");
+    // INVARIANT: deliberate — a handshake fault before the transport exists can
+    // only be reported by dying; the parent turns it into a worker exit status
     let addr = listener.local_addr().expect("rendezvous address");
+    // INVARIANT: deliberate — a handshake fault before the transport exists can
+    // only be reported by dying; the parent turns it into a worker exit status
     let exe = std::env::current_exe().expect("current_exe for worker re-exec");
     let args = child_args();
 
@@ -926,6 +961,8 @@ pub(crate) fn tcp_parent_setup(world: &World, seq: u64) -> (Box<dyn RankTranspor
         }
         let child = cmd
             .spawn()
+            // INVARIANT: deliberate — a handshake fault before the transport exists can
+            // only be reported by dying; the parent turns it into a worker exit status
             .unwrap_or_else(|e| panic!("spawn worker rank {rank}: {e}"));
         children.spawned.push((rank, child));
     }
@@ -970,6 +1007,8 @@ pub(crate) fn tcp_parent_setup(world: &World, seq: u64) -> (Box<dyn RankTranspor
                 children.check_none_exited();
                 std::thread::sleep(Duration::from_millis(2));
             }
+            // INVARIANT: deliberate — a handshake fault before the transport exists can
+            // only be reported by dying; the parent turns it into a worker exit status
             Err(e) => panic!("rendezvous accept failed: {e}"),
         }
     }
@@ -983,9 +1022,12 @@ pub(crate) fn tcp_parent_setup(world: &World, seq: u64) -> (Box<dyn RankTranspor
     }
     let table = w.finish();
     for rank in 1..p {
+        // INVARIANT: the accept loop above filled every stream slot
         let s = streams[rank].as_mut().expect("rendezvous link");
         s.set_read_timeout(None).ok();
         write_frame(s, 0, TAG_PEERS, &table)
+            // INVARIANT: deliberate — a handshake fault before the transport exists can
+            // only be reported by dying; the parent turns it into a worker exit status
             .unwrap_or_else(|e| panic!("send peer table to rank {rank}: {e}"));
     }
 
@@ -993,8 +1035,11 @@ pub(crate) fn tcp_parent_setup(world: &World, seq: u64) -> (Box<dyn RankTranspor
     for rank in 1..p {
         let read_half = streams[rank]
             .as_ref()
+            // INVARIANT: the accept loop above filled every stream slot
             .unwrap()
             .try_clone()
+            // INVARIANT: deliberate — a handshake fault before the transport exists can
+            // only be reported by dying; the parent turns it into a worker exit status
             .expect("clone rank link");
         spawn_reader(read_half, rank, tx.clone());
     }
@@ -1029,6 +1074,8 @@ pub(crate) fn collect_tcp_results<R: Wire>(
                 Ok(m) => break m,
                 Err(e @ (RecvError::Disconnected { .. } | RecvError::PeerPanicked { .. })) => {
                     let status = children.status_of(src);
+                    // INVARIANT: deliberate — a worker dying without a result frame is fatal to
+                    // the job; its exit status is the diagnostic
                     panic!("worker rank {src} exited without reporting a result ({status}): {e}");
                 }
                 Err(RecvError::Timeout { .. }) => {
@@ -1039,6 +1086,7 @@ pub(crate) fn collect_tcp_results<R: Wire>(
                         // the worker dead.
                         match transport.recv_any_of(src, &[TAG_RESULT, TAG_PANIC], RESULT_POLL) {
                             Ok(m) => break m,
+                            // INVARIANT: deliberate — same dead-worker argument as above
                             Err(e) => panic!(
                                 "worker rank {src} exited without reporting a result \
                                  ({status}): {e}"
@@ -1050,11 +1098,16 @@ pub(crate) fn collect_tcp_results<R: Wire>(
         };
         if m.tag == TAG_PANIC {
             let msg = String::from_utf8_lossy(&m.payload).into_owned();
+            // INVARIANT: deliberate — re-raising a worker panic on the driver thread is
+            // the TAG_PANIC protocol's whole point
             panic!("rank {src} panicked: {msg}");
         }
         let mut r = ByteReader::new(m.payload);
         let s =
+            // INVARIANT: result frames come from our own encoder; a malformed one is a
+            // peer bug worth dying loudly on
             CommStats::decode(&mut r).unwrap_or_else(|e| panic!("rank {src} result frame: {e}"));
+        // INVARIANT: same trusted result-frame argument as above
         let val = R::decode(&mut r).unwrap_or_else(|e| panic!("rank {src} result frame: {e}"));
         stats.push(s);
         results.push(val);
@@ -1109,11 +1162,17 @@ where
     assert!(rank >= 1 && rank < p, "worker rank {rank} out of range");
 
     let mut hub = TcpStream::connect(job.addr.as_str())
+        // INVARIANT: deliberate — a handshake fault before the transport exists can
+        // only be reported by dying; the parent turns it into a worker exit status
         .unwrap_or_else(|e| panic!("rank {rank}: cannot reach rendezvous {}: {e}", job.addr));
     hub.set_nodelay(true).ok();
     let handshake = handshake_timeout(world.recv_timeout());
     hub.set_read_timeout(Some(handshake)).ok();
+    // INVARIANT: deliberate — a handshake fault before the transport exists can
+    // only be reported by dying; the parent turns it into a worker exit status
     let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind peer listener");
+    // INVARIANT: deliberate — a handshake fault before the transport exists can
+    // only be reported by dying; the parent turns it into a worker exit status
     let my_port = listener.local_addr().expect("peer listener address").port();
 
     let mut w = ByteWriter::new();
@@ -1124,20 +1183,30 @@ where
     w.put_u64(rank as u64);
     w.put_u64(my_port as u64);
     write_frame(&mut hub, rank, TAG_HELLO, &w.finish())
+        // INVARIANT: deliberate — a handshake fault before the transport exists can
+        // only be reported by dying; the parent turns it into a worker exit status
         .unwrap_or_else(|e| panic!("rank {rank}: send HELLO: {e}"));
 
     let (src, tag, payload) = read_frame(&mut hub, HANDSHAKE_FRAME_CAP)
+        // INVARIANT: deliberate — a handshake fault before the transport exists can
+        // only be reported by dying; the parent turns it into a worker exit status
         .unwrap_or_else(|e| panic!("rank {rank}: read peer table: {e}"))
+        // INVARIANT: deliberate — a handshake fault before the transport exists can
+        // only be reported by dying; the parent turns it into a worker exit status
         .unwrap_or_else(|| panic!("rank {rank}: rendezvous closed before the peer table"));
     assert_eq!((src, tag), (0, TAG_PEERS), "handshake: expected PEERS");
     let mut r = ByteReader::new(payload);
     let world_size = r
         .try_get_u64()
+        // INVARIANT: deliberate — a handshake fault before the transport exists can
+        // only be reported by dying; the parent turns it into a worker exit status
         .unwrap_or_else(|e| panic!("rank {rank}: peer table: {e}")) as usize;
     assert_eq!(world_size, p, "peer table world size mismatch");
     let ports: Vec<u16> = (0..p)
         .map(|_| {
             r.try_get_u64()
+                // INVARIANT: deliberate — a handshake fault before the transport exists can
+                // only be reported by dying; the parent turns it into a worker exit status
                 .unwrap_or_else(|e| panic!("rank {rank}: peer table: {e}")) as u16
         })
         .collect();
@@ -1146,6 +1215,8 @@ where
     let mut peers: Vec<Option<TcpStream>> = (0..p).map(|_| None).collect();
     for dst in 1..rank {
         let mut s = TcpStream::connect(("127.0.0.1", ports[dst]))
+            // INVARIANT: deliberate — a handshake fault before the transport exists can
+            // only be reported by dying; the parent turns it into a worker exit status
             .unwrap_or_else(|e| panic!("rank {rank}: dial rank {dst}: {e}"));
         s.set_nodelay(true).ok();
         let mut w = ByteWriter::new();
@@ -1153,11 +1224,15 @@ where
         w.put_u64(job.seq);
         w.put_u64(rank as u64);
         write_frame(&mut s, rank, TAG_DIAL, &w.finish())
+            // INVARIANT: deliberate — a handshake fault before the transport exists can
+            // only be reported by dying; the parent turns it into a worker exit status
             .unwrap_or_else(|e| panic!("rank {rank}: DIAL rank {dst}: {e}"));
         peers[dst] = Some(s);
     }
     listener
         .set_nonblocking(true)
+        // INVARIANT: deliberate — a handshake fault before the transport exists can
+        // only be reported by dying; the parent turns it into a worker exit status
         .expect("nonblocking peer listener");
     let deadline = Instant::now() + handshake;
     let mut accepted = 0;
@@ -1192,6 +1267,8 @@ where
             Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
             }
+            // INVARIANT: deliberate — a handshake fault before the transport exists can
+            // only be reported by dying; the parent turns it into a worker exit status
             Err(e) => panic!("rank {rank}: peer accept failed: {e}"),
         }
     }
@@ -1199,6 +1276,8 @@ where
     hub.set_read_timeout(None).ok();
     // A second handle to the rank-0 link for the result frame, taken
     // before the transport owns the stream.
+    // INVARIANT: deliberate — a handshake fault before the transport exists can
+    // only be reported by dying; the parent turns it into a worker exit status
     let mut result_link = hub.try_clone().expect("clone rank-0 link");
     peers[0] = Some(hub);
 
@@ -1209,8 +1288,11 @@ where
         }
         let read_half = peers[peer]
             .as_ref()
+            // INVARIANT: the dial/accept loops above established every peer link
             .unwrap_or_else(|| panic!("rank {rank}: missing link to rank {peer}"))
             .try_clone()
+            // INVARIANT: deliberate — a handshake fault before the transport exists can
+            // only be reported by dying; the parent turns it into a worker exit status
             .expect("clone peer link");
         spawn_reader(read_half, peer, tx.clone());
     }
@@ -1231,6 +1313,9 @@ where
             ctx.stats().encode(&mut w);
             val.encode(&mut w);
             write_frame(&mut result_link, rank, TAG_RESULT, &w.finish())
+                // INVARIANT: deliberate — an unreachable peer is unrecoverable for this rank;
+                // panicking with rank/tag context is how workers report fatal transport faults
+                // (the parent maps it to TAG_PANIC / exit status)
                 .unwrap_or_else(|e| panic!("rank {rank}: send result: {e}"));
             0
         }

@@ -30,8 +30,11 @@ use crate::codec::{Bytes, Wire};
 use crate::stats::{CommStats, WorldStats};
 use crate::tags;
 use crate::transport::{self, RankTransport, RecvError, Transport};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+// Sync primitives come through the srsf-verify shims: identical to
+// `std::sync` in a normal build, schedule-explored under
+// `--cfg srsf_model` (see crates/verify).
+use srsf_verify::sync::atomic::{AtomicBool, Ordering};
+use srsf_verify::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How finely the idle wait of a resident serve loop slices its receive,
@@ -130,10 +133,26 @@ impl RankCtx {
             match self.transport.recv_any_of(src, &[tag], IDLE_POLL) {
                 Ok(m) => return Some(m.payload),
                 Err(RecvError::Timeout { .. }) => {
-                    if let Some(flag) = &self.alive {
-                        if !flag.load(Ordering::SeqCst) {
-                            return None;
-                        }
+                    // Acquire pairs with the Release store in
+                    // `WorldHandle::finish`/`Drop`: a cleared flag makes the
+                    // driver's last frames visible to the drain below. No
+                    // other state rides on this flag, so SeqCst adds nothing.
+                    let torn_down = self
+                        .alive
+                        .as_ref()
+                        .is_some_and(|flag| !flag.load(Ordering::Acquire));
+                    if torn_down {
+                        // Drain before giving up: a frame sent just before
+                        // the flag cleared may land between our timeout and
+                        // the flag check, and returning `None` here would
+                        // silently drop it. The srsf-verify model of this
+                        // loop (`shutdown_by_liveness_flag_terminates` in
+                        // crates/verify/tests/models.rs) catches exactly
+                        // this lost-command window when the drain is absent.
+                        return match self.transport.recv_any_of(src, &[tag], Duration::ZERO) {
+                            Ok(m) => Some(m.payload),
+                            Err(_) => None,
+                        };
                     }
                 }
                 // Rank 0 is gone (or died of a panic): session over.
@@ -158,6 +177,8 @@ impl RankCtx {
                 self.stats.wait_s += start.elapsed().as_secs_f64();
                 m.payload
             }
+            // INVARIANT: deliberate — a recv timeout or disconnect is unrecoverable
+            // for the rank; the error names the offending tag via tags::describe
             Err(e) => panic!("{e}"),
         }
     }
@@ -166,6 +187,8 @@ impl RankCtx {
     pub fn barrier(&mut self) {
         let start = Instant::now();
         if let Err(e) = self.transport.barrier(self.recv_timeout) {
+            // INVARIANT: deliberate — a barrier failure means a peer died; the rank
+            // cannot make progress
             panic!("barrier failed: {e}");
         }
         self.stats.wait_s += start.elapsed().as_secs_f64();
@@ -303,6 +326,8 @@ impl World {
         let mut results = Vec::with_capacity(p);
         let mut stats = WorldStats::default();
         for slot in out {
+            // INVARIANT: every rank thread fills its slot before joining; an empty
+            // slot implies a panicked rank, which already propagated via join
             let (r, s) = slot.expect("missing rank result");
             results.push(r);
             stats.per_rank.push(s);
@@ -413,6 +438,8 @@ impl World {
                         }
                     }
                 })
+                // INVARIANT: OS-thread spawn fails only on resource exhaustion; the
+                // resident world cannot exist without its serve threads
                 .expect("spawn resident serve thread");
             joins.push(join);
         }
@@ -479,6 +506,8 @@ impl WorldHandle {
     pub fn ctx(&mut self) -> &mut RankCtx {
         self.ctx
             .as_mut()
+            // INVARIANT: documented — calling ctx() after finish() is a driver-side
+            // usage bug, not a runtime condition
             .expect("resident session already finished")
     }
 
@@ -506,7 +535,12 @@ impl WorldHandle {
     /// worker process that died without reporting fails fast with its
     /// exit status rather than hanging.
     pub fn finish(mut self) -> WorldStats {
-        self.alive.store(false, Ordering::SeqCst);
+        // Release pairs with the Acquire load in `recv_service_idle`:
+        // everything rank 0 sent before this store is visible to a worker
+        // that observes the cleared flag (and drains before exiting).
+        self.alive.store(false, Ordering::Release);
+        // INVARIANT: documented — finish() consumes the session; a second call
+        // cannot compile, so ctx is always present here
         let ctx = self.ctx.take().expect("resident session already finished");
         let stats0 = ctx.stats();
         let mut per_rank = vec![CommStats::default(); self.p];
@@ -538,7 +572,8 @@ impl WorldHandle {
 
 impl Drop for WorldHandle {
     fn drop(&mut self) {
-        self.alive.store(false, Ordering::SeqCst);
+        // Release for the same reason as in `finish` above.
+        self.alive.store(false, Ordering::Release);
         // Closing rank 0's transport EOFs the TCP links / drops the
         // channel senders; workers notice from their idle wait and exit.
         drop(self.ctx.take());

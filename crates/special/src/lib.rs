@@ -14,6 +14,8 @@
 //!   the closed-form log integral for Laplace (Eq. 17) and a
 //!   singularity-subtracted evaluation of the Helmholtz diagonal (Eq. 21).
 
+#![forbid(unsafe_code)]
+
 pub mod bessel;
 pub mod gauss;
 pub mod quad;

@@ -1,0 +1,119 @@
+//! Thread spawning for models.
+//!
+//! In a normal build this module re-exports `std::thread`. Under
+//! `--cfg srsf_model`, [`spawn`] called from inside a model run
+//! registers the new thread with the cooperative scheduler (see
+//! [`crate::sched`]) so its steps participate in schedule exploration;
+//! called outside a model run it falls back to `std::thread::spawn`.
+
+#[cfg(not(srsf_model))]
+pub use std::thread::*;
+
+#[cfg(srsf_model)]
+pub use model::{sleep, spawn, yield_now, JoinHandle};
+
+#[cfg(srsf_model)]
+mod model {
+    use crate::sched::{enter_thread, panic_msg, thread_key, with_current, ModelAbort};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    type Slot<T> = Arc<Mutex<Option<std::thread::Result<T>>>>;
+
+    enum Inner<T> {
+        Model { tid: usize, slot: Slot<T> },
+        Std(std::thread::JoinHandle<T>),
+    }
+
+    /// Handle to a spawned thread; joining a model thread blocks in the
+    /// scheduler.
+    pub struct JoinHandle<T>(Inner<T>);
+
+    /// Spawn a thread. Inside a model run the thread is registered with
+    /// the scheduler (deterministic id, participates in exploration);
+    /// otherwise this is `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let Some((exec, _)) = with_current(|e, me| (e.clone(), me)) else {
+            return JoinHandle(Inner::Std(std::thread::spawn(f)));
+        };
+        let tid = exec.register();
+        let slot: Slot<T> = Arc::new(Mutex::new(None));
+        let (exec2, slot2) = (exec.clone(), slot.clone());
+        let handle = std::thread::Builder::new()
+            .name(format!("srsf-model-{tid}"))
+            .spawn(move || {
+                enter_thread(&exec2, tid, || {
+                    exec2.acquire_initial(tid);
+                    match catch_unwind(AssertUnwindSafe(f)) {
+                        Ok(v) => {
+                            *slot2.lock().unwrap_or_else(|p| p.into_inner()) = Some(Ok(v));
+                            exec2.exit_normal(tid);
+                        }
+                        Err(p) if p.downcast_ref::<ModelAbort>().is_some() => {
+                            exec2.exit_aborted(tid);
+                        }
+                        Err(p) => {
+                            let msg = panic_msg(&*p);
+                            *slot2.lock().unwrap_or_else(|q| q.into_inner()) = Some(Err(p));
+                            exec2.exit_panicked(tid, msg);
+                        }
+                    }
+                })
+            })
+            // INVARIANT: OS-thread spawn fails only on resource exhaustion; the
+            // model cannot continue without the registered thread
+            .expect("spawn model thread");
+        exec.add_handle(handle);
+        JoinHandle(Inner::Model { tid, slot })
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish and return its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                Inner::Std(h) => h.join(),
+                Inner::Model { tid, slot } => {
+                    let (exec, me) = with_current(|e, me| (e.clone(), me))
+                        // INVARIANT: model JoinHandles never escape the model closure, so
+                        // join always runs on a registered model thread
+                        .expect("model JoinHandle joined outside its model run");
+                    while !exec.is_finished(tid) {
+                        exec.block_on(me, thread_key(tid));
+                    }
+                    match slot.lock().unwrap_or_else(|p| p.into_inner()).take() {
+                        Some(r) => r,
+                        // The thread was unwound by a run abort; follow it.
+                        None => std::panic::panic_any(ModelAbort),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Yield: inside a model this is a *spin-loop* hint — the scheduler
+    /// runs some other thread if one can run (a polling loop cannot make
+    /// progress until someone else does). Outside a model it is a plain
+    /// `std::thread::yield_now`.
+    pub fn yield_now() {
+        if let Some((exec, me)) = with_current(|e, me| (e.clone(), me)) {
+            exec.yield_spin(me);
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Sleeping has no meaning in a model (there is no time): it is a
+    /// plain yield point. Outside a model it is `std::thread::sleep`.
+    pub fn sleep(dur: Duration) {
+        if with_current(|_, _| ()).is_some() {
+            yield_now();
+        } else {
+            std::thread::sleep(dur);
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! Model-checked miniatures of the solver's four concurrent subsystems.
+//!
+//! Compiled and run only with `RUSTFLAGS="--cfg srsf_model"`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg srsf_model" cargo test -p srsf-verify --test models
+//! ```
+//!
+//! Each model rebuilds one concurrency pattern from the runtime/core
+//! crates in miniature — same primitives, same protocol, small enough to
+//! explore exhaustively — and asserts no deadlock, no lost wakeup, and a
+//! schedule-independent result across at least 1000 interleavings. The
+//! `detects_*` tests seed real bugs and check the explorer finds them
+//! and that a failing schedule replays deterministically.
+
+#![cfg(srsf_model)]
+
+use srsf_verify::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use srsf_verify::sync::{mpsc, Arc, Barrier, Condvar, Mutex, OnceLock, RwLock};
+use srsf_verify::{thread, Model};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Run a model expected to fail; return the failure message.
+fn expect_failure<T, F>(model: Model, f: F) -> String
+where
+    T: PartialEq + std::fmt::Debug + Send + 'static,
+    F: Fn() -> T + Send + Sync + 'static,
+{
+    match catch_unwind(AssertUnwindSafe(move || model.check(f))) {
+        Ok(report) => panic!("model unexpectedly passed ({} schedules)", report.schedules),
+        Err(p) => {
+            if let Some(s) = p.downcast_ref::<String>() {
+                s.clone()
+            } else if let Some(s) = p.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else {
+                panic!("non-string model failure payload")
+            }
+        }
+    }
+}
+
+/// Extract the `SRSF_MODEL_REPLAY="..."` schedule from a failure message.
+fn replay_string(msg: &str) -> String {
+    let tail = msg
+        .split("SRSF_MODEL_REPLAY=\"")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no replay string in failure: {msg}"));
+    tail.split('"').next().unwrap().to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Subsystem 1: the transport matching queue (MsgQueue::recv_where).
+// Two producer links feed one consumer over an mpsc channel; the consumer
+// pulls frames *by tag*, buffering non-matching frames in a pending list,
+// and must observe end-of-stream once all senders are gone.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Frame {
+    tag: u32,
+    val: u64,
+}
+
+fn recv_where(rx: &mpsc::Receiver<Frame>, pending: &mut Vec<Frame>, want: u32) -> Option<u64> {
+    if let Some(pos) = pending.iter().position(|f| f.tag == want) {
+        return Some(pending.remove(pos).val);
+    }
+    loop {
+        match rx.recv() {
+            Ok(f) if f.tag == want => return Some(f.val),
+            Ok(f) => pending.push(f),
+            Err(_) => return None,
+        }
+    }
+}
+
+#[test]
+fn matching_queue_delivers_out_of_order_tags() {
+    let report = Model::new()
+        .preemption_bound(3)
+        .max_schedules(50_000)
+        .check(|| {
+            let (tx, rx) = mpsc::channel::<Frame>();
+            let tx2 = tx.clone();
+            let a = thread::spawn(move || {
+                for (tag, val) in [(1, 10), (2, 20), (4, 40)] {
+                    tx.send(Frame { tag, val }).unwrap();
+                }
+            });
+            let b = thread::spawn(move || {
+                for (tag, val) in [(3, 30), (5, 50)] {
+                    tx2.send(Frame { tag, val }).unwrap();
+                }
+            });
+            // Consume in an order that forces pending-list buffering on most
+            // schedules (per-link order is FIFO, cross-link order is not).
+            let mut pending = Vec::new();
+            let got: Vec<Option<u64>> = [3, 1, 5, 2, 4]
+                .iter()
+                .map(|&want| recv_where(&rx, &mut pending, want))
+                .collect();
+            a.join().unwrap();
+            b.join().unwrap();
+            // All senders gone and pending drained: the next match is EOF,
+            // exactly how a died link surfaces in MsgQueue.
+            let eof = recv_where(&rx, &mut pending, 99);
+            (got, eof, pending.len())
+        });
+    assert_eq!(
+        report.schedules >= 1000,
+        true,
+        "explored {}",
+        report.schedules
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Subsystem 2: the TCP transport's generation barrier (TimeoutBarrier).
+// Mutex<(arrived, generation)> + Condvar, waited on with wait_timeout in
+// production; in the model the timeout never fires, so a lost wakeup
+// would be reported as a deadlock instead of being masked by a retry.
+// ---------------------------------------------------------------------------
+
+struct GenBarrier {
+    n: usize,
+    state: Mutex<(usize, u64)>,
+    cv: Condvar,
+}
+
+impl GenBarrier {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.0 += 1;
+        if s.0 == self.n {
+            s.0 = 0;
+            s.1 += 1;
+            self.cv.notify_all();
+            return;
+        }
+        let gen = s.1;
+        while s.1 == gen {
+            s = self
+                .cv
+                .wait_timeout(s, Duration::from_millis(50))
+                .unwrap()
+                .0;
+        }
+    }
+}
+
+#[test]
+fn generation_barrier_has_no_lost_wakeup() {
+    let report = Model::new()
+        .preemption_bound(3)
+        .max_schedules(50_000)
+        .check(|| {
+            let b = Arc::new(GenBarrier::new(3));
+            let rounds = Arc::new(AtomicUsize::new(0));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let (b, rounds) = (b.clone(), rounds.clone());
+                    thread::spawn(move || {
+                        for _ in 0..2 {
+                            b.wait();
+                            rounds.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..2 {
+                b.wait();
+                rounds.fetch_add(1, Ordering::SeqCst);
+            }
+            for w in workers {
+                w.join().unwrap();
+            }
+            rounds.load(Ordering::SeqCst) // 3 threads x 2 rounds on every schedule
+        });
+    assert!(report.schedules >= 1000, "explored {}", report.schedules);
+}
+
+// ---------------------------------------------------------------------------
+// Subsystem 3: the resident world's shutdown handshake. A serve worker
+// polls its command stream and an `alive` liveness flag (the model's
+// analogue of recv_service_idle); the master retires it either by a
+// shutdown command or by clearing the flag and dropping the channel —
+// both paths must terminate with all prior work observed.
+// ---------------------------------------------------------------------------
+
+enum Cmd {
+    Work(u64),
+    Shutdown,
+}
+
+fn serve_poll_loop(rx: &mpsc::Receiver<Cmd>, alive: &AtomicBool) -> u64 {
+    let mut acc = 0;
+    loop {
+        match rx.try_recv() {
+            Ok(Cmd::Work(x)) => acc += x,
+            Ok(Cmd::Shutdown) => break,
+            Err(mpsc::TryRecvError::Disconnected) => break,
+            Err(mpsc::TryRecvError::Empty) => {
+                if !alive.load(Ordering::Acquire) {
+                    // The flag promises no *new* work, but a command may
+                    // have landed between the try_recv above and this
+                    // check — drain before retiring. (Breaking here
+                    // without the drain loses that command on some
+                    // schedules; see detects_poll_loop_toctou.)
+                    while let Ok(Cmd::Work(x)) = rx.try_recv() {
+                        acc += x;
+                    }
+                    break;
+                }
+                thread::yield_now();
+            }
+        }
+    }
+    acc
+}
+
+/// The naive retire path: break as soon as the flag is observed clear.
+/// Loses a command that arrived between the failed `try_recv` and the
+/// flag check — the model checker catches this as a schedule-dependent
+/// result.
+fn serve_poll_loop_toctou(rx: &mpsc::Receiver<Cmd>, alive: &AtomicBool) -> u64 {
+    let mut acc = 0;
+    loop {
+        match rx.try_recv() {
+            Ok(Cmd::Work(x)) => acc += x,
+            Ok(Cmd::Shutdown) => break,
+            Err(mpsc::TryRecvError::Disconnected) => break,
+            Err(mpsc::TryRecvError::Empty) => {
+                if !alive.load(Ordering::Acquire) {
+                    break;
+                }
+                thread::yield_now();
+            }
+        }
+    }
+    acc
+}
+
+#[test]
+fn shutdown_by_command_drains_all_work() {
+    // Two serve workers (the resident world runs one per rank), retired
+    // by an explicit shutdown command after their work, as
+    // shutdown_session does.
+    let report = Model::new()
+        .preemption_bound(3)
+        .max_schedules(50_000)
+        .check(|| {
+            let alive = Arc::new(AtomicBool::new(true));
+            let mut txs = Vec::new();
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let (tx, rx) = mpsc::channel();
+                    txs.push(tx);
+                    let alive = alive.clone();
+                    thread::spawn(move || serve_poll_loop(&rx, &alive))
+                })
+                .collect();
+            for (i, tx) in txs.iter().enumerate() {
+                tx.send(Cmd::Work(5 + i as u64)).unwrap();
+                tx.send(Cmd::Work(7)).unwrap();
+            }
+            for tx in &txs {
+                tx.send(Cmd::Shutdown).unwrap();
+            }
+            // Commands precede shutdown in-stream: never a lost solve.
+            workers
+                .into_iter()
+                .map(|w| w.join().unwrap())
+                .collect::<Vec<_>>() // always [12, 13]
+        });
+    assert!(report.schedules >= 1000, "explored {}", report.schedules);
+}
+
+#[test]
+fn shutdown_by_liveness_flag_terminates() {
+    // Same two workers, retired the WorldHandle::finish() way: clear the
+    // shared liveness flag, then drop the command channels.
+    let report = Model::new()
+        .preemption_bound(3)
+        .max_schedules(50_000)
+        .check(|| {
+            let alive = Arc::new(AtomicBool::new(true));
+            let mut txs = Vec::new();
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let (tx, rx) = mpsc::channel();
+                    txs.push(tx);
+                    let alive = alive.clone();
+                    thread::spawn(move || serve_poll_loop(&rx, &alive))
+                })
+                .collect();
+            for (i, tx) in txs.iter().enumerate() {
+                tx.send(Cmd::Work(5 + i as u64)).unwrap();
+                tx.send(Cmd::Work(7)).unwrap();
+            }
+            alive.store(false, Ordering::Release);
+            drop(txs);
+            // The in-flight commands are never lost: the poll loop drains
+            // the stream before honoring the cleared flag.
+            workers
+                .into_iter()
+                .map(|w| w.join().unwrap())
+                .collect::<Vec<_>>() // always [12, 13]
+        });
+    assert!(report.schedules >= 1000, "explored {}", report.schedules);
+}
+
+// ---------------------------------------------------------------------------
+// Subsystem 4: the work-stealing chunk claim of the colored elimination
+// pool — an AtomicUsize cursor hands out box indices, each exactly once,
+// and results land in per-box OnceLock slots merged in index order.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn work_stealing_claims_each_chunk_once() {
+    const CHUNKS: usize = 5;
+    let report = Model::new()
+        .preemption_bound(3)
+        .max_schedules(50_000)
+        .check(|| {
+            let next = Arc::new(AtomicUsize::new(0));
+            let slots: Arc<Vec<OnceLock<usize>>> =
+                Arc::new((0..CHUNKS).map(|_| OnceLock::new()).collect());
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let (next, slots) = (next.clone(), slots.clone());
+                    thread::spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= CHUNKS {
+                            break;
+                        }
+                        // The "result" depends only on the chunk, never on
+                        // the claiming worker; a double claim panics here.
+                        slots[i].set(i * i).expect("chunk claimed twice");
+                    })
+                })
+                .collect();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= CHUNKS {
+                    break;
+                }
+                slots[i].set(i * i).expect("chunk claimed twice");
+            }
+            for w in workers {
+                w.join().unwrap();
+            }
+            // Deterministic row-major merge, as eliminate_color_round does.
+            slots
+                .iter()
+                .map(|s| *s.get().expect("chunk lost"))
+                .collect::<Vec<_>>()
+        });
+    assert!(report.schedules >= 1000, "explored {}", report.schedules);
+}
+
+// ---------------------------------------------------------------------------
+// Subsystem 5: the fixed-order delta merge of the blocked solve pass
+// (threaded_pass in solve.rs): workers snapshot the RHS through an
+// RwLock, park their delta in a Mutex slot, and a single merger applies
+// the slots in group order between two barriers. The fold below is
+// non-commutative, so any schedule-dependent merge order changes the
+// result and fails the cross-schedule equality check.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn delta_merge_order_is_schedule_independent() {
+    const N: usize = 3;
+    let report = Model::new()
+        .preemption_bound(3)
+        .max_schedules(50_000)
+        .check(|| {
+            let slots: Arc<Vec<Mutex<Option<u64>>>> =
+                Arc::new((0..N).map(|_| Mutex::new(None)).collect());
+            let shared = Arc::new(RwLock::new(1u64));
+            let barrier = Arc::new(Barrier::new(N));
+            let done = Arc::new(AtomicUsize::new(0));
+
+            let worker = |gi: usize,
+                          slots: Arc<Vec<Mutex<Option<u64>>>>,
+                          shared: Arc<RwLock<u64>>,
+                          barrier: Arc<Barrier>,
+                          done: Arc<AtomicUsize>| {
+                // Snapshot-read, compute a per-group delta, park it.
+                let base = *shared.read().unwrap();
+                *slots[gi].lock().unwrap() = Some(base + gi as u64);
+                done.fetch_add(1, Ordering::Relaxed);
+                barrier.wait();
+                if gi == 0 {
+                    // Sole merger: apply every slot in fixed group order.
+                    let mut b = shared.write().unwrap();
+                    for slot in slots.iter() {
+                        let d = slot.lock().unwrap().take().expect("slot filled");
+                        *b = *b * 3 + d; // non-commutative: order shows
+                    }
+                }
+                barrier.wait();
+                *shared.read().unwrap()
+            };
+
+            let handles: Vec<_> = (1..N)
+                .map(|gi| {
+                    let (s, sh, ba, d) =
+                        (slots.clone(), shared.clone(), barrier.clone(), done.clone());
+                    thread::spawn(move || worker(gi, s, sh, ba, d))
+                })
+                .collect();
+            let final0 = worker(0, slots, shared, barrier, done.clone());
+            let mut finals = vec![final0];
+            for h in handles {
+                finals.push(h.join().unwrap());
+            }
+            assert_eq!(done.load(Ordering::Relaxed), N);
+            finals // every thread sees the same fixed-order merge result
+        });
+    assert!(report.schedules >= 1000, "explored {}", report.schedules);
+}
+
+// ---------------------------------------------------------------------------
+// Bug detection and deterministic replay.
+// ---------------------------------------------------------------------------
+
+/// A non-atomic read-modify-write: some interleaving loses an update.
+fn racy_counter() -> usize {
+    let c = Arc::new(AtomicUsize::new(0));
+    let c2 = c.clone();
+    let t = thread::spawn(move || {
+        let v = c2.load(Ordering::SeqCst);
+        c2.store(v + 1, Ordering::SeqCst);
+    });
+    let v = c.load(Ordering::SeqCst);
+    c.store(v + 1, Ordering::SeqCst);
+    t.join().unwrap();
+    let total = c.load(Ordering::SeqCst);
+    assert_eq!(total, 2, "lost update");
+    total
+}
+
+#[test]
+fn detects_lost_update_and_replays_it() {
+    let msg = expect_failure(Model::new().preemption_bound(2), racy_counter);
+    assert!(msg.contains("lost update"), "unexpected failure: {msg}");
+    let schedule = replay_string(&msg);
+
+    // The printed schedule must reproduce the same failure, first try.
+    let replay_msg = expect_failure(Model::new().replay(&schedule), racy_counter);
+    assert!(
+        replay_msg.contains("lost update"),
+        "replay found a different failure: {replay_msg}"
+    );
+    assert!(
+        replay_msg.contains(&schedule),
+        "replay reported schedule [{schedule}] differently: {replay_msg}"
+    );
+}
+
+#[test]
+fn detects_poll_loop_toctou() {
+    // The naive liveness-flag retire path: a command sent before the
+    // flag cleared can arrive between a failed try_recv and the flag
+    // check and be silently dropped. A real find: this exact bug was in
+    // the first version of the drained loop above.
+    let msg = expect_failure(Model::new().preemption_bound(3), || {
+        let (tx, rx) = mpsc::channel();
+        let alive = Arc::new(AtomicBool::new(true));
+        let alive2 = alive.clone();
+        let worker = thread::spawn(move || serve_poll_loop_toctou(&rx, &alive2));
+        tx.send(Cmd::Work(5)).unwrap();
+        tx.send(Cmd::Work(7)).unwrap();
+        alive.store(false, Ordering::Release);
+        drop(tx);
+        worker.join().unwrap()
+    });
+    assert!(
+        msg.contains("schedule-dependent result"),
+        "unexpected failure: {msg}"
+    );
+}
+
+#[test]
+fn detects_abba_deadlock() {
+    let msg = expect_failure(Model::new().preemption_bound(2), || {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = thread::spawn(move || {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        });
+        {
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+        }
+        t.join().unwrap();
+    });
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn detects_lost_wakeup_as_deadlock() {
+    // The waiter has no predicate: if the notifier fires first, the
+    // notification is lost and the waiter sleeps forever. In the model
+    // (no timeouts) that is a detected deadlock on those schedules.
+    let msg = expect_failure(Model::new().preemption_bound(2), || {
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let pair2 = pair.clone();
+        let t = thread::spawn(move || {
+            pair2.1.notify_one();
+        });
+        {
+            let g = pair.0.lock().unwrap();
+            let _g = pair.1.wait(g).unwrap();
+        }
+        t.join().unwrap();
+    });
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn detects_schedule_dependent_result() {
+    // Two unsynchronized increments where the *observed intermediate*
+    // is returned: different schedules see different values.
+    let msg = expect_failure(Model::new().preemption_bound(2), || {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = c.clone();
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        let seen = c.load(Ordering::SeqCst); // 0 or 1 depending on schedule
+        t.join().unwrap();
+        seen
+    });
+    assert!(
+        msg.contains("schedule-dependent result"),
+        "unexpected failure: {msg}"
+    );
+}

@@ -1,0 +1,39 @@
+//! Mode-independent sanity checks: these run in *both* normal builds
+//! (where the shims are `std` re-exports and a check executes exactly
+//! one schedule) and under `--cfg srsf_model`.
+
+use srsf_verify::sync::atomic::{AtomicUsize, Ordering};
+use srsf_verify::sync::{Arc, Mutex};
+use srsf_verify::{thread, Model};
+
+#[test]
+fn check_runs_and_reports() {
+    let report = Model::new().check(|| {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = c.clone();
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        c.fetch_add(1, Ordering::SeqCst);
+        t.join().unwrap();
+        c.load(Ordering::SeqCst)
+    });
+    assert!(report.schedules >= 1);
+}
+
+#[test]
+fn shims_behave_like_std_outside_models() {
+    let m = Arc::new(Mutex::new(Vec::new()));
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let m = m.clone();
+            thread::spawn(move || m.lock().unwrap().push(i))
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut v = Arc::try_unwrap(m).unwrap().into_inner().unwrap();
+    v.sort_unstable();
+    assert_eq!(v, vec![0, 1, 2, 3]);
+}

@@ -66,6 +66,8 @@
 //! assert!(res.converged);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use srsf_core as core;
 pub use srsf_fft as fft;
 pub use srsf_geometry as geometry;

@@ -1,0 +1,82 @@
+//! Repo automation tasks (`cargo xtask <task>`).
+//!
+//! Currently one task: `lint`, the project-invariant lint pass. See
+//! [`lint`] for the rules. Run it as
+//!
+//! ```text
+//! cargo xtask lint            # lint the workspace
+//! cargo xtask lint --root DIR # lint another tree (used by CI's
+//!                             # seeded-violation self-test)
+//! ```
+//!
+//! Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+
+#![forbid(unsafe_code)]
+
+mod lint;
+
+use std::path::PathBuf;
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut args = std::env::args().skip(1);
+    let task = args.next();
+    match task.as_deref() {
+        Some("lint") => {}
+        other => {
+            eprintln!(
+                "usage: cargo xtask lint [--root DIR]\n  (got: {:?})",
+                other.unwrap_or("<none>")
+            );
+            return 2;
+        }
+    }
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory argument");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                return 2;
+            }
+        }
+    }
+    // Default to the workspace root: cargo runs xtask with the
+    // workspace as cwd (via the `cargo xtask` alias), and
+    // CARGO_MANIFEST_DIR's parent works when invoked directly.
+    let root = root.unwrap_or_else(|| {
+        std::env::var_os("CARGO_MANIFEST_DIR")
+            .map(|m| {
+                let m = PathBuf::from(m);
+                m.parent().map(PathBuf::from).unwrap_or(m)
+            })
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    match lint::lint_root(&root) {
+        Ok(violations) if violations.is_empty() => {
+            eprintln!("xtask lint: clean ({})", root.display());
+            0
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            eprintln!("xtask lint: {} violation(s)", violations.len());
+            1
+        }
+        Err(e) => {
+            eprintln!("xtask lint: error: {e}");
+            2
+        }
+    }
+}
