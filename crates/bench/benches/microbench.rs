@@ -266,6 +266,34 @@ fn main() {
         });
     }
 
+    // Hybrid parallelism: the same 4-rank in-process factorization with 1
+    // vs 4 worker threads per rank (`rank_threads`). The results are
+    // bit-identical by construction (see dist_threads.rs); the ratio of
+    // the two medians is the within-rank scaling the eager-send overlap
+    // buys — `bench-diff` prints it as `rank_threads 4t/1t`. On a
+    // single-core runner the 4t case instead measures pure scheduling
+    // overhead (snapshot slots + claim cursor), mirroring the colored
+    // driver's PR 3 baseline.
+    {
+        let grid = UnitGrid::new(64); // N = 4096
+        let kernel = LaplaceKernel::new(&grid);
+        let pts = grid.points();
+        for threads in [1usize, 4] {
+            h.bench(
+                &format!("dist_factorize/laplace_4096_p4_{threads}t"),
+                || {
+                    Solver::builder(&kernel, &pts)
+                        .tol(1e-6)
+                        .leaf_size(64)
+                        .driver(Driver::distributed(4))
+                        .rank_threads(threads)
+                        .build()
+                        .expect("threaded distributed factorization")
+                },
+            );
+        }
+    }
+
     h.bench("bessel/hankel0_sweep", || {
         let mut acc = 0.0;
         let mut x = 0.05;

@@ -103,6 +103,24 @@ fn main() -> ExitCode {
             );
         }
     }
+
+    // Within-rank scaling of the hybrid distributed driver: 1-thread vs
+    // 4-thread medians of the same bit-identical factorization. >1 means
+    // the worker pool + eager-send overlap win wall-clock; on a
+    // single-core runner the ratio instead reports pure scheduling
+    // overhead, which is worth seeing in the log too.
+    let median_of = |name: &str| cur.iter().find(|(n, _)| n == name).map(|(_, m)| *m);
+    if let (Some(t1), Some(t4)) = (
+        median_of("dist_factorize/laplace_4096_p4_1t"),
+        median_of("dist_factorize/laplace_4096_p4_4t"),
+    ) {
+        println!(
+            "\nrank_threads 4t/1t: {:.2}x ({} -> {})",
+            t1 / t4,
+            fmt_s(t1),
+            fmt_s(t4)
+        );
+    }
     ExitCode::SUCCESS
 }
 

@@ -128,7 +128,11 @@ pub(crate) fn colored_factorize_with_tree<K: Kernel>(
 /// work-stealing) rather than fixed chunks: per-box cost tracks the
 /// skeleton rank, which varies widely across a level, and static chunking
 /// left threads idle at the tail of every round.
-fn eliminate_color_round<K: Kernel>(
+///
+/// Shared with the distributed driver, whose per-rank sub-color rounds
+/// (`FactorOpts::rank_threads`) run the same snapshot/merge schedule over
+/// a rank's phase boxes.
+pub(crate) fn eliminate_color_round<K: Kernel>(
     store: &BlockStore<'_, K>,
     act: &ActiveSets,
     tree: &QuadTree,

@@ -5,7 +5,7 @@
 //! Every level runs as:
 //!
 //! 1. **Interior phase** — each rank factors its interior boxes (whose
-//!    1-rings stay on-rank), then ships skeleton lists, replaced blocks and
+//!    1-rings stay on-rank), shipping skeleton lists, replaced blocks and
 //!    Schur deltas for the boundary-adjacent region its neighbors track.
 //! 2. **Four color rounds** (Figure 5) — ranks of one color factor their
 //!    boundary boxes; same-color ranks are never within box distance 2 of
@@ -16,6 +16,26 @@
 //!    level would leave a rank with fewer than 2x2 boxes, 2x2 rank groups
 //!    *fold* onto their corner rank, which inherits the group's blocks and
 //!    active sets (Section III-C).
+//!
+//! Each phase of 1–2 is *hybrid-parallel and overlapped* rather than
+//! bulk-synchronous:
+//!
+//! * A rank's phase boxes eliminate in four box-color sub-rounds on the
+//!   work-stealing pool shared with the colored driver
+//!   ([`FactorOpts::rank_threads`] workers), merged in fixed box order —
+//!   so records, update frames and counters are bit-identical for every
+//!   thread count.
+//! * A neighbor's `KIND_PHASE_UPDATE` frame is posted *eagerly*, the
+//!   moment the last box that neighbor tracks retires from the merge
+//!   (per-neighbor completion counters over the phase's box set) — not at
+//!   phase end — and the fabric is pumped between sub-rounds so incoming
+//!   frames land in the matching queue while local boxes still eliminate.
+//! * There is **no barrier** anywhere in the level sweep: the tag scheme
+//!   (`tag = level*64 + phase*8 + kind`) makes every frame of the sweep
+//!   unique per `(src, tag)`, and the matching queue buffers frames that
+//!   arrive ahead of their receive, so tag matching alone orders the
+//!   computation. (The in-world solve keeps its barriers; they separate
+//!   reused solve tags across passes.)
 //!
 //! All data moves through explicit byte messages with per-rank counters,
 //! so the §IV communication bounds (messages = O(log N + log p), words =
@@ -35,9 +55,8 @@
 //! lives in [`super::serve`].
 
 use super::{box_near_region, get_box, get_ids, order_key, owner_of_point, region_of, RankState};
-use crate::elimination::{
-    apply_output, eliminate_box, BoxElimination, EliminationOutput, FactorError,
-};
+use crate::colored::eliminate_color_round;
+use crate::elimination::{apply_output, BoxElimination, EliminationOutput, FactorError};
 use crate::levels::assemble_parent_block;
 use crate::sequential::{domain_for, factor_top, Factorization};
 use crate::solve::{apply_downward, apply_upward, gather, scatter};
@@ -47,7 +66,7 @@ use crate::wire::{put_box, put_ids, ScalarVec};
 use crate::FactorOpts;
 use srsf_geometry::neighbors::near_field;
 use srsf_geometry::point::Point;
-use srsf_geometry::procgrid::ProcessGrid;
+use srsf_geometry::procgrid::{BoxColoring, ProcessGrid};
 use srsf_geometry::tree::{BoxId, QuadTree};
 use srsf_kernels::kernel::Kernel;
 use srsf_linalg::{Lu, Mat, Scalar};
@@ -347,7 +366,11 @@ pub(crate) fn factor_phase<K: Kernel>(
                     .collect();
                 state.act_end.insert(level, snapshot);
             }
-            ctx.barrier();
+            // No barrier between phases or levels: every frame of the
+            // sweep is unique per (src, tag) and the matching queue
+            // buffers early arrivals, so tag matching alone orders the
+            // computation (ranks that finished a level early simply park
+            // in their next tag-matched receive).
             if level == lmin {
                 break;
             }
@@ -435,9 +458,22 @@ fn run_rank<K: Kernel>(
     Ok((algo_stats, bytes, f.map(|f| (f, x.map(ScalarVec)))))
 }
 
-/// Eliminate `boxes` (phase `phase` of `level`), then exchange updates with
-/// the adjacent ranks. Every active rank calls this each phase (possibly
+/// Eliminate `boxes` (phase `phase` of `level`) in four box-color
+/// sub-rounds on the per-rank thread pool, posting each neighbor's update
+/// frame the moment its last tracked box retires, then apply the
+/// neighbors' updates. Every active rank calls this each phase (possibly
 /// with no boxes) so the message pattern stays globally consistent.
+///
+/// Determinism: same-color boxes sit at box distance >= 2 and never read
+/// each other's writes (the colored driver's §V-C argument), so each
+/// sub-round snapshot-computes on [`eliminate_color_round`]'s
+/// work-stealing pool and merges in fixed box order — records, frames and
+/// counters are bit-identical for every `rank_threads` value and both
+/// transports. Overlap: a neighbor's frame goes out as soon as the last
+/// box it tracks is merged (its per-box encodings depend only on that
+/// box's own output and active set, which later merges never touch), and
+/// the fabric is pumped between sub-rounds so early frames are already in
+/// the matching queue when the blocking receives run.
 #[allow(clippy::too_many_arguments)]
 fn run_phase<K: Kernel>(
     ctx: &mut RankCtx,
@@ -458,57 +494,82 @@ fn run_phase<K: Kernel>(
         .map(|&r| (r, region_of(grid, r, level)))
         .collect();
 
-    // Which boxes each neighbor tracks (within distance 2 of its region).
-    let mut per_dst: HashMap<usize, Vec<usize>> =
-        neighbors.iter().map(|&r| (r, Vec::new())).collect();
-    for (i, b) in boxes.iter().enumerate() {
-        for (r, region) in &regions {
-            if box_near_region(b, *region, 2) {
-                // INVARIANT: per_dst was pre-seeded with every region key two
-                // lines above this loop
-                per_dst.get_mut(r).expect("dst").push(i);
-            }
-        }
-    }
-
-    // Eliminate, keeping outputs so tracked ones can be encoded.
-    let mut outputs: Vec<EliminationOutput<K::Elem>> = Vec::with_capacity(boxes.len());
-    for b in boxes {
-        let out = ctx.compute(|| eliminate_box(store, act, tree, b, opts))?;
-        // Record before application mutates `act`.
-        let skel_ids: Vec<u32> = match &out.record {
-            Some(rec) => rec.skel.clone(),
-            None => act.get(b).to_vec(),
-        };
-        ctx.compute(|| apply_output(store, act, b, &out));
-        if let Some(rec) = &out.record {
-            state.stats.add_rank(level, rec.skel.len());
-            state.records.push((
-                order_key(state.stats.leaf_level, level, phase, b),
-                rec.clone(),
-            ));
-            state.record_phase.push((level, phase));
-        }
-        let _ = skel_ids;
-        outputs.push(out);
-    }
-
-    // One framed message per adjacent rank.
-    for &dst in &neighbors {
-        let idxs = per_dst.remove(&dst).unwrap_or_default();
+    // Per-neighbor eager-send state: how many of this phase's boxes the
+    // neighbor tracks (within distance 2 of its region) and the frame
+    // under construction. Neighbors tracking nothing get their empty
+    // frame immediately, before any elimination starts.
+    let mut remaining: HashMap<usize, usize> = HashMap::new();
+    let mut frames: HashMap<usize, ByteWriter> = HashMap::new();
+    for (r, region) in &regions {
+        let n = boxes
+            .iter()
+            .filter(|b| box_near_region(b, *region, 2))
+            .count();
         let mut w = ByteWriter::new();
-        w.put_u64(idxs.len() as u64);
-        for i in idxs {
-            let b = &boxes[i];
-            let out = &outputs[i];
+        w.put_u64(n as u64);
+        if n == 0 {
+            ctx.send(*r, tag(level, phase, KIND_PHASE_UPDATE), w.finish());
+        } else {
+            remaining.insert(*r, n);
+            frames.insert(*r, w);
+        }
+    }
+
+    let scheme = BoxColoring::Four;
+    for color in 0..scheme.count() {
+        let cboxes: Vec<BoxId> = boxes
+            .iter()
+            .filter(|b| scheme.color(b) == color)
+            .copied()
+            .collect();
+        let outputs = ctx.compute(|| {
+            eliminate_color_round(store, act, tree, &cboxes, opts, opts.rank_threads)
+        })?;
+        // Deterministic merge in box order; eager sends fire from here.
+        for (b, out) in cboxes.iter().zip(outputs) {
+            ctx.compute(|| apply_output(store, act, b, &out));
+            if let Some(rec) = &out.record {
+                state.stats.add_rank(level, rec.skel.len());
+                state.records.push((
+                    order_key(state.stats.leaf_level, level, phase, color, b),
+                    rec.clone(),
+                ));
+                state.record_phase.push((level, phase));
+            }
+            // Post-apply skeleton ids: later merges never touch `act(b)`
+            // (deltas land on the block store only), so encoding now is
+            // byte-identical to encoding at phase end.
             let skel_ids: Vec<u32> = match &out.record {
                 Some(rec) => rec.skel.clone(),
                 None => act.get(b).to_vec(),
             };
-            encode_update(&mut w, b, out, &skel_ids, dst, grid);
+            for (r, region) in &regions {
+                if !box_near_region(b, *region, 2) {
+                    continue;
+                }
+                // INVARIANT: `frames`/`remaining` were seeded with every
+                // neighbor tracking at least one box, and an entry is only
+                // removed when its counter hits zero
+                let w = frames.get_mut(r).expect("pending frame");
+                encode_update(w, b, &out, &skel_ids, *r, grid);
+                // INVARIANT: `remaining` is kept in lockstep with `frames`
+                let left = remaining.get_mut(r).expect("pending count");
+                *left -= 1;
+                if *left == 0 {
+                    remaining.remove(r);
+                    // INVARIANT: same seeding argument as `frames` above
+                    let w = frames.remove(r).expect("pending frame");
+                    ctx.send(*r, tag(level, phase, KIND_PHASE_UPDATE), w.finish());
+                }
+            }
         }
-        ctx.send(dst, tag(level, phase, KIND_PHASE_UPDATE), w.finish());
+        // Pump the fabric between sub-rounds: frames that already arrived
+        // move into the matching queue while the next round eliminates.
+        ctx.progress();
     }
+
+    // Apply the neighbors' updates (tag-matched; frames that arrived
+    // early were buffered by the matching queue or the drains above).
     for &src in &neighbors {
         let payload = ctx.recv(src, tag(level, phase, KIND_PHASE_UPDATE));
         let mut r = ByteReader::new(payload);
@@ -690,7 +751,9 @@ fn level_transition<K: Kernel>(
         store.drop_level(child_level);
         act.drop_level(child_level);
     }
-    ctx.barrier();
+    // No trailing barrier: the fold and halo-refresh frames above carry
+    // level-unique tags, so the parent level's receives match them
+    // without a rendezvous.
 }
 
 /// The dense top factorization (index map + LU), present on rank 0 only.
@@ -800,7 +863,7 @@ fn gather_factorization<T: Scalar>(
     let records: Vec<BoxElimination<T>> = keyed
         .into_iter()
         .map(|(key, rec)| {
-            let level = leaf - ((key >> 44) as u8);
+            let level = leaf - ((key >> 46) as u8);
             stats.add_rank(level, rec.skel.len());
             rec
         })

@@ -99,15 +99,29 @@ pub(crate) fn owner_of_point(
     grid.owner(&BoxId { level, ix, iy })
 }
 
-/// Global elimination-order key: level sweep, then phase, then row-major.
-pub(crate) fn order_key(leaf: u8, level: u8, phase: u8, b: &BoxId) -> u64 {
-    (((leaf - level) as u64) << 44) | ((phase as u64) << 40) | b.flat() as u64
+/// Global elimination-order key: level sweep, then phase, then the
+/// phase's sub-color round, then row-major within the round.
+///
+/// The sub-color bits mirror the order `run_phase` actually eliminates a
+/// rank's phase boxes in (four `BoxColoring::Four` rounds, merged in box
+/// order within each round), so sorting records by key reproduces the
+/// elimination order bit-exactly — the contract both the gathered
+/// factorization and the resident serve state rely on. Cross-rank records
+/// sharing a `(level, phase)` always sit at box distance >= 2 (interior
+/// boxes of different ranks, or boundary boxes of same-colored ranks), so
+/// their relative order only fixes the floating-point summation order of
+/// shared Schur targets, which the key makes deterministic.
+pub(crate) fn order_key(leaf: u8, level: u8, phase: u8, color: u8, b: &BoxId) -> u64 {
+    (((leaf - level) as u64) << 46)
+        | ((phase as u64) << 42)
+        | ((color as u64) << 40)
+        | b.flat() as u64
 }
 
 /// Recover the `(level, phase)` coordinates an [`order_key`] was built
 /// from.
 pub(crate) fn key_level_phase(leaf: u8, key: u64) -> (u8, u8) {
-    (leaf - ((key >> 44) as u8), ((key >> 40) & 0xF) as u8)
+    (leaf - ((key >> 46) as u8), ((key >> 42) & 0xF) as u8)
 }
 
 /// All point ids inside the leaf boxes `rank` owns, concatenated in
@@ -147,14 +161,34 @@ mod tests {
         let leaf = 5u8;
         for level in 3..=leaf {
             for phase in 0..=4u8 {
-                let b = BoxId {
-                    level,
-                    ix: 3,
-                    iy: 1,
-                };
-                let key = order_key(leaf, level, phase, &b);
-                assert_eq!(key_level_phase(leaf, key), (level, phase));
+                for color in 0..4u8 {
+                    let b = BoxId {
+                        level,
+                        ix: 3,
+                        iy: 1,
+                    };
+                    let key = order_key(leaf, level, phase, color, &b);
+                    assert_eq!(key_level_phase(leaf, key), (level, phase));
+                }
             }
         }
+    }
+
+    #[test]
+    fn order_key_sorts_level_then_phase_then_color_then_row_major() {
+        let leaf = 5u8;
+        let b = |level, ix, iy| BoxId { level, ix, iy };
+        // Finer level first, then phase, then sub-color round, then
+        // row-major within the round.
+        let seq = [
+            order_key(leaf, 5, 0, 0, &b(5, 0, 0)),
+            order_key(leaf, 5, 0, 0, &b(5, 2, 0)),
+            order_key(leaf, 5, 0, 1, &b(5, 1, 0)),
+            order_key(leaf, 5, 1, 0, &b(5, 0, 0)),
+            order_key(leaf, 4, 0, 0, &b(4, 0, 0)),
+        ];
+        let mut sorted = seq;
+        sorted.sort_unstable();
+        assert_eq!(seq, sorted);
     }
 }

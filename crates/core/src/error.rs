@@ -23,8 +23,22 @@ pub enum SrsfError {
     },
     /// The leaf population target must be at least 1.
     InvalidLeafSize,
-    /// The box-colored driver needs at least one worker thread.
+    /// The selected driver needs at least one worker thread (the colored
+    /// driver's `threads`, or the distributed driver's
+    /// [`rank_threads`](crate::FactorOpts::rank_threads)).
     InvalidThreadCount,
+    /// An option was set that the selected driver does not support; the
+    /// message names the knob that driver threads through instead. Raised
+    /// rather than silently ignoring the option (e.g. `gemm_threads` is
+    /// sequential-only, `rank_threads` is distributed-only).
+    UnsupportedOption {
+        /// The option that was set.
+        option: &'static str,
+        /// The driver that rejects it.
+        driver: &'static str,
+        /// The knob to use with that driver instead.
+        instead: &'static str,
+    },
     /// The distributed driver needs a square power-of-two process grid,
     /// i.e. a rank count that is a power of four (1, 4, 16, …).
     InvalidProcessCount {
@@ -74,7 +88,17 @@ impl core::fmt::Display for SrsfError {
             }
             SrsfError::InvalidLeafSize => write!(f, "leaf_size must be at least 1"),
             SrsfError::InvalidThreadCount => {
-                write!(f, "the colored driver needs at least one worker thread")
+                write!(f, "the selected driver needs at least one worker thread")
+            }
+            SrsfError::UnsupportedOption {
+                option,
+                driver,
+                instead,
+            } => {
+                write!(
+                    f,
+                    "`{option}` is not supported by the {driver} driver; use {instead} instead"
+                )
             }
             SrsfError::InvalidProcessCount { p } => {
                 write!(

@@ -79,10 +79,24 @@ pub struct FactorOpts {
     pub min_compress_level: usize,
     /// Worker threads the dense GEMM may use for large products inside the
     /// *sequential* driver (`1` = serial, the default; `0` = auto-detect).
-    /// The colored and distributed drivers already parallelize across
-    /// boxes/ranks, so their in-rank dense work always stays serial —
-    /// nested GEMM threads would only oversubscribe the cores.
+    /// Sequential-only by contract: the colored driver parallelizes across
+    /// boxes (`Driver::Colored { threads, .. }`) and the distributed
+    /// driver across ranks and per-rank boxes ([`rank_threads`]), so
+    /// setting this with either of those drivers is rejected with
+    /// [`SrsfError::UnsupportedOption`] rather than silently ignored.
+    ///
+    /// [`rank_threads`]: FactorOpts::rank_threads
     pub gemm_threads: usize,
+    /// Worker threads each *distributed* rank uses for its per-phase box
+    /// eliminations (`1` = serial, the default). Every rank runs its
+    /// phase boxes in four sub-color rounds on a work-stealing pool and
+    /// merges in fixed box order, so the factorization is bit-identical
+    /// for every value of this knob; see the module docs of
+    /// [`distributed`]. Rejected with [`SrsfError::UnsupportedOption`]
+    /// by the sequential and colored drivers (which have their own
+    /// threading levers), and `0` is rejected with
+    /// [`SrsfError::InvalidThreadCount`].
+    pub rank_threads: usize,
     /// Message transport for the distributed driver:
     /// [`Transport::InProc`] runs ranks as threads of this process (the
     /// default); [`Transport::Tcp`] runs every rank as a spawned OS
@@ -110,6 +124,7 @@ impl Default for FactorOpts {
             proxy_osc_factor: 2.0,
             min_compress_level: 3,
             gemm_threads: 1,
+            rank_threads: 1,
             transport: Transport::InProc,
             resident: false,
         }
@@ -162,6 +177,13 @@ impl FactorOpts {
     /// products (`1` = serial, `0` = auto-detect hardware parallelism).
     pub fn with_gemm_threads(mut self, threads: usize) -> Self {
         self.gemm_threads = threads;
+        self
+    }
+
+    /// Set the per-rank elimination thread count for the distributed
+    /// driver (`1` = serial; results are bit-identical for any value).
+    pub fn with_rank_threads(mut self, threads: usize) -> Self {
+        self.rank_threads = threads;
         self
     }
 

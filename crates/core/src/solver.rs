@@ -508,10 +508,29 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
     }
 
     /// GEMM thread budget for the sequential driver's dense products
-    /// (`1` = serial, `0` = auto-detect; ignored by the colored and
-    /// distributed drivers, whose in-rank work is always serial).
+    /// (`1` = serial, `0` = auto-detect). Sequential-only: the colored
+    /// and distributed drivers have their own threading levers
+    /// ([`Driver::Colored`]'s `threads` and [`rank_threads`]), so `build`
+    /// rejects the combination with [`SrsfError::UnsupportedOption`]
+    /// instead of silently ignoring the budget.
+    ///
+    /// [`rank_threads`]: SolverBuilder::rank_threads
     pub fn gemm_threads(mut self, threads: usize) -> Self {
         self.opts = self.opts.with_gemm_threads(threads);
+        self
+    }
+
+    /// Worker threads each rank of [`Driver::Distributed`] uses for its
+    /// per-phase box eliminations (`1` = serial, the default). The boxes
+    /// of a phase run in four sub-color rounds on a work-stealing pool
+    /// with a fixed merge order, so the factorization, the solution, and
+    /// the communication counters are bit-identical for every thread
+    /// count — this knob only changes wall-clock time. Distributed-only:
+    /// `build` rejects it under the sequential and colored drivers with
+    /// [`SrsfError::UnsupportedOption`], and `0` with
+    /// [`SrsfError::InvalidThreadCount`].
+    pub fn rank_threads(mut self, threads: usize) -> Self {
+        self.opts = self.opts.with_rank_threads(threads);
         self
     }
 
@@ -606,6 +625,34 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
         if opts.leaf_size == 0 {
             return Err(SrsfError::InvalidLeafSize);
         }
+        // Each driver owns exactly one threading lever; reject the others
+        // instead of silently ignoring them (`gemm_threads` used to be a
+        // no-op under the colored and distributed drivers).
+        let driver_name = match driver {
+            Driver::Sequential => "sequential",
+            Driver::Colored { .. } => "colored",
+            Driver::Distributed { .. } => "distributed",
+        };
+        if opts.gemm_threads != 1 && !matches!(driver, Driver::Sequential) {
+            return Err(SrsfError::UnsupportedOption {
+                option: "gemm_threads",
+                driver: driver_name,
+                instead: match driver {
+                    Driver::Colored { .. } => "`Driver::Colored { threads, .. }`",
+                    _ => "`SolverBuilder::rank_threads`",
+                },
+            });
+        }
+        if opts.rank_threads != 1 && !matches!(driver, Driver::Distributed { .. }) {
+            return Err(SrsfError::UnsupportedOption {
+                option: "rank_threads",
+                driver: driver_name,
+                instead: match driver {
+                    Driver::Colored { .. } => "`Driver::Colored { threads, .. }`",
+                    _ => "`SolverBuilder::gemm_threads`",
+                },
+            });
+        }
         let tree = QuadTree::build(pts, domain_for(pts), opts.leaf_size);
         let (backend, comm, x, per_rank_bytes) = match driver {
             Driver::Sequential => {
@@ -622,6 +669,9 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
                 (SolverBackend::Local(Box::new(fact)), None, x, None)
             }
             Driver::Distributed { grid } => {
+                if opts.rank_threads == 0 {
+                    return Err(SrsfError::InvalidThreadCount);
+                }
                 let leaf = tree.leaf_level();
                 // Every rank must own at least a 2x2 block of leaf boxes
                 // (Section III-B); reject oversized grids instead of

@@ -193,6 +193,77 @@ fn driver_equivalence_on_one_laplace_problem() {
     assert!(dd < 1e3 * tol, "distributed vs sequential: {dd:.3e}");
 }
 
+/// Each driver owns exactly one threading lever; the others are rejected
+/// with a typed error naming the supported knob instead of being
+/// silently ignored (`gemm_threads` used to be a no-op under the colored
+/// and distributed drivers).
+#[test]
+fn mismatched_threading_knobs_are_typed_errors() {
+    let grid = UnitGrid::new(8);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+
+    // gemm_threads is sequential-only: both parallel drivers reject it.
+    for (driver, name) in [
+        (Driver::colored(2), "colored"),
+        (Driver::distributed(1), "distributed"),
+    ] {
+        let err = Solver::builder(&kernel, &pts)
+            .driver(driver)
+            .gemm_threads(2)
+            .build()
+            .unwrap_err();
+        match err {
+            SrsfError::UnsupportedOption { option, driver, .. } => {
+                assert_eq!((option, driver), ("gemm_threads", name));
+            }
+            other => panic!("expected UnsupportedOption for {name}, got {other:?}"),
+        }
+        // `0` (auto-detect) is just as unsupported as an explicit count.
+        assert!(Solver::builder(&kernel, &pts)
+            .driver(driver)
+            .gemm_threads(0)
+            .build()
+            .is_err());
+    }
+
+    // rank_threads is distributed-only: the local drivers reject it...
+    for (driver, name) in [
+        (Driver::Sequential, "sequential"),
+        (Driver::colored(2), "colored"),
+    ] {
+        let err = Solver::builder(&kernel, &pts)
+            .driver(driver)
+            .rank_threads(2)
+            .build()
+            .unwrap_err();
+        match err {
+            SrsfError::UnsupportedOption { option, driver, .. } => {
+                assert_eq!((option, driver), ("rank_threads", name));
+            }
+            other => panic!("expected UnsupportedOption for {name}, got {other:?}"),
+        }
+    }
+    // ... and the distributed driver needs at least one worker.
+    let err = Solver::builder(&kernel, &pts)
+        .driver(Driver::distributed(1))
+        .rank_threads(0)
+        .build()
+        .unwrap_err();
+    assert_eq!(err, SrsfError::InvalidThreadCount);
+
+    // The supported combinations still build.
+    assert!(Solver::builder(&kernel, &pts)
+        .driver(Driver::distributed(1))
+        .rank_threads(2)
+        .build()
+        .is_ok());
+    assert!(Solver::builder(&kernel, &pts)
+        .gemm_threads(2)
+        .build()
+        .is_ok());
+}
+
 #[test]
 fn gemm_threads_knob_does_not_change_results() {
     let grid = UnitGrid::new(32);

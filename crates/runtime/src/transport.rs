@@ -246,6 +246,13 @@ pub trait RankTransport: Send {
     /// Synchronize all ranks.
     fn barrier(&mut self, timeout: Duration) -> Result<(), RecvError>;
 
+    /// Opportunistically pump the fabric: move every frame the backend
+    /// has already delivered into the matching queue, without blocking.
+    /// Purely a latency lever for compute/communication overlap — a later
+    /// tag-matched receive performs the same drain on demand — so the
+    /// default is a no-op and traffic counters are unaffected.
+    fn progress(&mut self) {}
+
     /// Tell every peer this rank is going away without further sends, so
     /// their blocked receives fail fast (`Disconnected`) instead of
     /// waiting out the timeout. The TCP backend gets this for free from
@@ -312,6 +319,20 @@ impl MsgQueue {
                 }
                 Err(RecvTimeoutError::Timeout) => return Err(timed_out()),
                 Err(RecvTimeoutError::Disconnected) => return Err(self.link_down(src, matching[0])),
+            }
+        }
+    }
+
+    /// Non-blocking drain: move every event already queued by the fabric
+    /// into the pending buffer, so later tag-matched receives hit the
+    /// buffer instead of waiting on the channel. Backs the transports'
+    /// `progress` hook.
+    fn drain_ready(&mut self) {
+        loop {
+            match self.rx.try_recv() {
+                Ok(Event::Frame(m)) => self.pending.push(m),
+                Ok(Event::Eof(s)) => self.closed[s] = true,
+                Err(_) => break,
             }
         }
     }
@@ -451,6 +472,9 @@ impl RankTransport for InProcTransport {
                 let _ = tx.send(Event::Eof(self.rank));
             }
         }
+    }
+    fn progress(&mut self) {
+        self.queue.drain_ready();
     }
 }
 
@@ -707,6 +731,12 @@ impl RankTransport for TcpTransport {
             assert_eq!(m.payload, payload, "barrier desync at rank {me}");
         }
         Ok(())
+    }
+
+    fn progress(&mut self) {
+        // The per-link reader threads already drain the sockets into the
+        // event channel; this moves their harvest into the matching queue.
+        self.queue.drain_ready();
     }
 }
 

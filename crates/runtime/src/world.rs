@@ -194,6 +194,16 @@ impl RankCtx {
         self.stats.wait_s += start.elapsed().as_secs_f64();
     }
 
+    /// Opportunistically pump the transport without blocking: frames that
+    /// already arrived move into the matching queue, so a compute phase
+    /// can overlap with in-flight neighbor traffic and the eventual
+    /// blocking [`recv`](Self::recv) finds its frame pre-buffered. Never
+    /// waits and touches no counters — receives are counted (and their
+    /// wait time accounted) only where they block.
+    pub fn progress(&mut self) {
+        self.transport.progress();
+    }
+
     /// Run `f` and account its wall time as local computation.
     pub fn compute<R>(&mut self, f: impl FnOnce() -> R) -> R {
         let start = Instant::now();

@@ -1,4 +1,4 @@
-//! Model-checked miniatures of the solver's four concurrent subsystems.
+//! Model-checked miniatures of the solver's concurrent subsystems.
 //!
 //! Compiled and run only with `RUSTFLAGS="--cfg srsf_model"`:
 //!
@@ -431,8 +431,206 @@ fn delta_merge_order_is_schedule_independent() {
 }
 
 // ---------------------------------------------------------------------------
+// Subsystem 6: the per-neighbor eager-send completion counter of the
+// distributed run_phase. A rank's phase boxes are filled by the
+// work-stealing pool, then merged in fixed box order; a neighbor's update
+// frame is posted the moment the last box that neighbor tracks retires
+// from the merge — exactly once, never before, and carrying post-merge
+// values only.
+// ---------------------------------------------------------------------------
+
+const BOXES: usize = 4;
+/// Boxes the modeled neighbor tracks (its halo); the frame must list
+/// exactly these, with their post-merge values, in merge order.
+const TRACKED: [usize; 2] = [1, 3];
+
+/// One phase of the eager-send protocol: pool fill (worker + main, as the
+/// rank pool does), deterministic merge, completion-counter send, with
+/// the neighbor receiving concurrently. `shorted_counter` seeds the bug
+/// the detects test looks for: a counter that undercounts the halo by
+/// one, posting the frame before the last tracked box retires.
+fn eager_send_round(shorted_counter: bool) -> (Vec<u64>, Vec<(usize, u64)>) {
+    let slots: Arc<Vec<OnceLock<u64>>> = Arc::new((0..BOXES).map(|_| OnceLock::new()).collect());
+    let next = Arc::new(AtomicUsize::new(0));
+    let w = {
+        let (slots, next) = (slots.clone(), next.clone());
+        thread::spawn(move || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= BOXES {
+                break;
+            }
+            slots[i].set(i as u64 * 10 + 1).expect("box claimed twice");
+        })
+    };
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= BOXES {
+            break;
+        }
+        slots[i].set(i as u64 * 10 + 1).expect("box claimed twice");
+    }
+    w.join().unwrap();
+
+    // The tracking neighbor, receiving concurrently with the merge.
+    let (tx, rx) = mpsc::channel::<Vec<(usize, u64)>>();
+    let neighbor = thread::spawn(move || rx.recv().expect("neighbor got no frame"));
+
+    // Fixed-order merge with the per-neighbor completion counter.
+    let mut remaining = if shorted_counter {
+        TRACKED.len() - 1
+    } else {
+        TRACKED.len()
+    };
+    let mut frame: Vec<(usize, u64)> = Vec::new();
+    let mut merged: Vec<u64> = Vec::new();
+    let mut sends = 0usize;
+    for i in 0..BOXES {
+        // "apply_output": the merged value differs from the raw slot, so a
+        // frame built from unretired boxes is distinguishable.
+        let v = *slots[i].get().expect("box lost") * 2;
+        merged.push(v);
+        if TRACKED.contains(&i) {
+            frame.push((i, v));
+            remaining = remaining.wrapping_sub(1);
+            if remaining == 0 {
+                sends += 1;
+                tx.send(frame.clone()).unwrap();
+            }
+        }
+    }
+    assert_eq!(sends, 1, "eager send posted {sends} times, want exactly 1");
+    let got = neighbor.join().unwrap();
+    assert_eq!(
+        got.len(),
+        TRACKED.len(),
+        "eager frame incomplete: posted before the last halo box retired"
+    );
+    for (i, v) in &got {
+        assert_eq!(*v, merged[*i], "frame carries a pre-merge value");
+    }
+    (merged, got)
+}
+
+#[test]
+fn eager_send_posts_once_after_last_halo_box() {
+    let report = Model::new()
+        .preemption_bound(3)
+        .max_schedules(50_000)
+        .check(|| eager_send_round(false));
+    // The fill/merge/recv space is small enough to enumerate outright —
+    // stronger than any schedule-count floor.
+    assert!(
+        report.exhausted && report.schedules >= 32,
+        "explored {} (exhausted: {})",
+        report.schedules,
+        report.exhausted
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Subsystem 7: barrier-free round transition. With the inter-round
+// barrier gone from the factorization sweep, ordering rests on two
+// invariants: every rank posts a frame to every neighbor every round
+// (empty frames included), and tags are unique per round so the matching
+// queue pairs racing frames with the right receives. A rank that blasts
+// through several rounds of sends before its peer wakes must neither
+// deadlock nor cross frames.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn barrier_free_rounds_need_no_rendezvous() {
+    let report = Model::new()
+        .preemption_bound(3)
+        .max_schedules(50_000)
+        .check(|| {
+            let (tx_to_a, rx_a) = mpsc::channel::<Frame>();
+            let (tx_to_b, rx_b) = mpsc::channel::<Frame>();
+            let b = thread::spawn(move || {
+                // B eliminates and exchanges round by round (the common
+                // path: send own update, then receive the peer's).
+                let mut pending = Vec::new();
+                let mut got = Vec::new();
+                for round in 0..3u32 {
+                    tx_to_a
+                        .send(Frame {
+                            tag: round,
+                            val: 200 + round as u64,
+                        })
+                        .unwrap();
+                    got.push(recv_where(&rx_b, &mut pending, round).expect("frame from A"));
+                }
+                got
+            });
+            // A has nothing to eliminate this level: it posts every
+            // round's (empty) frame immediately and races through the
+            // removed barrier into its receives — B's matching queue
+            // buffers whatever arrives ahead of the round it is in.
+            for round in 0..3u32 {
+                tx_to_b
+                    .send(Frame {
+                        tag: round,
+                        val: 100 + round as u64,
+                    })
+                    .unwrap();
+            }
+            let mut pending = Vec::new();
+            let got_a: Vec<u64> = (0..3u32)
+                .map(|round| recv_where(&rx_a, &mut pending, round).expect("frame from B"))
+                .collect();
+            (got_a, b.join().unwrap()) // ([200, 201, 202], [100, 101, 102])
+        });
+    // Two ranks x three rounds enumerates completely under the bound.
+    assert!(
+        report.exhausted && report.schedules >= 100,
+        "explored {} (exhausted: {})",
+        report.schedules,
+        report.exhausted
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Bug detection and deterministic replay.
 // ---------------------------------------------------------------------------
+
+#[test]
+fn detects_eager_send_before_last_halo_box() {
+    // The seeded bug: the completion counter misses one tracked box, so
+    // the frame is posted while that box is still unretired — the
+    // protocol's "never before the last halo box retires" clause.
+    let msg = expect_failure(Model::new().preemption_bound(3), || eager_send_round(true));
+    assert!(
+        msg.contains("eager frame incomplete") || msg.contains("posted"),
+        "unexpected failure: {msg}"
+    );
+}
+
+#[test]
+fn detects_missing_empty_frame_as_deadlock() {
+    // Remove the barrier AND the every-rank-sends-every-round invariant
+    // and the sweep deadlocks: A skips its "empty" frame, so B parks in
+    // a receive that can never match while A parks in B's join shadow.
+    // This is why run_phase posts a frame to every neighbor even when it
+    // eliminated nothing.
+    let msg = expect_failure(Model::new().preemption_bound(2), || {
+        let (tx_to_a, rx_a) = mpsc::channel::<Frame>();
+        let (tx_to_b, rx_b) = mpsc::channel::<Frame>();
+        let b = thread::spawn(move || {
+            let mut pending = Vec::new();
+            tx_to_a.send(Frame { tag: 0, val: 200 }).unwrap();
+            // Blocks forever: A never posts its round-0 frame.
+            recv_where(&rx_b, &mut pending, 0)
+        });
+        // BUG: A has no boxes this round and posts no frame at all
+        // (instead of an empty one), then waits on B's next-round frame.
+        let mut pending = Vec::new();
+        let _got = recv_where(&rx_a, &mut pending, 0);
+        let stuck = recv_where(&rx_a, &mut pending, 1);
+        let from_b = b.join().unwrap();
+        drop(tx_to_b);
+        (stuck, from_b)
+    });
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
 
 /// A non-atomic read-modify-write: some interleaving loses an update.
 fn racy_counter() -> usize {
