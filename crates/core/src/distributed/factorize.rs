@@ -244,7 +244,9 @@ pub(crate) fn dist_factorize_with_tree<K: Kernel>(
 ) -> Result<DistBuild<K::Elem>, FactorError> {
     let leaf = tree.leaf_level();
     let lmin = (opts.min_compress_level as u8).min(leaf);
-    let world = World::new(grid.p()).transport(opts.transport);
+    let world = World::new(grid.p())
+        .transport(opts.transport)
+        .with_recv_timeout(opts.recv_timeout);
 
     let (results, _total_stats) =
         world.run(|ctx| run_rank(ctx, kernel, pts, tree, grid, opts, leaf, lmin, rhs));
@@ -390,7 +392,59 @@ pub(crate) fn factor_phase<K: Kernel>(
     let top_level = if leaf >= lmin { lmin } else { leaf };
     let top = gather_top(ctx, grid, tree, &mut store, &mut act, top_level)?;
     state.stats.total_s = t_total.elapsed().as_secs_f64();
+    if let Some(dir) = &opts.checkpoint_dir {
+        write_rank_checkpoint(dir, me, &state, &top, pts, grid, opts);
+    }
     Ok((state, top))
+}
+
+/// Snapshot this rank's factor-phase output into `dir/rank_{me}.ckpt`
+/// (rank 0 additionally writes the run manifest) — the persistence hook
+/// behind [`FactorOpts::checkpoint_dir`] and
+/// [`crate::Solver::restore_resident`]. Runs the moment the factor sweep
+/// completes, on both serving modes and both transports (on TCP every
+/// rank is its own process and writes its own file).
+fn write_rank_checkpoint<T: Scalar>(
+    dir: &std::path::Path,
+    me: usize,
+    state: &RankState<T>,
+    top: &TopFactor<T>,
+    pts: &[Point],
+    grid: &ProcessGrid,
+    opts: &FactorOpts,
+) {
+    use crate::wire::{
+        encode_rank_snapshot, geometry_hash, rank_ckpt_name, scalar_tag, write_container,
+        write_manifest, CkptManifest,
+    };
+    // A checkpoint write failure is an environmental I/O fault (disk full,
+    // bad path) a worker rank cannot return through the factor result.
+    // INVARIANT: deliberate — dying loudly with the path beats serving
+    // without the snapshot the caller asked for.
+    let fail = |e: crate::SrsfError| -> ! { panic!("rank {me}: {e}") };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        fail(crate::SrsfError::Checkpoint {
+            path: dir.display().to_string(),
+            reason: e.to_string(),
+        });
+    }
+    let payload = encode_rank_snapshot(state, top);
+    if let Err(e) = write_container(&dir.join(rank_ckpt_name(me)), scalar_tag::<T>(), &payload) {
+        fail(e);
+    }
+    if me == 0 {
+        let manifest = CkptManifest {
+            p: grid.p(),
+            n: pts.len(),
+            leaf_size: opts.leaf_size,
+            min_compress_level: opts.min_compress_level,
+            scalar: scalar_tag::<T>(),
+            geom_hash: geometry_hash(pts),
+        };
+        if let Err(e) = write_manifest(dir, &manifest) {
+            fail(e);
+        }
+    }
 }
 
 /// This rank's resident record footprint: what it holds when records stay

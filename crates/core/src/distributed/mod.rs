@@ -37,11 +37,11 @@
 mod factorize;
 mod serve;
 
-pub(crate) use factorize::dist_factorize_with_tree;
 #[allow(deprecated)]
 pub use factorize::{dist_factorize, dist_factorize_and_solve};
-pub(crate) use serve::dist_factorize_resident;
+pub(crate) use factorize::{dist_factorize_with_tree, TopFactor};
 pub use serve::ResidentService;
+pub(crate) use serve::{dist_factorize_resident, restore_resident_service};
 
 use crate::elimination::BoxElimination;
 use crate::stats::FactorStats;

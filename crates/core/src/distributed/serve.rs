@@ -39,12 +39,25 @@
 //! [`WorldHandle::finish`]; dropping the service does the same, and a
 //! handle dropped without the round still leaves no live workers (the
 //! idle wait observes the teardown — see `run_resident`). A rank that
-//! dies mid-solve surfaces as a fail-fast panic naming the step on both
-//! transports, never a hang.
+//! dies mid-solve surfaces as a typed
+//! [`SrsfError::RankFailed`](crate::SrsfError) naming the dead rank and
+//! the protocol step, on both transports, within the receive timeout —
+//! never a hang: live workers abandon the solve and exit their loops,
+//! rank 0 poisons the service so later calls fail fast with the same
+//! error, and Drop still reaps the session.
+//!
+//! **Checkpoint/restore.** When the factorization ran with
+//! [`FactorOpts::checkpoint_dir`](crate::FactorOpts) set, each rank
+//! persisted its snapshot at factor completion;
+//! [`restore_resident_service`] rebuilds a fresh rank world from those
+//! snapshots — no kernel evaluations, no re-factorization — and restored
+//! solves are bit-identical to the original service's.
 
 use super::factorize::{factor_phase, resident_bytes, TopFactor};
 use super::{get_ids, key_level_phase, owned_leaf_ids, owner_of_point, region_of, RankState};
 use crate::elimination::{BoxElimination, FactorError};
+use crate::error::SrsfError;
+use crate::sequential::domain_for;
 use crate::solve::{downward_parts, merge_upward, upward_parts};
 use crate::stats::FactorStats;
 use crate::wire::put_ids;
@@ -56,12 +69,13 @@ use srsf_kernels::kernel::Kernel;
 use srsf_linalg::{Mat, Scalar};
 use srsf_runtime::codec::{ByteReader, ByteWriter, Wire};
 use srsf_runtime::tags::{
-    tag, KIND_SOLVE_REQ, KIND_SOLVE_UP, KIND_SOLVE_VAL, TAG_SERVE_CMD, TAG_SERVE_READY,
-    TAG_SERVE_RHS, TAG_SERVE_SOL, TAG_SERVE_STATS,
+    self, tag, KIND_SOLVE_REQ, KIND_SOLVE_UP, KIND_SOLVE_VAL, TAG_SERVE_CKPT, TAG_SERVE_CMD,
+    TAG_SERVE_READY, TAG_SERVE_RHS, TAG_SERVE_SOL, TAG_SERVE_STATS,
 };
 use srsf_runtime::world::{RankCtx, World, WorldHandle};
-use srsf_runtime::{CommStats, WorldStats};
+use srsf_runtime::{CommStats, RecvError, Transport, WorldStats};
 use std::collections::HashMap;
+use std::path::Path;
 // Sync primitives come through the srsf-verify shims: identical to
 // `std::sync` in a normal build, schedule-explored under
 // `--cfg srsf_model` (see crates/verify).
@@ -289,13 +303,19 @@ type DeltaBatch<'a, T> = Vec<(&'a [u32], Mat<T>)>;
 ///
 /// `rank0_owned` is rank 0's cached per-rank slab row map (None on
 /// workers).
+///
+/// Fallible by design: every receive and barrier is the bounded-timeout
+/// variant, so a rank that dies (or a link that goes down) mid-solve
+/// surfaces here as a typed [`RecvError`] within the receive timeout —
+/// the caller (rank 0's service, a worker's serve loop) abandons the
+/// solve instead of hanging or panicking.
 fn solve_resident_mat<T: Scalar>(
     ctx: &mut RankCtx,
     geo: &ResidentGeo,
     st: &ServeState<T>,
     x: &mut Mat<T>,
     rank0_owned: Option<&[Vec<u32>]>,
-) {
+) -> Result<(), RecvError> {
     let me = ctx.rank();
     let grid = &geo.grid;
     let levels: Vec<u8> = (st.lmin..=st.leaf).rev().collect();
@@ -335,7 +355,7 @@ fn solve_resident_mat<T: Scalar>(
                     ctx.send(dst, tag(level, phase, KIND_SOLVE_UP), w.finish());
                 }
                 for &src in &neighbors {
-                    let payload = ctx.recv(src, tag(level, phase, KIND_SOLVE_UP));
+                    let payload = ctx.try_recv(src, tag(level, phase, KIND_SOLVE_UP))?;
                     let mut r = ByteReader::new(payload);
                     // INVARIANT: this frame was encoded by a peer rank under the matching tag
                     // and the transport delivers whole messages, so decode cannot truncate
@@ -350,10 +370,10 @@ fn solve_resident_mat<T: Scalar>(
                 }
             }
         }
-        ctx.barrier();
+        ctx.try_barrier()?;
         // Fold value shipment when the next level retires this rank.
         if level > st.lmin {
-            fold_up_mat(ctx, grid, st, level, x);
+            fold_up_mat(ctx, grid, st, level, x)?;
         }
     }
 
@@ -361,7 +381,7 @@ fn solve_resident_mat<T: Scalar>(
     let active_top = grid.active_ranks(st.top_level);
     if me == 0 {
         for &src in active_top.iter().filter(|&&r| r != 0) {
-            let payload = ctx.recv(src, tag(st.top_level, 6, KIND_SOLVE_VAL));
+            let payload = ctx.try_recv(src, tag(st.top_level, 6, KIND_SOLVE_VAL))?;
             let mut r = ByteReader::new(payload);
             let ids = get_ids(&mut r);
             // INVARIANT: this frame was encoded by a peer rank under the matching tag
@@ -386,7 +406,7 @@ fn solve_resident_mat<T: Scalar>(
         put_ids(&mut w, &ids);
         w.put_mat(&x.gather_rows(&ids));
         ctx.send(0, tag(st.top_level, 6, KIND_SOLVE_VAL), w.finish());
-        let payload = ctx.recv(0, tag(st.top_level, 7, KIND_SOLVE_VAL));
+        let payload = ctx.try_recv(0, tag(st.top_level, 7, KIND_SOLVE_VAL))?;
         let mut r = ByteReader::new(payload);
         let ids = get_ids(&mut r);
         // INVARIANT: this frame was encoded by a peer rank under the matching tag
@@ -394,12 +414,12 @@ fn solve_resident_mat<T: Scalar>(
         let rows: Mat<T> = r.get_mat();
         x.scatter_rows(&ids, &rows);
     }
-    ctx.barrier();
+    ctx.try_barrier()?;
 
     // ---- Downward pass ----------------------------------------------------
     for &level in levels.iter().rev() {
         if level > st.lmin {
-            fold_down_mat(ctx, grid, st, level, x);
+            fold_down_mat(ctx, grid, st, level, x)?;
         }
         if grid.is_active(me, level) {
             let neighbors = grid.neighbor_ranks(me, level);
@@ -421,7 +441,7 @@ fn solve_resident_mat<T: Scalar>(
                     ctx.send(dst, tag(level, phase, KIND_SOLVE_REQ), w.finish());
                 }
                 for &src in &neighbors {
-                    let payload = ctx.recv(src, tag(level, phase, KIND_SOLVE_REQ));
+                    let payload = ctx.try_recv(src, tag(level, phase, KIND_SOLVE_REQ))?;
                     let ids = get_ids(&mut ByteReader::new(payload));
                     let mut w = ByteWriter::new();
                     put_ids(&mut w, &ids);
@@ -429,7 +449,7 @@ fn solve_resident_mat<T: Scalar>(
                     ctx.send(src, tag(level, phase, KIND_SOLVE_VAL), w.finish());
                 }
                 for &src in &neighbors {
-                    let payload = ctx.recv(src, tag(level, phase, KIND_SOLVE_VAL));
+                    let payload = ctx.try_recv(src, tag(level, phase, KIND_SOLVE_VAL))?;
                     let mut r = ByteReader::new(payload);
                     let ids = get_ids(&mut r);
                     // INVARIANT: this frame was encoded by a peer rank under the matching tag
@@ -446,7 +466,7 @@ fn solve_resident_mat<T: Scalar>(
                 }
             }
         }
-        ctx.barrier();
+        ctx.try_barrier()?;
     }
 
     // ---- Solution slab gather on rank 0 (service envelope) ----------------
@@ -454,7 +474,7 @@ fn solve_resident_mat<T: Scalar>(
         // INVARIANT: the driver passes rank 0 its slab row map on entry
         let owned = rank0_owned.expect("rank 0 passes its slab row map");
         for src in 1..grid.p() {
-            let payload = ctx.recv(src, TAG_SERVE_SOL);
+            let payload = ctx.try_recv(src, TAG_SERVE_SOL)?;
             // INVARIANT: this frame was encoded by a peer rank under the matching tag
             // and the transport delivers whole messages, so decode cannot truncate
             let rows: Mat<T> = ByteReader::new(payload).get_mat();
@@ -465,6 +485,7 @@ fn solve_resident_mat<T: Scalar>(
         w.put_mat(&x.gather_rows(&st.owned_leaf_ids));
         ctx.send_service(0, TAG_SERVE_SOL, w.finish());
     }
+    Ok(())
 }
 
 /// Upward fold: retiring ranks ship their surviving rows to the corner.
@@ -474,13 +495,13 @@ fn fold_up_mat<T: Scalar>(
     st: &ServeState<T>,
     child_level: u8,
     x: &mut Mat<T>,
-) {
+) -> Result<(), RecvError> {
     let me = ctx.rank();
     let parent_level = child_level - 1;
     if grid.effective_q(parent_level) >= grid.effective_q(child_level)
         || !grid.is_active(me, child_level)
     {
-        return;
+        return Ok(());
     }
     let (x0, y0, _, _) = region_of(grid, me, child_level);
     let corner = grid.owner(&BoxId {
@@ -499,7 +520,7 @@ fn fold_up_mat<T: Scalar>(
         let (cx, cy) = grid.coords_of(me);
         for (dx, dy) in [(1u32, 0u32), (0, 1), (1, 1)] {
             let member = grid.rank_of(cx + dx * stride, cy + dy * stride);
-            let payload = ctx.recv(member, tag(child_level, 5, KIND_SOLVE_VAL));
+            let payload = ctx.try_recv(member, tag(child_level, 5, KIND_SOLVE_VAL))?;
             let mut r = ByteReader::new(payload);
             let ids = get_ids(&mut r);
             // INVARIANT: this frame was encoded by a peer rank under the matching tag
@@ -508,6 +529,7 @@ fn fold_up_mat<T: Scalar>(
             x.scatter_rows(&ids, &rows);
         }
     }
+    Ok(())
 }
 
 /// Downward un-fold: corners return the surviving rows to the members
@@ -518,13 +540,13 @@ fn fold_down_mat<T: Scalar>(
     st: &ServeState<T>,
     child_level: u8,
     x: &mut Mat<T>,
-) {
+) -> Result<(), RecvError> {
     let me = ctx.rank();
     let parent_level = child_level - 1;
     if grid.effective_q(parent_level) >= grid.effective_q(child_level)
         || !grid.is_active(me, child_level)
     {
-        return;
+        return Ok(());
     }
     let (x0, y0, _, _) = region_of(grid, me, child_level);
     let corner = grid.owner(&BoxId {
@@ -533,7 +555,7 @@ fn fold_down_mat<T: Scalar>(
         iy: (y0 / 2) as u32,
     });
     if corner != me {
-        let payload = ctx.recv(corner, tag(child_level, 6, KIND_SOLVE_VAL));
+        let payload = ctx.try_recv(corner, tag(child_level, 6, KIND_SOLVE_VAL))?;
         let mut r = ByteReader::new(payload);
         let ids = get_ids(&mut r);
         debug_assert_eq!(ids, st.owned_act_ids(child_level));
@@ -557,6 +579,7 @@ fn fold_down_mat<T: Scalar>(
             ctx.send(member, tag(child_level, 6, KIND_SOLVE_VAL), w.finish());
         }
     }
+    Ok(())
 }
 
 /// The worker-rank serve loop: report the factorization outcome, then
@@ -589,6 +612,17 @@ fn serve_rank<T: Scalar>(
     let Ok(st) = outcome else {
         return;
     };
+    serve_loop(ctx, geo, &st);
+}
+
+/// The shared worker command loop, entered once a rank's serve state
+/// exists (freshly factorized or restored from a snapshot). A
+/// [`RecvError`] during a solve — a peer died or a link went down — makes
+/// the worker log the typed failure and leave the loop (graceful
+/// degradation): the rank exits cleanly, rank 0 observes the same
+/// failure on its side of the protocol, and nothing hangs.
+fn serve_loop<T: Scalar>(ctx: &mut RankCtx, geo: &ResidentGeo, st: &ServeState<T>) {
+    let me = ctx.rank();
     while let Some(cmd) = ctx.recv_service_idle(0, TAG_SERVE_CMD) {
         let mut r = ByteReader::new(cmd);
         // INVARIANT: this frame was encoded by a peer rank under the matching tag
@@ -599,13 +633,22 @@ fn serve_rank<T: Scalar>(
                 // INVARIANT: this frame was encoded by a peer rank under the matching tag
                 // and the transport delivers whole messages, so decode cannot truncate
                 let nrhs = r.get_u64() as usize;
-                // INVARIANT: this frame was encoded by a peer rank under the matching tag
-                // and the transport delivers whole messages, so decode cannot truncate
-                let slab: Mat<T> = ByteReader::new(ctx.recv(0, TAG_SERVE_RHS)).get_mat();
+                let slab: Mat<T> = match ctx.try_recv(0, TAG_SERVE_RHS) {
+                    // INVARIANT: this frame was encoded by a peer rank under the
+                    // matching tag and arrives whole, so decode cannot truncate
+                    Ok(payload) => ByteReader::new(payload).get_mat(),
+                    Err(e) => {
+                        eprintln!("srsf-core: rank {me} abandoning resident serve: {e}");
+                        return;
+                    }
+                };
                 assert_eq!(slab.ncols(), nrhs, "rank {me}: RHS slab shape mismatch");
                 let mut x = Mat::zeros(geo.n, nrhs);
                 x.scatter_rows(&st.owned_leaf_ids, &slab);
-                solve_resident_mat(ctx, geo, &st, &mut x, None);
+                if let Err(e) = solve_resident_mat(ctx, geo, st, &mut x, None) {
+                    eprintln!("srsf-core: rank {me} abandoning resident serve: {e}");
+                    return;
+                }
             }
             CMD_PROBE => {
                 let mut w = ByteWriter::new();
@@ -619,6 +662,24 @@ fn serve_rank<T: Scalar>(
     }
 }
 
+/// Map a transport-level receive failure to the public typed error: the
+/// peer we were waiting on is the failed rank; the tag names the
+/// protocol step it died in.
+fn recv_to_srsf(e: &RecvError) -> SrsfError {
+    match e {
+        RecvError::Timeout { src, tag, .. } | RecvError::Disconnected { src, tag, .. } => {
+            SrsfError::RankFailed {
+                rank: *src,
+                step: tags::describe(*tag),
+            }
+        }
+        RecvError::PeerPanicked { src, message, .. } => SrsfError::RankFailed {
+            rank: *src,
+            step: format!("peer panic: {message}"),
+        },
+    }
+}
+
 struct ServiceInner<T> {
     /// `None` once the session has been shut down.
     handle: Option<WorldHandle>,
@@ -626,6 +687,10 @@ struct ServiceInner<T> {
     geo: Arc<ResidentGeo>,
     /// Per-rank slab row maps, cached for the scatter/gather envelope.
     owned: Vec<Vec<u32>>,
+    /// Set when a solve observed a rank failure: the world is
+    /// desynchronized, so every later call fails fast with the same
+    /// error instead of timing out again. Shutdown/Drop still work.
+    poisoned: Option<SrsfError>,
 }
 
 /// A live resident solve service: the distributed factorization left in
@@ -680,11 +745,30 @@ impl<T: Scalar> ResidentService<T> {
     /// ownership, run the distributed blocked solve in place, gather the
     /// solution rows. Bit-identical to the gathered factorization's
     /// [`crate::Factorization::solve_mat`].
+    ///
+    /// Panics if a rank fails mid-solve; use
+    /// [`ResidentService::try_solve_mat`] to observe that as a typed
+    /// [`SrsfError::RankFailed`] instead.
     pub fn solve_mat(&self, b: &Mat<T>) -> Mat<T> {
+        // INVARIANT: deliberate — the panicking convenience wrapper over
+        // try_solve_mat, for callers with no degradation path
+        self.try_solve_mat(b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ResidentService::solve_mat`]: a rank that dies (or a
+    /// link that goes down) mid-solve surfaces as
+    /// [`SrsfError::RankFailed`] within the receive timeout — no hang,
+    /// no abort — and the service is poisoned: the world is
+    /// desynchronized, so every later solve returns the same error
+    /// immediately. Shutdown and Drop still reap the surviving workers.
+    pub fn try_solve_mat(&self, b: &Mat<T>) -> Result<Mat<T>, SrsfError> {
         assert_eq!(b.nrows(), self.n, "right-hand side row count mismatch");
-        // INVARIANT: poisoning requires a panicked driver call, which already
-        // surfaced to the caller
+        // INVARIANT: lock poisoning requires a panicked driver call, which
+        // already surfaced to the caller
         let inner = &mut *self.inner.lock().expect("resident service poisoned");
+        if let Some(e) = &inner.poisoned {
+            return Err(e.clone());
+        }
         let handle = inner
             .handle
             .as_mut()
@@ -701,22 +785,34 @@ impl<T: Scalar> ResidentService<T> {
             handle.ctx().send_service(dst, TAG_SERVE_RHS, w.finish());
         }
         let mut x = b.clone();
-        solve_resident_mat(
+        if let Err(e) = solve_resident_mat(
             handle.ctx(),
             &inner.geo,
             &inner.st,
             &mut x,
             Some(&inner.owned),
-        );
-        x
+        ) {
+            let err = recv_to_srsf(&e);
+            inner.poisoned = Some(err.clone());
+            return Err(err);
+        }
+        Ok(x)
     }
 
     /// Solve `A x = b` (single right-hand side) on the resident world:
-    /// the one-column case of [`ResidentService::solve_mat`].
+    /// the one-column case of [`ResidentService::solve_mat`]. Panics on
+    /// rank failure; see [`ResidentService::try_solve`].
     pub fn solve(&self, b: &[T]) -> Vec<T> {
+        // INVARIANT: deliberate — the panicking convenience wrapper over
+        // try_solve, for callers with no degradation path
+        self.try_solve(b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ResidentService::solve`]: the one-column case of
+    /// [`ResidentService::try_solve_mat`].
+    pub fn try_solve(&self, b: &[T]) -> Result<Vec<T>, SrsfError> {
         let m = Mat::from_vec(b.len(), 1, b.to_vec());
-        let x = self.solve_mat(&m);
-        x.as_slice().to_vec()
+        Ok(self.try_solve_mat(&m)?.as_slice().to_vec())
     }
 
     /// Snapshot every rank's cumulative communication counters (the
@@ -761,9 +857,31 @@ impl<T: Scalar> ResidentService<T> {
     }
 
     fn shutdown_locked(inner: &mut ServiceInner<T>) -> Option<WorldStats> {
-        let handle = inner.handle.take()?;
-        Some(shutdown_session(handle))
+        shutdown_inner(inner)
     }
+}
+
+/// Shut a service's session down, taking its handle. When the service is
+/// poisoned the cooperative round would panic — a crashed worker's join
+/// re-raises its panic payload out of [`WorldHandle::finish`] — and the
+/// failure already surfaced to the caller as the typed error, so the
+/// degraded world goes through the quiet [`WorldHandle::reap`] path
+/// instead: broadcast the shutdown to whoever still listens, swallow the
+/// dead rank, report best-effort counters. Shutdown and Drop of a
+/// degraded world stay clean — no second panic.
+fn shutdown_inner<T>(inner: &mut ServiceInner<T>) -> Option<WorldStats> {
+    let mut handle = inner.handle.take()?;
+    if inner.poisoned.is_some() {
+        for dst in 1..handle.size() {
+            if handle.worker_live(dst) {
+                let mut w = ByteWriter::new();
+                w.put_u64(CMD_SHUTDOWN);
+                handle.ctx().send_service(dst, TAG_SERVE_CMD, w.finish());
+            }
+        }
+        return Some(handle.reap());
+    }
+    Some(shutdown_session(handle))
 }
 
 /// The tag-based shutdown round: broadcast the shutdown command to every
@@ -790,9 +908,7 @@ impl<T> Drop for ResidentService<T> {
             return;
         }
         if let Ok(inner) = self.inner.get_mut() {
-            if let Some(handle) = inner.handle.take() {
-                let _ = shutdown_session(handle);
-            }
+            let _ = shutdown_inner(inner);
         }
     }
 }
@@ -800,14 +916,16 @@ impl<T> Drop for ResidentService<T> {
 /// Build the resident service: run the distributed factorization on a
 /// persistent rank world, leave every rank's records in place, and hand
 /// back the live service. On any rank's factorization error the live
-/// ranks are shut down first and the first error is returned.
+/// ranks are shut down first and the first error is returned; a rank
+/// that dies before reporting surfaces as
+/// [`SrsfError::RankFailed`] — the survivors are still shut down.
 pub(crate) fn dist_factorize_resident<K: Kernel>(
     kernel: &K,
     pts: &[Point],
     tree: &QuadTree,
     grid: &ProcessGrid,
     opts: &FactorOpts,
-) -> Result<ResidentService<K::Elem>, FactorError> {
+) -> Result<ResidentService<K::Elem>, SrsfError> {
     let leaf = tree.leaf_level();
     let lmin = (opts.min_compress_level as u8).min(leaf);
     let p = grid.p();
@@ -815,7 +933,9 @@ pub(crate) fn dist_factorize_resident<K: Kernel>(
         n: pts.len(),
         grid: *grid,
     });
-    let world = World::new(p).transport(opts.transport);
+    let world = World::new(p)
+        .transport(opts.transport)
+        .with_recv_timeout(opts.recv_timeout);
 
     type FactorOut<T> = (Result<ServeState<T>, FactorError>, CommStats);
     let factor = |ctx: &mut RankCtx| -> FactorOut<K::Elem> {
@@ -841,9 +961,18 @@ pub(crate) fn dist_factorize_resident<K: Kernel>(
     };
     comm.per_rank[0] = my_comm;
     let mut worker_stats: Vec<FactorStats> = Vec::with_capacity(p - 1);
-    let mut first_err: Option<FactorError> = None;
+    let mut first_err: Option<SrsfError> = None;
     for src in 1..p {
-        let payload = handle.ctx().recv(src, TAG_SERVE_READY);
+        // A worker that dies before reporting (crash, cut link) must not
+        // hang the build: the bounded receive converts it to a typed
+        // failure and the survivors still get their shutdown round.
+        let payload = match handle.ctx().try_recv(src, TAG_SERVE_READY) {
+            Ok(payload) => payload,
+            Err(e) => {
+                let _ = shutdown_session(handle);
+                return Err(recv_to_srsf(&e));
+            }
+        };
         let mut r = ByteReader::new(payload);
         // INVARIANT: this frame was encoded by a peer rank under the matching tag
         // and the transport delivers whole messages, so decode cannot truncate
@@ -866,7 +995,7 @@ pub(crate) fn dist_factorize_resident<K: Kernel>(
             let e = FactorError::decode(&mut r)
                 // INVARIANT: same trusted ready-frame argument as above
                 .unwrap_or_else(|e| panic!("rank {src} ready frame: {e}"));
-            first_err.get_or_insert(e);
+            first_err.get_or_insert(e.into());
         }
     }
 
@@ -878,7 +1007,7 @@ pub(crate) fn dist_factorize_resident<K: Kernel>(
             let _ = shutdown_session(handle);
             // INVARIANT: this branch is only reached when some rank reported a
             // failure, so at least one error exists
-            return Err(err.unwrap_or_else(|| my.err().expect("some rank failed")));
+            return Err(err.unwrap_or_else(|| my.err().expect("some rank failed").into()));
         }
     };
 
@@ -912,6 +1041,191 @@ pub(crate) fn dist_factorize_resident<K: Kernel>(
             st,
             geo,
             owned,
+            poisoned: None,
         }),
     })
+}
+
+/// A restored worker: report the snapshot-load outcome over
+/// `TAG_SERVE_CKPT` (ok flag, record count, resident bytes, stats — or
+/// the error string), then enter the shared serve loop.
+fn serve_rank_restored<T: Scalar>(
+    ctx: &mut RankCtx,
+    geo: &ResidentGeo,
+    outcome: Result<ServeState<T>, String>,
+) {
+    let me = ctx.rank();
+    debug_assert_ne!(me, 0, "rank 0 is the service side, not a serve loop");
+    let mut w = ByteWriter::new();
+    match &outcome {
+        Ok(st) => {
+            w.put_u64(1);
+            w.put_u64(st.records.len() as u64);
+            w.put_u64(st.bytes);
+            st.stats.encode(&mut w);
+        }
+        Err(msg) => {
+            w.put_u64(0);
+            msg.encode(&mut w);
+        }
+    }
+    ctx.send_service(0, TAG_SERVE_CKPT, w.finish());
+    let Ok(st) = outcome else {
+        return;
+    };
+    serve_loop(ctx, geo, &st);
+}
+
+/// Rebuild a resident service from the per-rank snapshots a prior
+/// factorization wrote under [`FactorOpts::checkpoint_dir`](crate::FactorOpts):
+/// validate the manifest against the caller's point set (scalar type,
+/// size, geometry hash), spin up a fresh rank world on `transport`, have
+/// every rank load + CRC-check + decode its own `rank_{r}.ckpt`, rebuild
+/// the routing from the replicated geometry, and leave the world
+/// serving. No kernel evaluations, no re-factorization; restored solves
+/// are bit-identical to the original service's.
+pub(crate) fn restore_resident_service<T: Scalar>(
+    pts: &[Point],
+    dir: &Path,
+    transport: Transport,
+) -> Result<(ResidentService<T>, ProcessGrid), SrsfError> {
+    use crate::wire::{
+        decode_rank_snapshot, geometry_hash, rank_ckpt_name, read_container, read_manifest,
+        scalar_tag,
+    };
+    let manifest = read_manifest(dir)?;
+    let reject = |reason: String| -> SrsfError {
+        SrsfError::Checkpoint {
+            path: dir.display().to_string(),
+            reason,
+        }
+    };
+    if manifest.scalar != scalar_tag::<T>() {
+        return Err(reject(format!(
+            "scalar type mismatch (snapshot tag {}, caller tag {})",
+            manifest.scalar,
+            scalar_tag::<T>()
+        )));
+    }
+    if manifest.n != pts.len() {
+        return Err(reject(format!(
+            "point count mismatch (snapshot {}, caller {})",
+            manifest.n,
+            pts.len()
+        )));
+    }
+    if manifest.geom_hash != geometry_hash(pts) {
+        return Err(reject(
+            "geometry hash mismatch: restore needs the exact point set that was factorized"
+                .to_string(),
+        ));
+    }
+    let grid = ProcessGrid::try_new(manifest.p)
+        .ok_or_else(|| reject(format!("rank count {} is not a power of four", manifest.p)))?;
+    let p = grid.p();
+    let tree = QuadTree::build(pts, domain_for(pts), manifest.leaf_size);
+    let leaf = tree.leaf_level();
+    let lmin = (manifest.min_compress_level as u8).min(leaf);
+    let geo = Arc::new(ResidentGeo { n: pts.len(), grid });
+    let world = World::new(p).transport(transport);
+
+    let factor = |ctx: &mut RankCtx| -> Result<ServeState<T>, String> {
+        let me = ctx.rank();
+        let path = dir.join(rank_ckpt_name(me));
+        let payload = read_container(&path, scalar_tag::<T>()).map_err(|e| e.to_string())?;
+        let (state, top) =
+            decode_rank_snapshot::<T>(payload).map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(ServeState::from_rank_state(
+            state, top, &tree, pts, &grid, leaf, lmin, me,
+        ))
+    };
+    let serve_geo = geo.clone();
+    let serve = move |ctx: &mut RankCtx, s: Result<ServeState<T>, String>| {
+        serve_rank_restored(ctx, &serve_geo, s);
+    };
+    let (my_out, mut handle) = world.run_resident(factor, serve);
+
+    // Collect every worker's snapshot-load report, exactly as the build
+    // path collects READY frames — bounded receives, typed failures.
+    let mut per_rank_records = vec![0usize; p];
+    let mut per_rank_bytes = vec![0usize; p];
+    let mut worker_stats: Vec<FactorStats> = Vec::with_capacity(p - 1);
+    let mut first_err: Option<SrsfError> = None;
+    for src in 1..p {
+        let payload = match handle.ctx().try_recv(src, TAG_SERVE_CKPT) {
+            Ok(payload) => payload,
+            Err(e) => {
+                let _ = shutdown_session(handle);
+                return Err(recv_to_srsf(&e));
+            }
+        };
+        let mut r = ByteReader::new(payload);
+        // INVARIANT: this frame was encoded by a peer rank under the matching tag
+        // and the transport delivers whole messages, so decode cannot truncate
+        if r.get_u64() == 1 {
+            // INVARIANT: same trusted restore-frame argument as above
+            per_rank_records[src] = r.get_u64() as usize;
+            // INVARIANT: same trusted restore-frame argument as above
+            per_rank_bytes[src] = r.get_u64() as usize;
+            let fstats = FactorStats::decode(&mut r)
+                // INVARIANT: same trusted restore-frame argument as above
+                .unwrap_or_else(|e| panic!("rank {src} restore frame: {e}"));
+            worker_stats.push(fstats);
+        } else {
+            let msg = String::decode(&mut r)
+                // INVARIANT: same trusted restore-frame argument as above
+                .unwrap_or_else(|e| panic!("rank {src} restore frame: {e}"));
+            first_err.get_or_insert(reject(format!("rank {src}: {msg}")));
+        }
+    }
+
+    let st = match (my_out, first_err) {
+        (Ok(st), None) => st,
+        (my, err) => {
+            let _ = shutdown_session(handle);
+            // INVARIANT: this branch is only reached when some rank reported a
+            // failure, so at least one error exists
+            return Err(
+                err.unwrap_or_else(|| reject(my.err().expect("some rank failed to restore")))
+            );
+        }
+    };
+
+    per_rank_records[0] = st.records.len();
+    per_rank_bytes[0] = st.bytes as usize;
+    // Merge the global rank table, exactly as the build path does.
+    let mut stats = st.stats.clone();
+    for ws in &worker_stats {
+        for (&level, &(count, sum)) in &ws.ranks {
+            let e = stats.ranks.entry(level).or_insert((0, 0));
+            e.0 += count;
+            e.1 += sum;
+        }
+        stats.peak_store_bytes = stats.peak_store_bytes.max(ws.peak_store_bytes);
+    }
+    stats.top_size = st.top.as_ref().map(|(idx, _)| idx.len()).unwrap_or(0);
+    stats.record_bytes = per_rank_bytes.iter().sum();
+
+    let owned: Vec<Vec<u32>> = (0..p).map(|r| owned_leaf_ids(&tree, &grid, r)).collect();
+    let svc = ResidentService {
+        n: pts.len(),
+        p,
+        top_size: stats.top_size,
+        stats,
+        // The restored session's counters start at zero: factorization
+        // traffic happened in the original session, not this one.
+        comm: WorldStats {
+            per_rank: vec![CommStats::default(); p],
+        },
+        per_rank_records,
+        per_rank_bytes,
+        inner: Mutex::new(ServiceInner {
+            handle: Some(handle),
+            st,
+            geo,
+            owned,
+            poisoned: None,
+        }),
+    };
+    Ok((svc, grid))
 }

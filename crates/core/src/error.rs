@@ -77,6 +77,29 @@ pub enum SrsfError {
         /// Elimination step at which the pivoted LU broke down.
         step: usize,
     },
+    /// A distributed rank died (or its link went down) mid-operation.
+    /// The surviving ranks observed the failure within their receive
+    /// timeout and the operation was abandoned; a resident world that
+    /// raises this is poisoned — it refuses further solves but still
+    /// reaps its workers on drop. Recover with
+    /// [`crate::Solver::restore_resident`] from a checkpoint directory.
+    RankFailed {
+        /// The rank that failed (as observed by the rank reporting it).
+        rank: usize,
+        /// The protocol step the failure was observed at, in algorithm
+        /// terms (a `srsf_runtime::tags::describe` string or a relayed
+        /// panic message).
+        step: String,
+    },
+    /// An on-disk checkpoint could not be written, or failed validation
+    /// (bad magic/version, truncation, CRC mismatch) before any decode
+    /// allocation.
+    Checkpoint {
+        /// Path of the offending file or directory.
+        path: String,
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl core::fmt::Display for SrsfError {
@@ -122,6 +145,12 @@ impl core::fmt::Display for SrsfError {
                     f,
                     "singular dense top block ({size} x {size}, pivot breakdown at step {step})"
                 )
+            }
+            SrsfError::RankFailed { rank, step } => {
+                write!(f, "rank {rank} failed during {step}")
+            }
+            SrsfError::Checkpoint { path, reason } => {
+                write!(f, "checkpoint {path}: {reason}")
             }
         }
     }

@@ -45,7 +45,7 @@ pub use error::SrsfError;
 pub use sequential::factorize;
 pub use sequential::Factorization;
 pub use solver::{Driver, Factorized, Solver, SolverBuilder};
-pub use srsf_runtime::Transport;
+pub use srsf_runtime::{BaseTransport, FaultPlan, RankHealth, Transport};
 pub use stats::FactorStats;
 
 /// Options controlling the factorization.
@@ -112,6 +112,20 @@ pub struct FactorOpts {
     /// [`solver::SolverBuilder::resident`]; the other drivers ignore
     /// this knob.
     pub resident: bool,
+    /// Checkpoint directory for the distributed driver (default: none).
+    /// When set, every rank writes a versioned, CRC-checked snapshot of
+    /// its factorization state (`rank_{r}.ckpt`) the moment the factor
+    /// sweep completes, and rank 0 writes a `manifest.ckpt` describing
+    /// the run; [`crate::Solver::restore_resident`] rebuilds a resident
+    /// world from that directory without re-factoring. The other drivers
+    /// ignore this knob.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Bounded-receive timeout for the distributed driver's rank world
+    /// (default: 120 s). Every receive and barrier waits at most this
+    /// long before reporting the missing peer as a failure — the knob
+    /// that bounds how long a crashed rank or a cut link can stall a
+    /// build or a resident solve. The other drivers ignore this knob.
+    pub recv_timeout: std::time::Duration,
 }
 
 impl Default for FactorOpts {
@@ -127,6 +141,8 @@ impl Default for FactorOpts {
             rank_threads: 1,
             transport: Transport::InProc,
             resident: false,
+            checkpoint_dir: None,
+            recv_timeout: std::time::Duration::from_secs(120),
         }
     }
 }
@@ -198,6 +214,21 @@ impl FactorOpts {
     /// [`solver::SolverBuilder::resident`]).
     pub fn with_resident(mut self, resident: bool) -> Self {
         self.resident = resident;
+        self
+    }
+
+    /// Set the checkpoint directory: every rank snapshots its
+    /// factorization state there as soon as the factor sweep completes
+    /// (see [`crate::Solver::restore_resident`]).
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Set the distributed driver's bounded-receive timeout — how long a
+    /// rank waits on a missing peer before reporting it failed.
+    pub fn with_recv_timeout(mut self, t: std::time::Duration) -> Self {
+        self.recv_timeout = t;
         self
     }
 }

@@ -29,7 +29,9 @@
 //! `srsf-iterative` as a preconditioner unchanged.
 
 use crate::colored::colored_factorize_with_tree;
-use crate::distributed::{dist_factorize_resident, dist_factorize_with_tree, ResidentService};
+use crate::distributed::{
+    dist_factorize_resident, dist_factorize_with_tree, restore_resident_service, ResidentService,
+};
 use crate::error::SrsfError;
 use crate::sequential::{domain_for, factorize_with_tree, Factorization};
 use crate::stats::FactorStats;
@@ -214,11 +216,62 @@ impl<T: Scalar> Solver<T> {
     /// Solve `A x = b`. In residency mode the solve runs on the live rank
     /// world (records applied where they live); otherwise on the local
     /// factorization object.
+    ///
+    /// Panics if a resident rank fails mid-solve; use
+    /// [`Solver::try_solve`] to observe that as a typed
+    /// [`SrsfError::RankFailed`] instead.
     pub fn solve(&self, b: &[T]) -> Vec<T> {
         match &self.backend {
             SolverBackend::Local(f) => f.solve(b),
             SolverBackend::Resident(s) => s.solve(b),
         }
+    }
+
+    /// Fallible [`Solver::solve`]. Local backends cannot fail; in
+    /// residency mode a rank that dies (or a link that goes down)
+    /// mid-solve surfaces as [`SrsfError::RankFailed`] within the
+    /// receive timeout — no hang, no abort — and later solves fail fast
+    /// with the same error. The degraded solver still shuts down (or
+    /// drops) cleanly, and [`Solver::restore_resident`] can rebuild a
+    /// fresh world from checkpoints.
+    pub fn try_solve(&self, b: &[T]) -> Result<Vec<T>, SrsfError> {
+        match &self.backend {
+            SolverBackend::Local(f) => Ok(f.solve(b)),
+            SolverBackend::Resident(s) => s.try_solve(b),
+        }
+    }
+
+    /// Fallible [`Solver::solve_mat`]; see [`Solver::try_solve`].
+    pub fn try_solve_mat(&self, b: &Mat<T>) -> Result<Mat<T>, SrsfError> {
+        match &self.backend {
+            SolverBackend::Local(f) => Ok(f.solve_mat(b)),
+            SolverBackend::Resident(s) => s.try_solve_mat(b),
+        }
+    }
+
+    /// Rebuild a resident solver from the per-rank snapshots a prior
+    /// distributed build persisted under
+    /// [`FactorOpts::checkpoint_dir`](crate::FactorOpts) (see
+    /// [`SolverBuilder::checkpoint_dir`]): validate the manifest against
+    /// `pts` (scalar type, size, bit-exact geometry hash), spin up a
+    /// fresh rank world on `transport`, and have every rank load its
+    /// CRC-checked snapshot — no kernel evaluations, no
+    /// re-factorization. Restored solves are bit-identical to the
+    /// original solver's.
+    pub fn restore_resident(
+        pts: &[Point],
+        dir: impl AsRef<std::path::Path>,
+        transport: Transport,
+    ) -> Result<Solver<T>, SrsfError> {
+        let (svc, grid) = restore_resident_service::<T>(pts, dir.as_ref(), transport)?;
+        let comm = svc.comm().clone();
+        let bytes = svc.bytes_per_rank().to_vec();
+        Ok(Solver {
+            backend: SolverBackend::Resident(Box::new(svc)),
+            driver: Driver::Distributed { grid },
+            comm: Some(comm),
+            per_rank_bytes: Some(bytes),
+        })
     }
 
     /// Apply the approximate inverse in place: `b := A^{-1} b`.
@@ -568,6 +621,17 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
         self
     }
 
+    /// Directory where each rank of [`Driver::Distributed`] persists its
+    /// factor snapshot when the build completes (created if absent;
+    /// rank 0 also writes the manifest). A later
+    /// [`Solver::restore_resident`] rebuilds a serving resident world
+    /// from these files without re-factorizing. Ignored by the other
+    /// drivers.
+    pub fn checkpoint_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.opts = self.opts.with_checkpoint_dir(dir);
+        self
+    }
+
     /// Replace the whole option set at once.
     pub fn opts(mut self, opts: FactorOpts) -> Self {
         self.opts = opts;
@@ -684,10 +748,15 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
                     });
                 }
                 if opts.resident {
-                    let svc = dist_factorize_resident(kernel, pts, &tree, &grid, &opts)?;
+                    let svc = catch_rank_failure(|| {
+                        dist_factorize_resident(kernel, pts, &tree, &grid, &opts)
+                    })??;
                     let comm = svc.comm().clone();
                     let bytes = svc.bytes_per_rank().to_vec();
-                    let x = rhs.map(|b| svc.solve(b));
+                    let x = match rhs {
+                        Some(b) => Some(svc.try_solve(b)?),
+                        None => None,
+                    };
                     (
                         SolverBackend::Resident(Box::new(svc)),
                         Some(comm),
@@ -695,7 +764,9 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
                         Some(bytes),
                     )
                 } else {
-                    let b = dist_factorize_with_tree(kernel, pts, &tree, &grid, &opts, rhs)?;
+                    let b = catch_rank_failure(|| {
+                        dist_factorize_with_tree(kernel, pts, &tree, &grid, &opts, rhs)
+                    })??;
                     (
                         SolverBackend::Local(Box::new(b.fact)),
                         Some(b.stats),
@@ -715,4 +786,71 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
             x,
         ))
     }
+}
+
+/// Run a distributed-driver call, converting the rank world's
+/// death-panics into the typed error. A rank dying mid-factorization
+/// surfaces on rank 0 as a panic whose message names the dead peer
+/// (peer-panic relay, bounded-receive timeout, lost-peer, injected
+/// fault, or a TCP worker exiting without a result); those shapes become
+/// [`SrsfError::RankFailed`] here at the driver boundary — the rank
+/// world has already torn itself down by the time the panic reaches us —
+/// and anything else keeps unwinding untouched.
+fn catch_rank_failure<R>(f: impl FnOnce() -> R) -> Result<R, SrsfError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => Ok(r),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&'static str>().copied());
+            match msg.and_then(parse_rank_failure) {
+                Some((rank, step)) => Err(SrsfError::RankFailed { rank, step }),
+                None => std::panic::resume_unwind(payload),
+            }
+        }
+    }
+}
+
+/// Recognize the panic-message shapes the runtime emits when a peer rank
+/// dies, returning `(failed rank, step description)`.
+fn parse_rank_failure(msg: &str) -> Option<(usize, String)> {
+    let msg = msg.strip_prefix("barrier failed: ").unwrap_or(msg);
+    // The step a receive-flavored message died in is the trailing
+    // parenthesized tag description, when present.
+    let paren_step = |msg: &str| -> Option<String> {
+        let (_, tail) = msg.rsplit_once('(')?;
+        Some(tail.trim_end_matches(')').to_string())
+    };
+    // "injected fault: rank R crashed at barrier K" (rank 0 itself hit a
+    // FaultPlan crash point).
+    if let Some(rest) = msg.strip_prefix("injected fault: rank ") {
+        let rank = rest.split_whitespace().next()?.parse().ok()?;
+        return Some((rank, msg.to_string()));
+    }
+    // "rank A: rank B panicked: <original message>"
+    if let Some((head, tail)) = msg.split_once(" panicked: ") {
+        let rank = head.rsplit("rank ").next()?.parse().ok()?;
+        return Some((rank, format!("peer panic: {tail}")));
+    }
+    // "worker rank B exited without reporting a result" (TCP parent).
+    if let Some(rest) = msg.strip_prefix("worker rank ") {
+        let rank = rest.split_whitespace().next()?.parse().ok()?;
+        return Some((rank, "worker exit before reporting a result".to_string()));
+    }
+    // "rank A timed out after .. waiting for a message from rank B with
+    // tag T (STEP)"
+    if msg.contains(" timed out after ") {
+        let rest = msg.split("from rank ").nth(1)?;
+        let rank = rest.split_whitespace().next()?.parse().ok()?;
+        let step = paren_step(msg).unwrap_or_else(|| "message wait".to_string());
+        return Some((rank, format!("timeout during {step}")));
+    }
+    // "rank A lost rank B while waiting for tag T (STEP)"
+    if let Some(rest) = msg.split(" lost rank ").nth(1) {
+        let rank = rest.split_whitespace().next()?.parse().ok()?;
+        let step = paren_step(msg).unwrap_or_else(|| "message wait".to_string());
+        return Some((rank, step));
+    }
+    None
 }

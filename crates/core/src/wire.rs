@@ -8,12 +8,17 @@
 //! [`CodecError`], not a panic). The same encodings also serve the
 //! record-gather messages inside the distributed factorization itself.
 
+use crate::distributed::{RankState, TopFactor};
 use crate::elimination::{BoxElimination, FactorError};
+use crate::error::SrsfError;
 use crate::sequential::Factorization;
 use crate::stats::FactorStats;
+use srsf_geometry::point::Point;
 use srsf_geometry::tree::BoxId;
 use srsf_linalg::Scalar;
-use srsf_runtime::codec::{ByteReader, ByteWriter, CodecError, Wire};
+use srsf_runtime::codec::{crc64, ByteReader, ByteWriter, CodecError, Wire};
+use std::collections::HashMap;
+use std::path::Path;
 
 /// Pack a box id the way the distributed driver's messages do:
 /// `level << 48 | ix << 24 | iy`.
@@ -200,6 +205,306 @@ impl<T: Scalar> Wire for Factorization<T> {
             n, records, top_idx, top_lu, stats,
         ))
     }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint container
+//
+// A versioned, length- and CRC-checked on-disk envelope around a `Wire`
+// payload. The 40-byte header is validated — magic, version, scalar tag,
+// payload length, CRC-64 — *before* any decode allocation, so a
+// truncated or bit-flipped snapshot is rejected from the header and
+// checksum alone (`tests/wire_fuzz.rs` exercises this).
+//
+//   bytes  0..8   magic  b"SRSFCKP1"
+//   bytes  8..16  container version (little-endian u64, currently 1)
+//   bytes 16..24  scalar tag (size_of::<T>: 8 = f64, 16 = c64; 0 = manifest)
+//   bytes 24..32  payload length in bytes
+//   bytes 32..40  CRC-64/XZ of the payload
+//   bytes 40..    the Wire-encoded payload
+// ---------------------------------------------------------------------------
+
+/// Container magic: "SRSF" + "CKP" + format generation.
+const CKPT_MAGIC: &[u8; 8] = b"SRSFCKP1";
+/// Container version; bump on any layout change.
+const CKPT_VERSION: u64 = 1;
+/// Header length in bytes.
+const CKPT_HEADER: usize = 40;
+/// Scalar tag of the scalar-independent manifest file.
+const MANIFEST_TAG: u64 = 0;
+
+/// Scalar tag stored in the container header: the element width
+/// distinguishes the two supported scalars (`f64` = 8, `c64` = 16), so a
+/// snapshot cannot be decoded as the wrong element type.
+pub(crate) fn scalar_tag<T: Scalar>() -> u64 {
+    std::mem::size_of::<T>() as u64
+}
+
+fn ckpt_err(path: &Path, reason: impl Into<String>) -> SrsfError {
+    SrsfError::Checkpoint {
+        path: path.display().to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// Write `payload` to `path` inside the checkpoint container.
+pub(crate) fn write_container(path: &Path, tag: u64, payload: &[u8]) -> Result<(), SrsfError> {
+    let mut bytes = Vec::with_capacity(CKPT_HEADER + payload.len());
+    bytes.extend_from_slice(CKPT_MAGIC);
+    bytes.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&tag.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&crc64(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    std::fs::write(path, bytes).map_err(|e| ckpt_err(path, e.to_string()))
+}
+
+/// Read and validate a checkpoint container, returning the raw payload.
+/// Every header field is checked against the file contents before the
+/// payload leaves this function; a corrupted file never reaches a
+/// decoder.
+pub(crate) fn read_container(path: &Path, expected_tag: u64) -> Result<Vec<u8>, SrsfError> {
+    let bytes = std::fs::read(path).map_err(|e| ckpt_err(path, e.to_string()))?;
+    if bytes.len() < CKPT_HEADER {
+        return Err(ckpt_err(
+            path,
+            format!("truncated header ({} bytes)", bytes.len()),
+        ));
+    }
+    if &bytes[0..8] != CKPT_MAGIC {
+        return Err(ckpt_err(path, "bad magic (not a checkpoint file)"));
+    }
+    let word = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap_or([0; 8]));
+    let version = word(8);
+    if version != CKPT_VERSION {
+        return Err(ckpt_err(
+            path,
+            format!("unsupported container version {version} (expected {CKPT_VERSION})"),
+        ));
+    }
+    let tag = word(16);
+    if tag != expected_tag {
+        return Err(ckpt_err(
+            path,
+            format!("scalar tag {tag} does not match expected {expected_tag}"),
+        ));
+    }
+    let len = word(24) as usize;
+    if bytes.len() - CKPT_HEADER != len {
+        return Err(ckpt_err(
+            path,
+            format!(
+                "payload length {} does not match header ({len})",
+                bytes.len() - CKPT_HEADER
+            ),
+        ));
+    }
+    let crc = word(32);
+    let actual = crc64(&bytes[CKPT_HEADER..]);
+    if crc != actual {
+        return Err(ckpt_err(
+            path,
+            format!("CRC mismatch (header {crc:#018x}, payload {actual:#018x})"),
+        ));
+    }
+    Ok(bytes[CKPT_HEADER..].to_vec())
+}
+
+impl<T: Scalar> Factorization<T> {
+    /// Save this factorization to `path` inside the versioned,
+    /// CRC-checked checkpoint container.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SrsfError> {
+        write_container(path.as_ref(), scalar_tag::<T>(), &self.to_bytes())
+    }
+
+    /// Load a factorization saved with [`Factorization::save`]. The
+    /// container header and checksum are validated before any decode
+    /// allocation, so truncation or bit corruption is rejected cheaply.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SrsfError> {
+        let path = path.as_ref();
+        let payload = read_container(path, scalar_tag::<T>())?;
+        Self::from_bytes(payload).map_err(|e| ckpt_err(path, e.to_string()))
+    }
+}
+
+/// FNV-1a over the bit patterns of the point coordinates: a cheap,
+/// deterministic fingerprint tying a checkpoint directory to the geometry
+/// it was factored over. Restore refuses a point set whose hash differs.
+pub(crate) fn geometry_hash(pts: &[Point]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in pts {
+        for v in [p.x, p.y] {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+/// The checkpoint directory's run description, written by rank 0 as
+/// `manifest.ckpt`: everything restore needs to rebuild the tree and the
+/// rank world, plus the geometry fingerprint it must match.
+pub(crate) struct CkptManifest {
+    pub(crate) p: usize,
+    pub(crate) n: usize,
+    pub(crate) leaf_size: usize,
+    pub(crate) min_compress_level: usize,
+    /// Scalar tag of the per-rank snapshots (see [`scalar_tag`]).
+    pub(crate) scalar: u64,
+    pub(crate) geom_hash: u64,
+}
+
+impl Wire for CkptManifest {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.p as u64);
+        w.put_u64(self.n as u64);
+        w.put_u64(self.leaf_size as u64);
+        w.put_u64(self.min_compress_level as u64);
+        w.put_u64(self.scalar);
+        w.put_u64(self.geom_hash);
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok(CkptManifest {
+            p: r.try_get_u64()? as usize,
+            n: r.try_get_u64()? as usize,
+            leaf_size: r.try_get_u64()? as usize,
+            min_compress_level: r.try_get_u64()? as usize,
+            scalar: r.try_get_u64()?,
+            geom_hash: r.try_get_u64()?,
+        })
+    }
+}
+
+/// Write the manifest for a checkpointed run into `dir/manifest.ckpt`.
+pub(crate) fn write_manifest(dir: &Path, m: &CkptManifest) -> Result<(), SrsfError> {
+    write_container(&dir.join("manifest.ckpt"), MANIFEST_TAG, &m.to_bytes())
+}
+
+/// Read and validate `dir/manifest.ckpt`.
+pub(crate) fn read_manifest(dir: &Path) -> Result<CkptManifest, SrsfError> {
+    let path = dir.join("manifest.ckpt");
+    let payload = read_container(&path, MANIFEST_TAG)?;
+    CkptManifest::from_bytes(payload).map_err(|e| ckpt_err(&path, e.to_string()))
+}
+
+/// Per-rank snapshot file name within a checkpoint directory.
+pub(crate) fn rank_ckpt_name(rank: usize) -> String {
+    format!("rank_{rank}.ckpt")
+}
+
+/// Encode one rank's factor-phase output — its [`RankState`] plus (rank 0
+/// only) the dense top factorization — as a snapshot payload. HashMaps go
+/// out key-sorted so the bytes (and hence the container CRC) are
+/// deterministic.
+pub(crate) fn encode_rank_snapshot<T: Scalar>(state: &RankState<T>, top: &TopFactor<T>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(state.records.len() as u64);
+    for (key, rec) in &state.records {
+        w.put_u64(*key);
+        rec.encode(&mut w);
+    }
+    w.put_u64(state.record_phase.len() as u64);
+    for &(level, phase) in &state.record_phase {
+        w.put_u64(((level as u64) << 8) | phase as u64);
+    }
+    let mut act: Vec<_> = state.act_end.iter().collect();
+    act.sort_by_key(|(level, _)| **level);
+    w.put_u64(act.len() as u64);
+    for (level, entries) in act {
+        w.put_u64(*level as u64);
+        w.put_u64(entries.len() as u64);
+        for (b, ids) in entries {
+            put_box(&mut w, b);
+            put_ids(&mut w, ids);
+        }
+    }
+    let mut folds: Vec<_> = state.fold_ids.iter().collect();
+    folds.sort_by_key(|((level, member), _)| (*level, *member));
+    w.put_u64(folds.len() as u64);
+    for ((level, member), ids) in folds {
+        w.put_u64(*level as u64);
+        w.put_u64(*member as u64);
+        put_ids(&mut w, ids);
+    }
+    state.stats.encode(&mut w);
+    match top {
+        Some((idx, lu)) => {
+            w.put_u64(1);
+            put_ids(&mut w, idx);
+            lu.encode(&mut w);
+        }
+        None => w.put_u64(0),
+    }
+    w.finish()
+}
+
+/// Decode a rank snapshot produced by [`encode_rank_snapshot`]. Total:
+/// every read is bounds-checked, so even a payload that passed the CRC
+/// (e.g. crafted rather than corrupted) cannot panic the decoder.
+#[allow(clippy::type_complexity)]
+pub(crate) fn decode_rank_snapshot<T: Scalar>(
+    bytes: Vec<u8>,
+) -> Result<(RankState<T>, TopFactor<T>), CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let n_records = r.try_get_u64()? as usize;
+    let mut records = Vec::new();
+    for _ in 0..n_records {
+        let key = r.try_get_u64()?;
+        records.push((key, BoxElimination::decode(&mut r)?));
+    }
+    let n_phases = r.try_get_u64()? as usize;
+    let mut record_phase = Vec::new();
+    for _ in 0..n_phases {
+        let packed = r.try_get_u64()?;
+        record_phase.push(((packed >> 8) as u8, (packed & 0xFF) as u8));
+    }
+    let n_levels = r.try_get_u64()? as usize;
+    let mut act_end = HashMap::new();
+    for _ in 0..n_levels {
+        let level = r.try_get_u64()? as u8;
+        let n_entries = r.try_get_u64()? as usize;
+        let mut entries = Vec::new();
+        for _ in 0..n_entries {
+            let b = try_get_box(&mut r)?;
+            entries.push((b, try_get_ids(&mut r)?));
+        }
+        act_end.insert(level, entries);
+    }
+    let n_folds = r.try_get_u64()? as usize;
+    let mut fold_ids = HashMap::new();
+    for _ in 0..n_folds {
+        let level = r.try_get_u64()? as u8;
+        let member = r.try_get_u64()? as usize;
+        fold_ids.insert((level, member), try_get_ids(&mut r)?);
+    }
+    let stats = FactorStats::decode(&mut r)?;
+    let at = r.position();
+    let top = match r.try_get_u64()? {
+        0 => None,
+        1 => {
+            let idx = try_get_ids(&mut r)?;
+            let lu = Wire::decode(&mut r)?;
+            Some((idx, lu))
+        }
+        _ => {
+            return Err(CodecError::Invalid {
+                what: "rank snapshot top discriminant",
+                at,
+            })
+        }
+    };
+    Ok((
+        RankState {
+            records,
+            record_phase,
+            act_end,
+            fold_ids,
+            stats,
+        },
+        top,
+    ))
 }
 
 #[cfg(test)]

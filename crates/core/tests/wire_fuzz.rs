@@ -323,3 +323,95 @@ fn scalar_vec_round_trip() {
         assert_eq!(back.0, v);
     }
 }
+
+// ---- checkpoint container ----------------------------------------------
+
+fn ckpt_path(name: &str) -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name)
+}
+
+/// `Factorization::save`/`load` round-trips through the versioned,
+/// CRC-checked container: the loaded object re-encodes to the same bytes
+/// as the saved one.
+#[test]
+#[cfg_attr(miri, ignore = "file I/O is outside Miri's isolation")]
+fn factorization_save_load_round_trip() {
+    let mut rng = Rng::new(91);
+    let path = ckpt_path("wire_fuzz_roundtrip.ckpt");
+    for _ in 0..iters(16, 0) {
+        let f = Factorization::<f64>::from_bytes(gen_factorization_frame(&mut rng))
+            .expect("valid frame decodes");
+        f.save(&path).expect("save");
+        let back = Factorization::<f64>::load(&path).expect("load");
+        assert_eq!(
+            back.to_bytes(),
+            f.to_bytes(),
+            "save/load round trip changed the factorization bytes"
+        );
+    }
+}
+
+/// Container rejection matrix: truncation at every prefix length, a bit
+/// flip at every byte (header fields *and* CRC-guarded payload), a
+/// corrupted magic, a future version, a mismatched scalar tag, and a
+/// lying payload length must all surface as `SrsfError::Checkpoint` —
+/// validated from the 40-byte header before any decode allocation, and
+/// never a panic.
+#[test]
+#[cfg_attr(miri, ignore = "file I/O is outside Miri's isolation")]
+fn checkpoint_container_rejects_corruption() {
+    use srsf_core::SrsfError;
+
+    let mut rng = Rng::new(92);
+    let f = Factorization::<f64>::from_bytes(gen_factorization_frame(&mut rng))
+        .expect("valid frame decodes");
+    let good = ckpt_path("wire_fuzz_good.ckpt");
+    f.save(&good).expect("save");
+    let bytes = std::fs::read(&good).expect("read back");
+    let bad = ckpt_path("wire_fuzz_bad.ckpt");
+
+    let expect_rejected = |bytes: &[u8], what: &str| {
+        std::fs::write(&bad, bytes).expect("write corrupted file");
+        let res = catch_unwind(AssertUnwindSafe(|| Factorization::<f64>::load(&bad)))
+            .unwrap_or_else(|_| panic!("{what}: load panicked instead of returning Checkpoint"));
+        match res {
+            Err(SrsfError::Checkpoint { .. }) => {}
+            Err(e) => panic!("{what}: expected Checkpoint error, got {e}"),
+            Ok(_) => panic!("{what}: corrupted container decoded successfully"),
+        }
+    };
+
+    // Every strict prefix is a truncation (header-short or payload-short).
+    let step = (bytes.len() / 64).max(1);
+    for cut in (0..bytes.len()).step_by(step) {
+        expect_rejected(&bytes[..cut], &format!("truncation at {cut}"));
+    }
+    // A flip anywhere breaks magic, version, tag, length, CRC, or payload.
+    for _ in 0..iters(64, 0) {
+        let mut bent = bytes.clone();
+        let at = rng.below(bent.len());
+        bent[at] ^= 1 << rng.below(8);
+        expect_rejected(&bent, &format!("bit flip at {at}"));
+    }
+    // Targeted header corruption: magic, version, scalar tag, length.
+    let mut bent = bytes.clone();
+    bent[0..8].copy_from_slice(b"NOTSRSF!");
+    expect_rejected(&bent, "bad magic");
+    let mut bent = bytes.clone();
+    bent[8..16].copy_from_slice(&2u64.to_le_bytes());
+    expect_rejected(&bent, "future version");
+    let mut bent = bytes.clone();
+    bent[16..24].copy_from_slice(&16u64.to_le_bytes()); // claims c64
+    expect_rejected(&bent, "scalar tag mismatch");
+    let mut bent = bytes.clone();
+    bent[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+    expect_rejected(&bent, "length field lies");
+
+    // The scalar tag also rejects a well-formed file of the other type.
+    std::fs::write(&bad, &bytes).expect("copy good file");
+    match Factorization::<c64>::load(&bad) {
+        Err(SrsfError::Checkpoint { .. }) => {}
+        Err(e) => panic!("cross-scalar load: expected Checkpoint error, got {e}"),
+        Ok(_) => panic!("an f64 snapshot decoded as c64"),
+    }
+}

@@ -592,6 +592,36 @@ impl<T: Scalar> Wire for srsf_linalg::Lu<T> {
     }
 }
 
+/// CRC-64/ECMA-182 (polynomial `0x42F0E1EBA9EA3693`, bit-reflected form
+/// `0xC96C5795D7870F42`, init/xorout `!0`) over a byte slice.
+///
+/// Used by the checkpoint container in `srsf-core` to validate on-disk
+/// snapshots *before* any `Wire` decode allocates: a truncated or
+/// bit-flipped file is rejected from its header and checksum alone.
+pub fn crc64(bytes: &[u8]) -> u64 {
+    const POLY: u64 = 0xC96C_5795_D787_0F42;
+    // Byte-at-a-time table, built on the fly: checkpoint I/O is rare and
+    // file-sized, so a lazily recomputed 2 KiB table beats a static one
+    // for code simplicity at no measurable cost.
+    let mut table = [0u64; 256];
+    for (i, slot) in table.iter_mut().enumerate() {
+        let mut crc = i as u64;
+        for _ in 0..8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+        }
+        *slot = crc;
+    }
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u64) & 0xFF) as usize];
+    }
+    !crc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -857,5 +887,17 @@ mod tests {
         let mut w = ByteWriter::new();
         w.put_u64(u64::MAX);
         assert!(Vec::<u64>::from_bytes(w.finish()).is_err());
+    }
+
+    #[test]
+    fn crc64_known_answer_and_sensitivity() {
+        // CRC-64/XZ (reflected ECMA-182) check value for "123456789".
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+        let mut data = vec![0u8; 1024];
+        data[500] = 7;
+        let clean = crc64(&data);
+        data[500] = 6;
+        assert_ne!(crc64(&data), clean);
     }
 }

@@ -51,8 +51,10 @@ pub mod tags;
 pub mod transport;
 pub mod world;
 
-pub use codec::{CodecError, Wire};
+pub use codec::{crc64, CodecError, Wire};
 pub use netmodel::NetworkModel;
 pub use stats::{CommStats, WorldStats};
-pub use transport::{is_spawned_worker, set_tcp_child_args, Transport};
-pub use world::{RankCtx, World, WorldHandle};
+pub use transport::{
+    is_spawned_worker, set_tcp_child_args, BaseTransport, FaultPlan, RecvError, Transport,
+};
+pub use world::{RankCtx, RankHealth, World, WorldHandle};

@@ -62,6 +62,16 @@ pub const TAG_SERVE_RHS: u32 = SERVE_BASE + 2;
 pub const TAG_SERVE_SOL: u32 = SERVE_BASE + 3;
 /// Worker → rank 0: communication-counter snapshot (probe reply).
 pub const TAG_SERVE_STATS: u32 = SERVE_BASE + 4;
+/// Rank 0 → worker: liveness probe carrying a nonce
+/// ([`crate::world::WorldHandle::health`]); uncounted, answered from the
+/// idle wait so a busy rank reads as unresponsive rather than dead.
+pub const TAG_SERVE_PING: u32 = SERVE_BASE + 5;
+/// Worker → rank 0: liveness reply echoing the probe's nonce.
+pub const TAG_SERVE_PONG: u32 = SERVE_BASE + 6;
+/// Worker → rank 0: snapshot-restore outcome, sent once when a rank
+/// rebuilt from an on-disk checkpoint enters its serve loop (the
+/// restore-path analogue of [`TAG_SERVE_READY`]).
+pub const TAG_SERVE_CKPT: u32 = SERVE_BASE + 7;
 
 /// `true` for tags in the resident serve-session range. Serve frames are
 /// the service *envelope* (command dispatch, RHS/solution slabs, stats
@@ -136,6 +146,9 @@ pub fn describe(t: u32) -> String {
             2 => "RHS (right-hand-side row slab)",
             3 => "SOL (solution row slab)",
             4 => "STATS (counter probe reply)",
+            5 => "PING (health probe)",
+            6 => "PONG (health reply)",
+            7 => "CKPT (snapshot restore outcome)",
             _ => "RESERVED",
         };
         return format!("resident serve {name}");
@@ -182,12 +195,18 @@ mod tests {
         assert!(describe(TAG_SERVE_SOL).contains("SOL"));
         assert!(describe(TAG_SERVE_READY).contains("READY"));
         assert!(describe(TAG_SERVE_STATS).contains("STATS"));
+        assert!(describe(TAG_SERVE_PING).contains("PING"));
+        assert!(describe(TAG_SERVE_PONG).contains("PONG"));
+        assert!(describe(TAG_SERVE_CKPT).contains("CKPT"));
         for t in [
             TAG_SERVE_READY,
             TAG_SERVE_CMD,
             TAG_SERVE_RHS,
             TAG_SERVE_SOL,
             TAG_SERVE_STATS,
+            TAG_SERVE_PING,
+            TAG_SERVE_PONG,
+            TAG_SERVE_CKPT,
         ] {
             assert!(is_serve(t) && !is_control(t));
         }

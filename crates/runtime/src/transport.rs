@@ -101,14 +101,83 @@ pub enum Transport {
     InProc,
     /// Ranks as spawned OS processes, frames over localhost TCP sockets.
     Tcp,
+    /// Either backend wrapped in the deterministic fault injector: every
+    /// rank's transport is a [`FaultyTransport`] replaying the seeded
+    /// [`FaultPlan`] (delays, drops with bounded redelivery, duplicated
+    /// frames, a one-shot rank crash, a permanent link cut). Recoverable
+    /// plans leave solutions and counters bit-identical to the fault-free
+    /// run; crash/cut plans surface as typed failures, never hangs.
+    Faulty {
+        /// The backend actually carrying the frames.
+        inner: BaseTransport,
+        /// The seeded fault schedule.
+        plan: FaultPlan,
+    },
+}
+
+/// The concrete frame carrier under a [`Transport`] selection — what is
+/// left once the fault-injection wrapper is peeled off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BaseTransport {
+    /// Ranks as threads of this process, frames over in-memory channels.
+    #[default]
+    InProc,
+    /// Ranks as spawned OS processes, frames over localhost TCP sockets.
+    Tcp,
+}
+
+impl From<BaseTransport> for Transport {
+    fn from(b: BaseTransport) -> Self {
+        match b {
+            BaseTransport::InProc => Transport::InProc,
+            BaseTransport::Tcp => Transport::Tcp,
+        }
+    }
+}
+
+impl Transport {
+    /// The backend that actually carries frames (the fault wrapper is
+    /// transparent to dispatch).
+    pub fn base(&self) -> BaseTransport {
+        match self {
+            Transport::InProc => BaseTransport::InProc,
+            Transport::Tcp => BaseTransport::Tcp,
+            Transport::Faulty { inner, .. } => *inner,
+        }
+    }
+
+    /// The fault schedule, when this selection injects faults.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        match self {
+            Transport::Faulty { plan, .. } => Some(*plan),
+            _ => None,
+        }
+    }
+
+    /// Wrap this selection in the deterministic fault injector (replaces
+    /// any plan already attached).
+    pub fn with_faults(self, plan: FaultPlan) -> Transport {
+        Transport::Faulty {
+            inner: self.base(),
+            plan,
+        }
+    }
 }
 
 impl core::fmt::Display for Transport {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str(match self {
-            Transport::InProc => "inproc",
-            Transport::Tcp => "tcp",
-        })
+        match self {
+            Transport::InProc => f.write_str("inproc"),
+            Transport::Tcp => f.write_str("tcp"),
+            Transport::Faulty { inner, .. } => write!(
+                f,
+                "faulty({})",
+                match inner {
+                    BaseTransport::InProc => "inproc",
+                    BaseTransport::Tcp => "tcp",
+                }
+            ),
+        }
     }
 }
 
@@ -122,6 +191,92 @@ impl core::str::FromStr for Transport {
                 "unknown transport {other:?} (expected \"inproc\" or \"tcp\")"
             )),
         }
+    }
+}
+
+/// A seeded, deterministic fault schedule for [`Transport::Faulty`].
+///
+/// Every per-frame decision (delay, drop, duplicate) is a pure hash of
+/// `(seed, src, dst, per-link sequence number)`, so the same plan replays
+/// the same faults on every run and on both backends. Crash and cut
+/// faults are indexed by *barrier count* — the solve phases of Algorithm
+/// 2 run a barrier per level on both backends, so "crash at barrier k"
+/// lands at the same protocol point regardless of transport timing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for every per-frame fault decision.
+    pub seed: u64,
+    /// Upper bound (exclusive range is `0..=max`) on the deterministic
+    /// per-frame delivery delay, in microseconds. `0` disables delays.
+    pub max_delay_us: u32,
+    /// Per-mille probability that a frame is "dropped" — withheld by the
+    /// sender and redelivered (exactly once, link order preserved) at its
+    /// next transport operation, modelling a retransmit.
+    pub drop_permille: u16,
+    /// Per-mille probability that a frame is delivered twice; the
+    /// receiver's sequence-number dedup discards the copy.
+    pub dup_permille: u16,
+    /// One-shot rank crash: `(rank, k)` panics `rank` (after announcing
+    /// its death to peers) when it *enters its k-th barrier*, `k >= 1`.
+    pub crash: Option<(u32, u32)>,
+    /// Permanent link cut: `(a, b, after)` silently discards every data
+    /// frame between ranks `a` and `b` once each side has passed `after`
+    /// barriers (`after = 0` cuts the link from the start). Barriers
+    /// themselves are control traffic and stay up, so the failure
+    /// surfaces as a bounded receive timeout, not a hang.
+    pub cut: Option<(u32, u32, u32)>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults enabled.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Set the per-frame delivery-delay bound, in microseconds.
+    pub fn with_max_delay_us(mut self, us: u32) -> Self {
+        self.max_delay_us = us;
+        self
+    }
+
+    /// Set the per-mille frame-drop (withhold + redeliver) probability.
+    pub fn with_drop_permille(mut self, pm: u16) -> Self {
+        assert!(pm <= 1000, "permille probability out of range");
+        self.drop_permille = pm;
+        self
+    }
+
+    /// Set the per-mille frame-duplication probability.
+    pub fn with_dup_permille(mut self, pm: u16) -> Self {
+        assert!(pm <= 1000, "permille probability out of range");
+        self.dup_permille = pm;
+        self
+    }
+
+    /// Crash `rank` when it enters its `k`-th barrier (`k >= 1`).
+    pub fn with_crash(mut self, rank: u32, k: u32) -> Self {
+        assert!(k >= 1, "barriers are counted from 1");
+        self.crash = Some((rank, k));
+        self
+    }
+
+    /// Cut the `a`–`b` link permanently once `after` barriers have passed.
+    pub fn with_cut(mut self, a: u32, b: u32, after: u32) -> Self {
+        self.cut = Some((a, b, after));
+        self
+    }
+
+    /// `true` when no plan entry can alter delivery — such a plan is
+    /// bit-identical to no wrapper at all.
+    pub fn is_noop(&self) -> bool {
+        self.max_delay_us == 0
+            && self.drop_permille == 0
+            && self.dup_permille == 0
+            && self.crash.is_none()
+            && self.cut.is_none()
     }
 }
 
@@ -377,6 +532,20 @@ struct TimeoutBarrier {
 struct BarrierState {
     arrived: usize,
     generation: u64,
+    /// First rank that announced its death; a broken barrier can never
+    /// complete again, so waiters fail fast naming the dead rank instead
+    /// of waiting out their timeout.
+    dead: Option<usize>,
+}
+
+/// Outcome of a [`TimeoutBarrier::wait`].
+enum BarrierWait {
+    /// All ranks arrived.
+    Done,
+    /// The timeout elapsed with ranks still missing.
+    TimedOut,
+    /// A rank announced its death; the barrier can never complete.
+    Broken(usize),
 }
 
 impl TimeoutBarrier {
@@ -385,37 +554,55 @@ impl TimeoutBarrier {
             state: Mutex::new(BarrierState {
                 arrived: 0,
                 generation: 0,
+                dead: None,
             }),
             cv: Condvar::new(),
             p,
         }
     }
 
-    /// `true` if all ranks arrived within `timeout`.
-    fn wait(&self, timeout: Duration) -> bool {
+    /// Mark the barrier permanently broken by the death of `rank`, waking
+    /// every current waiter.
+    fn defect(&self, rank: usize) {
         // INVARIANT: poisoning requires a panicked holder, whose panic already ends the run
         let mut s = self.state.lock().expect("barrier lock");
+        if s.dead.is_none() {
+            s.dead = Some(rank);
+        }
+        self.cv.notify_all();
+    }
+
+    fn wait(&self, timeout: Duration) -> BarrierWait {
+        // INVARIANT: poisoning requires a panicked holder, whose panic already ends the run
+        let mut s = self.state.lock().expect("barrier lock");
+        if let Some(dead) = s.dead {
+            return BarrierWait::Broken(dead);
+        }
         let gen = s.generation;
         s.arrived += 1;
         if s.arrived == self.p {
             s.arrived = 0;
             s.generation += 1;
             self.cv.notify_all();
-            return true;
+            return BarrierWait::Done;
         }
         let deadline = Instant::now() + timeout;
         while s.generation == gen {
+            if let Some(dead) = s.dead {
+                s.arrived -= 1;
+                return BarrierWait::Broken(dead);
+            }
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 // Withdraw this arrival so the state stays consistent for
                 // the ranks still waiting (they will time out themselves).
                 s.arrived -= 1;
-                return false;
+                return BarrierWait::TimedOut;
             }
             // INVARIANT: poisoning requires a panicked holder, whose panic already ends the run
             s = self.cv.wait_timeout(s, remaining).expect("barrier lock").0;
         }
-        true
+        BarrierWait::Done
     }
 }
 
@@ -436,15 +623,17 @@ impl RankTransport for InProcTransport {
         self.size
     }
     fn send(&mut self, dst: usize, tag: u32, payload: Bytes) {
-        self.senders[dst]
-            .send(Event::Frame(RawMsg {
-                src: self.rank,
-                tag,
-                payload,
-            }))
-            // INVARIANT: the matching-queue receiver lives as long as the rank; a hung-up
-            // receiver means the rank already died
-            .expect("receiver hung up");
+        // A hung-up receiver means the peer rank is already gone: the
+        // frame is undeliverable, and the failure surfaces as a *typed*
+        // error at this rank's next receive from `dst` (channel EOF) —
+        // mirroring TCP, where a send to a dead peer lands in the OS
+        // buffer and the death is observed at recv. Panicking here would
+        // bypass the resident world's graceful-degradation path.
+        let _ = self.senders[dst].send(Event::Frame(RawMsg {
+            src: self.rank,
+            tag,
+            payload,
+        }));
     }
     fn recv_any_of(
         &mut self,
@@ -455,15 +644,19 @@ impl RankTransport for InProcTransport {
         self.queue.recv_where(src, matching, timeout)
     }
     fn barrier(&mut self, timeout: Duration) -> Result<(), RecvError> {
-        if self.barrier.wait(timeout) {
-            Ok(())
-        } else {
-            Err(RecvError::Timeout {
+        match self.barrier.wait(timeout) {
+            BarrierWait::Done => Ok(()),
+            BarrierWait::TimedOut => Err(RecvError::Timeout {
                 rank: self.rank,
                 src: 0,
                 tag: TAG_BARRIER,
                 waited: timeout,
-            })
+            }),
+            BarrierWait::Broken(dead) => Err(RecvError::Disconnected {
+                rank: self.rank,
+                src: dead,
+                tag: TAG_BARRIER,
+            }),
         }
     }
     fn announce_death(&mut self) {
@@ -472,6 +665,9 @@ impl RankTransport for InProcTransport {
                 let _ = tx.send(Event::Eof(self.rank));
             }
         }
+        // Peers blocked *inside* the shared barrier see no channel EOF;
+        // breaking the barrier is what fails them fast.
+        self.barrier.defect(self.rank);
     }
     fn progress(&mut self) {
         self.queue.drain_ready();
@@ -501,6 +697,209 @@ pub(crate) fn inproc_world(p: usize) -> Vec<Box<dyn RankTransport>> {
             }) as Box<dyn RankTransport>
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection
+// ---------------------------------------------------------------------------
+
+/// splitmix64-style mixer: the pure hash behind every per-frame fault
+/// decision, so a [`FaultPlan`] replays identically on both backends.
+fn fault_hash(seed: u64, src: u64, dst: u64, seq: u64, salt: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(src.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(dst.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(seq.wrapping_mul(0x94d0_49bb_1331_11eb))
+        .wrapping_add(salt.wrapping_mul(0xd6e8_feb8_6659_fd93));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A [`RankTransport`] wrapper that injects the faults of a seeded
+/// [`FaultPlan`] while guaranteeing that *recoverable* faults (delay,
+/// drop-with-redelivery, duplication) cannot change what the algorithm
+/// observes:
+///
+/// * every outgoing data frame gets an 8-byte per-link sequence header,
+///   stripped (and deduplicated) on receive;
+/// * a "dropped" frame is withheld and redelivered at the sender's next
+///   transport operation — flushing at the top of every `send` preserves
+///   per-link FIFO order, so a drop is exactly a bounded delay;
+/// * duplicated frames carry the same sequence number and are discarded
+///   by the receiver's dedup set.
+///
+/// Control frames (barrier, worker results — tags at
+/// [`tags::CTRL_BASE`] and above) are written below this wrapper and pass
+/// through untouched. Crash and cut faults are *not* recoverable: a crash
+/// announces the rank's death and panics at its k-th barrier; a cut
+/// silently discards data frames on one link so the peer's receive fails
+/// by bounded timeout.
+pub struct FaultyTransport {
+    inner: Box<dyn RankTransport>,
+    plan: FaultPlan,
+    /// Next per-destination sequence number.
+    next_seq: Vec<u64>,
+    /// Sequence numbers already delivered, per source.
+    seen: Vec<std::collections::HashSet<u64>>,
+    /// Dropped frames awaiting redelivery: `(dst, tag, seq-framed payload)`.
+    withheld: Vec<(usize, u32, Bytes)>,
+    /// Barriers this rank has entered (the index for crash/cut faults).
+    barriers: u64,
+}
+
+impl FaultyTransport {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: Box<dyn RankTransport>, plan: FaultPlan) -> Self {
+        let p = inner.size();
+        Self {
+            inner,
+            plan,
+            next_seq: vec![0; p],
+            seen: (0..p).map(|_| std::collections::HashSet::new()).collect(),
+            withheld: Vec::new(),
+            barriers: 0,
+        }
+    }
+
+    /// Redeliver every withheld frame, in original order. Runs at the top
+    /// of every transport operation, so a withheld frame is delayed by at
+    /// most one operation and per-link FIFO order is preserved.
+    fn flush_withheld(&mut self) {
+        for (dst, tag, framed) in std::mem::take(&mut self.withheld) {
+            self.inner.send(dst, tag, framed);
+        }
+    }
+
+    fn cut_active(&self, peer: usize) -> bool {
+        let me = self.inner.rank() as u32;
+        let peer = peer as u32;
+        match self.plan.cut {
+            Some((a, b, after)) => {
+                ((me, peer) == (a, b) || (me, peer) == (b, a)) && self.barriers >= after as u64
+            }
+            None => false,
+        }
+    }
+}
+
+impl RankTransport for FaultyTransport {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send(&mut self, dst: usize, tag: u32, payload: Bytes) {
+        self.flush_withheld();
+        let me = self.inner.rank();
+        let seq = self.next_seq[dst];
+        self.next_seq[dst] += 1;
+        let mut framed = Vec::with_capacity(8 + payload.len());
+        framed.extend_from_slice(&seq.to_le_bytes());
+        framed.extend_from_slice(&payload);
+        if self.cut_active(dst) {
+            return;
+        }
+        let roll = |salt: u64| fault_hash(self.plan.seed, me as u64, dst as u64, seq, salt);
+        if self.plan.max_delay_us > 0 {
+            let us = roll(3) % (self.plan.max_delay_us as u64 + 1);
+            if us > 0 {
+                std::thread::sleep(Duration::from_micros(us));
+            }
+        }
+        if self.plan.drop_permille > 0 && roll(1) % 1000 < self.plan.drop_permille as u64 {
+            self.withheld.push((dst, tag, framed));
+            return;
+        }
+        let dup = self.plan.dup_permille > 0 && roll(2) % 1000 < self.plan.dup_permille as u64;
+        if dup {
+            self.inner.send(dst, tag, framed.clone());
+        }
+        self.inner.send(dst, tag, framed);
+    }
+
+    fn recv_any_of(
+        &mut self,
+        src: usize,
+        matching: &[u32],
+        timeout: Duration,
+    ) -> Result<RawMsg, RecvError> {
+        self.flush_withheld();
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let mut m = self.inner.recv_any_of(src, matching, remaining)?;
+            if tags::is_control(m.tag) {
+                // Control frames (worker results, relayed panics) are
+                // written below the wrapper and carry no sequence header.
+                return Ok(m);
+            }
+            debug_assert!(m.payload.len() >= 8, "data frame without a seq header");
+            if m.payload.len() < 8 {
+                return Ok(m);
+            }
+            // INVARIANT: the slice is the fixed-width 8-byte seq header
+            let seq = u64::from_le_bytes(m.payload[..8].try_into().unwrap());
+            m.payload.drain(..8);
+            if self.seen[src].insert(seq) {
+                return Ok(m);
+            }
+            // A duplicated frame: discard and keep waiting.
+        }
+    }
+
+    fn barrier(&mut self, timeout: Duration) -> Result<(), RecvError> {
+        self.flush_withheld();
+        self.barriers += 1;
+        let me = self.inner.rank() as u32;
+        if self.plan.crash == Some((me, self.barriers as u32)) {
+            self.inner.announce_death();
+            // INVARIANT: deliberate — the injected crash *is* a rank death; peers
+            // observe it as Disconnected/PeerPanicked and degrade gracefully
+            panic!(
+                "injected fault: rank {me} crashed at barrier {}",
+                self.barriers
+            );
+        }
+        self.inner.barrier(timeout)
+    }
+
+    fn progress(&mut self) {
+        self.flush_withheld();
+        self.inner.progress();
+    }
+
+    fn announce_death(&mut self) {
+        self.inner.announce_death();
+    }
+}
+
+impl Drop for FaultyTransport {
+    fn drop(&mut self) {
+        // A frame withheld by the rank's final transport operation must
+        // still reach its peer (recoverable faults may not lose frames).
+        // Skip on panic: a crashed rank legitimately loses its tail, and
+        // its peers may already be gone. The catch guards against a peer
+        // that exited first — a send to it would panic, and a panic out
+        // of drop aborts.
+        if !std::thread::panicking() {
+            let _ =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.flush_withheld()));
+        }
+    }
+}
+
+/// Wrap `t` in a [`FaultyTransport`] when a plan is present.
+pub(crate) fn maybe_faulty(
+    t: Box<dyn RankTransport>,
+    plan: Option<FaultPlan>,
+) -> Box<dyn RankTransport> {
+    match plan {
+        Some(plan) => Box::new(FaultyTransport::new(t, plan)),
+        None => t,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -541,13 +940,45 @@ const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
 /// a functional handshake). `SRSF_HANDSHAKE_SECS` overrides it for
 /// launch prefixes heavier than the receive timeout.
 fn handshake_timeout(recv_timeout: Duration) -> Duration {
-    if let Some(secs) = std::env::var("SRSF_HANDSHAKE_SECS")
-        .ok()
-        .and_then(|s| s.parse::<u64>().ok())
-    {
-        return Duration::from_secs(secs);
+    match std::env::var("SRSF_HANDSHAKE_SECS") {
+        Ok(s) => match s.trim().parse::<u64>() {
+            Ok(secs) => Duration::from_secs(secs),
+            // INVARIANT: deliberate — a malformed override must fail loudly at
+            // startup instead of being silently replaced by the default (the
+            // operator believes they lengthened the handshake window)
+            Err(_) => panic!("SRSF_HANDSHAKE_SECS must be a whole number of seconds, got {s:?}"),
+        },
+        Err(std::env::VarError::NotPresent) => HANDSHAKE_TIMEOUT.max(recv_timeout),
+        // INVARIANT: deliberate — same malformed-override argument as above
+        Err(std::env::VarError::NotUnicode(v)) => {
+            panic!("SRSF_HANDSHAKE_SECS is not valid UTF-8: {v:?}")
+        }
     }
-    HANDSHAKE_TIMEOUT.max(recv_timeout)
+}
+
+/// Bounded dial retry with deterministic exponential backoff: up to
+/// [`DIAL_RETRIES`] retries sleeping 10, 20, 40, 80, 160, 320 ms between
+/// attempts, so a worker that dials a peer an instant before its listener
+/// is up (or mid SYN-queue overflow on a loaded host) recovers instead of
+/// failing the whole handshake.
+const DIAL_RETRIES: u32 = 6;
+const DIAL_BACKOFF: Duration = Duration::from_millis(10);
+
+fn connect_with_retry<A: std::net::ToSocketAddrs>(addr: A) -> std::io::Result<TcpStream> {
+    let mut backoff = DIAL_BACKOFF;
+    let mut last = None;
+    for attempt in 0..=DIAL_RETRIES {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff *= 2;
+        }
+        match TcpStream::connect(&addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+    }
+    // INVARIANT: the loop always runs at least once, so `last` is Some here
+    Err(last.expect("at least one dial attempt"))
 }
 /// Slice length for the result wait's liveness polling: rank 0 waits for
 /// a worker's result as long as the worker process is alive (its compute
@@ -671,17 +1102,19 @@ impl RankTransport for TcpTransport {
     }
     fn send(&mut self, dst: usize, tag: u32, payload: Bytes) {
         let me = self.rank;
-        let s = self.peers[dst]
-            .as_mut()
-            // INVARIANT: deliberate — an unreachable peer is unrecoverable for this rank;
-            // panicking with rank/tag context is how workers report fatal transport faults
-            // (the parent maps it to TAG_PANIC / exit status)
-            .unwrap_or_else(|| panic!("rank {me} has no link to rank {dst}"));
-        write_frame(s, me, tag, &payload)
-            // INVARIANT: deliberate — an unreachable peer is unrecoverable for this rank;
-            // panicking with rank/tag context is how workers report fatal transport faults
-            // (the parent maps it to TAG_PANIC / exit status)
-            .unwrap_or_else(|e| panic!("rank {me} failed sending tag {tag} to rank {dst}: {e}"));
+        // A dead or missing link makes the frame undeliverable; the
+        // failure surfaces as a *typed* error at the next receive from
+        // `dst` (the reader thread reports the socket EOF), so sends stay
+        // best-effort and the resident world can degrade gracefully
+        // instead of panicking mid-solve.
+        let Some(s) = self.peers[dst].as_mut() else {
+            return;
+        };
+        if let Err(e) = write_frame(s, me, tag, &payload) {
+            eprintln!("srsf-runtime: rank {me} failed sending tag {tag} to rank {dst}: {e}");
+            // Drop the write half: every later send to `dst` is a no-op.
+            self.peers[dst] = None;
+        }
     }
     fn recv_any_of(
         &mut self,
@@ -1082,7 +1515,10 @@ pub(crate) fn tcp_parent_setup(world: &World, seq: u64) -> (Box<dyn RankTranspor
         queue: MsgQueue::new(0, p, rx),
         barrier_seq: 0,
     };
-    (Box::new(transport), children)
+    (
+        maybe_faulty(Box::new(transport), world.fault_plan()),
+        children,
+    )
 }
 
 /// Collect the `RESULT`/`PANIC` frame of every worker rank. The wait
@@ -1191,7 +1627,7 @@ where
     );
     assert!(rank >= 1 && rank < p, "worker rank {rank} out of range");
 
-    let mut hub = TcpStream::connect(job.addr.as_str())
+    let mut hub = connect_with_retry(job.addr.as_str())
         // INVARIANT: deliberate — a handshake fault before the transport exists can
         // only be reported by dying; the parent turns it into a worker exit status
         .unwrap_or_else(|e| panic!("rank {rank}: cannot reach rendezvous {}: {e}", job.addr));
@@ -1244,7 +1680,7 @@ where
     // Mesh: dial every lower worker rank, accept every higher one.
     let mut peers: Vec<Option<TcpStream>> = (0..p).map(|_| None).collect();
     for dst in 1..rank {
-        let mut s = TcpStream::connect(("127.0.0.1", ports[dst]))
+        let mut s = connect_with_retry(("127.0.0.1", ports[dst]))
             // INVARIANT: deliberate — a handshake fault before the transport exists can
             // only be reported by dying; the parent turns it into a worker exit status
             .unwrap_or_else(|e| panic!("rank {rank}: dial rank {dst}: {e}"));
@@ -1335,10 +1771,17 @@ where
         queue: MsgQueue::new(rank, p, rx),
         barrier_seq: 0,
     };
-    let mut ctx = RankCtx::from_transport(Box::new(transport), world.recv_timeout());
+    let mut ctx = RankCtx::from_transport(
+        maybe_faulty(Box::new(transport), world.fault_plan()),
+        world.recv_timeout(),
+    );
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
     let code = match outcome {
         Ok(val) => {
+            // `process::exit` below skips destructors: pump the transport
+            // once so a frame withheld by a fault plan on this rank's
+            // final send is redelivered before the process goes away.
+            ctx.progress();
             let mut w = ByteWriter::new();
             ctx.stats().encode(&mut w);
             val.encode(&mut w);

@@ -29,7 +29,7 @@
 use crate::codec::{Bytes, Wire};
 use crate::stats::{CommStats, WorldStats};
 use crate::tags;
-use crate::transport::{self, RankTransport, RecvError, Transport};
+use crate::transport::{self, BaseTransport, FaultPlan, RankTransport, RecvError, Transport};
 // Sync primitives come through the srsf-verify shims: identical to
 // `std::sync` in a normal build, schedule-explored under
 // `--cfg srsf_model` (see crates/verify).
@@ -130,7 +130,19 @@ impl RankCtx {
     /// on TCP), which a resident worker treats as an implicit shutdown.
     pub fn recv_service_idle(&mut self, src: usize, tag: u32) -> Option<Bytes> {
         loop {
-            match self.transport.recv_any_of(src, &[tag], IDLE_POLL) {
+            match self
+                .transport
+                .recv_any_of(src, &[tag, tags::TAG_SERVE_PING], IDLE_POLL)
+            {
+                Ok(m) if m.tag == tags::TAG_SERVE_PING => {
+                    // Health probe ([`WorldHandle::health`]): echo the
+                    // nonce back on the uncounted service path and keep
+                    // waiting for a real command. Only the idle wait
+                    // answers probes — a rank busy mid-solve reads as
+                    // unresponsive, which is exactly what the probe asks.
+                    self.transport.send(src, tags::TAG_SERVE_PONG, m.payload);
+                    continue;
+                }
                 Ok(m) => return Some(m.payload),
                 Err(RecvError::Timeout { .. }) => {
                     // Acquire pairs with the Release store in
@@ -169,29 +181,50 @@ impl RankCtx {
     ///
     /// Panics when no matching message arrives within the world's receive
     /// timeout (or the link to `src` dies), naming the waiting rank, the
-    /// expected source and the decoded tag — on both backends.
+    /// expected source and the decoded tag — on both backends. Code that
+    /// must degrade gracefully instead (the resident serve loop) uses
+    /// [`RankCtx::try_recv`].
     pub fn recv(&mut self, src: usize, tag: u32) -> Bytes {
-        let start = Instant::now();
-        match self.transport.recv_any_of(src, &[tag], self.recv_timeout) {
-            Ok(m) => {
-                self.stats.wait_s += start.elapsed().as_secs_f64();
-                m.payload
-            }
+        match self.try_recv(src, tag) {
+            Ok(payload) => payload,
             // INVARIANT: deliberate — a recv timeout or disconnect is unrecoverable
             // for the rank; the error names the offending tag via tags::describe
             Err(e) => panic!("{e}"),
         }
     }
 
-    /// Synchronize all ranks.
-    pub fn barrier(&mut self) {
+    /// Fallible variant of [`RankCtx::recv`]: a timeout or a dead link
+    /// comes back as a typed [`RecvError`] instead of a panic, so a
+    /// resident serve loop can convert a mid-solve rank failure into a
+    /// typed error for the caller rather than poisoning the process.
+    pub fn try_recv(&mut self, src: usize, tag: u32) -> Result<Bytes, RecvError> {
         let start = Instant::now();
-        if let Err(e) = self.transport.barrier(self.recv_timeout) {
+        let m = self.transport.recv_any_of(src, &[tag], self.recv_timeout)?;
+        self.stats.wait_s += start.elapsed().as_secs_f64();
+        Ok(m.payload)
+    }
+
+    /// Synchronize all ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the barrier cannot complete within the receive timeout
+    /// (a peer died or stalled); [`RankCtx::try_barrier`] is the fallible
+    /// variant.
+    pub fn barrier(&mut self) {
+        if let Err(e) = self.try_barrier() {
             // INVARIANT: deliberate — a barrier failure means a peer died; the rank
             // cannot make progress
             panic!("barrier failed: {e}");
         }
+    }
+
+    /// Fallible variant of [`RankCtx::barrier`].
+    pub fn try_barrier(&mut self) -> Result<(), RecvError> {
+        let start = Instant::now();
+        self.transport.barrier(self.recv_timeout)?;
         self.stats.wait_s += start.elapsed().as_secs_f64();
+        Ok(())
     }
 
     /// Opportunistically pump the transport without blocking: frames that
@@ -258,6 +291,12 @@ impl World {
         self.recv_timeout
     }
 
+    /// The fault schedule attached to this world's transport selection,
+    /// if any (see [`Transport::Faulty`]).
+    pub(crate) fn fault_plan(&self) -> Option<FaultPlan> {
+        self.transport.fault_plan()
+    }
+
     /// Run `f(rank_ctx)` on every rank concurrently; returns the per-rank
     /// results and the communication statistics.
     ///
@@ -273,9 +312,9 @@ impl World {
         R: Send + Wire,
         F: Fn(&mut RankCtx) -> R + Send + Sync,
     {
-        match self.transport {
-            Transport::InProc => self.run_inproc(f),
-            Transport::Tcp => {
+        match self.transport.base() {
+            BaseTransport::InProc => self.run_inproc(f),
+            BaseTransport::Tcp => {
                 let seq = transport::next_session_seq();
                 if let Some(job) = transport::worker_job() {
                     if job.seq == seq {
@@ -305,9 +344,10 @@ impl World {
     {
         let p = self.p;
         let f = &f;
+        let plan = self.fault_plan();
         let mut ctxs: Vec<RankCtx> = transport::inproc_world(p)
             .into_iter()
-            .map(|t| RankCtx::from_transport(t, self.recv_timeout))
+            .map(|t| RankCtx::from_transport(transport::maybe_faulty(t, plan), self.recv_timeout))
             .collect();
 
         let mut out: Vec<Option<(R, CommStats)>> = (0..p).map(|_| None).collect();
@@ -317,8 +357,21 @@ impl World {
                 handles.push((
                     rank,
                     scope.spawn(move || {
-                        let r = f(&mut ctx);
-                        (r, ctx.stats)
+                        let out =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
+                        match out {
+                            Ok(r) => {
+                                let s = ctx.stats();
+                                (r, s)
+                            }
+                            Err(payload) => {
+                                // Fail peers fast: a dead thread closes no
+                                // channels, so push explicit EOFs (and
+                                // break the shared barrier) first.
+                                ctx.announce_death();
+                                std::panic::resume_unwind(payload)
+                            }
+                        }
                     }),
                 ));
             }
@@ -377,9 +430,9 @@ impl World {
         F: Fn(&mut RankCtx) -> S + Send + Sync,
         G: Fn(&mut RankCtx, S) + Send + Sync + 'static,
     {
-        match self.transport {
-            Transport::InProc => self.resident_inproc(factor, Arc::new(serve)),
-            Transport::Tcp => {
+        match self.transport.base() {
+            BaseTransport::InProc => self.resident_inproc(factor, Arc::new(serve)),
+            BaseTransport::Tcp => {
                 let seq = transport::next_session_seq();
                 if let Some(job) = transport::worker_job() {
                     if job.seq == seq {
@@ -421,9 +474,13 @@ impl World {
         // Phase 2: a fresh channel fabric whose worker ranks own their
         // resident state. The fabric swap is invisible to the protocol —
         // the serve loop's first frame is the first frame on it.
+        let plan = self.fault_plan();
         let mut transports = transport::inproc_world(p);
         let alive = Arc::new(AtomicBool::new(true));
-        let mut ctx0 = RankCtx::from_transport(transports.remove(0), self.recv_timeout);
+        let mut ctx0 = RankCtx::from_transport(
+            transport::maybe_faulty(transports.remove(0), plan),
+            self.recv_timeout,
+        );
         ctx0.set_alive_flag(alive.clone());
         let mut joins = Vec::with_capacity(p - 1);
         for (i, (t, s)) in transports.into_iter().zip(states).enumerate() {
@@ -433,7 +490,8 @@ impl World {
             let join = std::thread::Builder::new()
                 .name(format!("srsf-serve-{}", i + 1))
                 .spawn(move || {
-                    let mut ctx = RankCtx::from_transport(t, timeout);
+                    let mut ctx =
+                        RankCtx::from_transport(transport::maybe_faulty(t, plan), timeout);
                     ctx.set_alive_flag(alive);
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         serve(&mut ctx, s)
@@ -460,6 +518,7 @@ impl World {
                 backend: ResidentBackend::InProc { joins },
                 alive,
                 p,
+                probe_nonce: 0,
             },
         )
     }
@@ -478,6 +537,7 @@ impl World {
                 backend: ResidentBackend::Tcp { children },
                 alive: Arc::new(AtomicBool::new(true)),
                 p: self.p,
+                probe_nonce: 0,
             },
         )
     }
@@ -508,6 +568,21 @@ pub struct WorldHandle {
     backend: ResidentBackend,
     alive: Arc<AtomicBool>,
     p: usize,
+    /// Monotonic nonce for health probes, so a stale PONG from an earlier
+    /// (timed-out) probe is never mistaken for the current reply.
+    probe_nonce: u64,
+}
+
+/// Liveness of one resident rank, as reported by [`WorldHandle::health`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RankHealth {
+    /// The rank answered the probe from its idle wait.
+    Alive,
+    /// The rank's process/thread is running but did not answer within the
+    /// probe timeout — typically busy inside a solve phase.
+    Unresponsive,
+    /// The rank's serve loop has exited (cleanly or by crash).
+    Dead,
 }
 
 impl WorldHandle {
@@ -535,6 +610,51 @@ impl WorldHandle {
         match &mut self.backend {
             ResidentBackend::InProc { joins } => !joins[rank - 1].is_finished(),
             ResidentBackend::Tcp { children } => children.exited(rank).is_none(),
+        }
+    }
+
+    /// Probe the liveness of every rank: sends each live worker a PING on
+    /// the uncounted service path and waits up to `timeout` for the
+    /// matching PONG (nonce-checked, so a stale reply from an earlier
+    /// probe never satisfies a later one). Index 0 is rank 0 — the caller
+    /// itself — and always [`RankHealth::Alive`].
+    ///
+    /// A rank parked in its idle wait answers within one poll slice; a
+    /// rank busy mid-solve reads as [`RankHealth::Unresponsive`]; a rank
+    /// whose serve loop exited (clean shutdown or crash) reads as
+    /// [`RankHealth::Dead`]. Probes ride the service envelope and touch
+    /// no §IV data counters.
+    pub fn health(&mut self, timeout: Duration) -> Vec<RankHealth> {
+        let mut out = Vec::with_capacity(self.p);
+        out.push(RankHealth::Alive);
+        for rank in 1..self.p {
+            out.push(self.probe_rank(rank, timeout));
+        }
+        out
+    }
+
+    fn probe_rank(&mut self, rank: usize, timeout: Duration) -> RankHealth {
+        if !self.worker_live(rank) {
+            return RankHealth::Dead;
+        }
+        self.probe_nonce += 1;
+        let nonce = self.probe_nonce.to_le_bytes();
+        let ctx = self.ctx();
+        ctx.send_service(rank, tags::TAG_SERVE_PING, nonce.to_vec());
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match ctx
+                .transport
+                .recv_any_of(rank, &[tags::TAG_SERVE_PONG], remaining)
+            {
+                Ok(m) if m.payload == nonce => return RankHealth::Alive,
+                // A stale PONG from an earlier probe that timed out while
+                // the rank was busy: discard and keep waiting.
+                Ok(_) => continue,
+                Err(RecvError::Timeout { .. }) => return RankHealth::Unresponsive,
+                Err(_) => return RankHealth::Dead,
+            }
         }
     }
 
@@ -574,6 +694,41 @@ impl WorldHandle {
                 for (i, s) in stats.into_iter().enumerate() {
                     per_rank[i + 1] = s;
                 }
+            }
+        }
+        WorldStats { per_rank }
+    }
+
+    /// Quiet teardown for a *degraded* world — one already known to have
+    /// lost a rank. Like [`WorldHandle::finish`], but a worker's panic
+    /// payload is swallowed instead of re-raised and a TCP child that
+    /// died without reporting is reaped instead of failing fast, so the
+    /// caller can surface the failure once (typed) rather than again at
+    /// teardown. Returns rank 0's counters; workers that exited
+    /// abnormally report zeros.
+    pub fn reap(mut self) -> WorldStats {
+        // Release pairs with the Acquire load in `recv_service_idle`,
+        // exactly as in `finish`.
+        self.alive.store(false, Ordering::Release);
+        // INVARIANT: documented — reap() consumes the session; a second call
+        // cannot compile, so ctx is always present here
+        let ctx = self.ctx.take().expect("resident session already finished");
+        let stats0 = ctx.stats();
+        let mut per_rank = vec![CommStats::default(); self.p];
+        per_rank[0] = stats0;
+        // Close rank 0's side: survivors still blocked on the dead rank
+        // observe EOF / the cleared flag within their bounded waits.
+        drop(ctx);
+        match &mut self.backend {
+            ResidentBackend::InProc { joins } => {
+                for (i, join) in joins.drain(..).enumerate() {
+                    if let Ok(s) = join.join() {
+                        per_rank[i + 1] = s;
+                    }
+                }
+            }
+            ResidentBackend::Tcp { children } => {
+                children.wait_graceful(Duration::from_secs(5));
             }
         }
         WorldStats { per_rank }
@@ -824,6 +979,118 @@ mod tests {
                 "workers still alive after the handle was dropped"
             );
             std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Several rounds of an all-pairs exchange; returns the sum of
+    /// everything received. Enough traffic that drop/dup/delay plans all
+    /// actually fire.
+    fn chatter(ctx: &mut RankCtx) -> u64 {
+        let me = ctx.rank();
+        let p = ctx.size();
+        let mut acc = 0u64;
+        for round in 0..6u64 {
+            for dst in 0..p {
+                if dst != me {
+                    let mut w = ByteWriter::new();
+                    w.put_u64(round * 100 + me as u64);
+                    ctx.send(dst, round as u32 * 8, w.finish());
+                }
+            }
+            for src in 0..p {
+                if src != me {
+                    acc += ByteReader::new(ctx.recv(src, round as u32 * 8)).get_u64();
+                }
+            }
+            ctx.barrier();
+        }
+        acc
+    }
+
+    #[test]
+    fn recoverable_fault_plan_is_bit_identical_to_the_clean_run() {
+        let plan = crate::transport::FaultPlan::seeded(42)
+            .with_max_delay_us(150)
+            .with_drop_permille(250)
+            .with_dup_permille(250);
+        let (clean, clean_stats) = World::new(4).run(chatter);
+        let (faulty, faulty_stats) = World::new(4)
+            .transport(Transport::InProc.with_faults(plan))
+            .run(chatter);
+        assert_eq!(clean, faulty, "recoverable faults changed a result");
+        for (c, f) in clean_stats.per_rank.iter().zip(&faulty_stats.per_rank) {
+            assert_eq!(c.msgs_sent, f.msgs_sent, "message counters diverged");
+            assert_eq!(c.words_sent, f.words_sent, "word counters diverged");
+        }
+    }
+
+    #[test]
+    fn injected_crash_fails_the_barrier_naming_the_dead_rank() {
+        let plan = crate::transport::FaultPlan::seeded(7).with_crash(1, 1);
+        let err = std::panic::catch_unwind(|| {
+            World::new(2)
+                .with_recv_timeout(Duration::from_secs(10))
+                .transport(Transport::InProc.with_faults(plan))
+                .run(|ctx| ctx.barrier());
+        })
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "?".into());
+        assert!(
+            msg.contains("lost rank 1") || msg.contains("rank 1 crashed at barrier 1"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn link_cut_surfaces_as_a_bounded_timeout_not_a_hang() {
+        let plan = crate::transport::FaultPlan::seeded(3).with_cut(0, 1, 0);
+        let start = Instant::now();
+        let err = std::panic::catch_unwind(|| {
+            World::new(2)
+                .with_recv_timeout(Duration::from_millis(200))
+                .transport(Transport::InProc.with_faults(plan))
+                .run(|ctx| {
+                    if ctx.rank() == 0 {
+                        let mut w = ByteWriter::new();
+                        w.put_u64(1);
+                        ctx.send(1, 0, w.finish());
+                    } else {
+                        ctx.recv(0, 0);
+                    }
+                });
+        })
+        .unwrap_err();
+        assert!(start.elapsed() < Duration::from_secs(10), "cut hung");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "?".into());
+        assert!(msg.contains("timed out"), "{msg}");
+    }
+
+    #[test]
+    fn health_probes_report_alive_then_dead() {
+        let p = 3;
+        let (_, mut handle) = World::new(p).run_resident(|ctx| ctx.rank() as u64, echo_serve);
+        let h = handle.health(Duration::from_secs(10));
+        assert_eq!(h, vec![RankHealth::Alive; p]);
+        // Probes ride the service envelope: no data-counter traffic.
+        assert_eq!(handle.ctx().stats().msgs_sent, 0);
+        // Shut one worker down; its health must converge to Dead.
+        handle
+            .ctx()
+            .send_service(1, crate::tags::TAG_SERVE_CMD, Vec::new());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let h = handle.health(Duration::from_millis(100));
+            if h[1] == RankHealth::Dead {
+                assert_eq!(h[2], RankHealth::Alive, "rank 2 should still serve");
+                break;
+            }
+            assert!(Instant::now() < deadline, "rank 1 never read as dead");
         }
     }
 

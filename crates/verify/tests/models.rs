@@ -589,8 +589,207 @@ fn barrier_free_rounds_need_no_rendezvous() {
 }
 
 // ---------------------------------------------------------------------------
+// Subsystem 8: rank death mid-phase. The fault-injected transport's
+// crash path (FaultyTransport announce_death) posts a control frame to
+// every peer before the rank stops; the matching queue records the death
+// and fails any wait on the dead rank instead of blocking — but frames
+// that arrived *before* the death stay deliverable. Every live rank must
+// observe the death (typed, not by luck), and the degraded world must
+// still complete a live-ranks-only regroup round.
+// ---------------------------------------------------------------------------
+
+/// Control tag of a death announcement (the model's TAG_DEATH).
+const DEATH: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct DFrame {
+    src: usize,
+    tag: u32,
+    val: u64,
+}
+
+/// The matching queue under failure: pending frames first (pre-death
+/// deliveries stay deliverable), then the dead set, then blocking recv.
+/// A death announcement from any rank is recorded the moment it is seen,
+/// even while waiting on a different peer.
+fn recv_from(
+    rx: &mpsc::Receiver<DFrame>,
+    pending: &mut Vec<DFrame>,
+    dead: &mut Vec<usize>,
+    src: usize,
+    tag: u32,
+) -> Option<u64> {
+    if let Some(pos) = pending.iter().position(|f| f.src == src && f.tag == tag) {
+        return Some(pending.remove(pos).val);
+    }
+    if dead.contains(&src) {
+        return None;
+    }
+    loop {
+        match rx.recv() {
+            Ok(f) if f.tag == DEATH => {
+                dead.push(f.src);
+                if f.src == src {
+                    return None;
+                }
+            }
+            Ok(f) if f.src == src && f.tag == tag => return Some(f.val),
+            Ok(f) => pending.push(f),
+            Err(_) => return None,
+        }
+    }
+}
+
+/// A surviving rank: full round-0 exchange, a round-1 exchange in which
+/// the dying peer fails typed (best-effort send, `None` receive), then a
+/// live-ranks-only regroup round — the degraded world still makes
+/// progress.
+fn live_rank(
+    me: usize,
+    rx: &mpsc::Receiver<DFrame>,
+    peers: &[(usize, mpsc::Sender<DFrame>)],
+    other_live: usize,
+    dying: usize,
+) -> (Vec<u64>, Option<u64>, Option<u64>, u64) {
+    let mut pending = Vec::new();
+    let mut dead = Vec::new();
+    for (_, tx) in peers {
+        tx.send(DFrame {
+            src: me,
+            tag: 0,
+            val: me as u64 * 100,
+        })
+        .unwrap();
+    }
+    let mut r0 = Vec::new();
+    for (p, _) in peers {
+        r0.push(recv_from(rx, &mut pending, &mut dead, *p, 0).expect("round-0 frame"));
+    }
+    // Round 1: the peer dies mid-phase. Sends to it are best-effort
+    // (the production transports drop frames to a gone link), and the
+    // receive surfaces the death as None instead of blocking.
+    for (_, tx) in peers {
+        let _ = tx.send(DFrame {
+            src: me,
+            tag: 1,
+            val: me as u64 * 100 + 1,
+        });
+    }
+    let from_live = recv_from(rx, &mut pending, &mut dead, other_live, 1);
+    let from_dead = recv_from(rx, &mut pending, &mut dead, dying, 1);
+    // Round 2: regroup among the survivors only.
+    let live_tx = &peers.iter().find(|(p, _)| *p == other_live).unwrap().1;
+    live_tx
+        .send(DFrame {
+            src: me,
+            tag: 2,
+            val: me as u64 * 100 + 2,
+        })
+        .unwrap();
+    let regroup = recv_from(rx, &mut pending, &mut dead, other_live, 2).expect("regroup frame");
+    assert!(
+        dead.contains(&dying),
+        "rank {me} never observed the death of rank {dying}"
+    );
+    (r0, from_live, from_dead, regroup)
+}
+
+/// The dying rank: participates fully in round 0, then crashes mid-phase
+/// — announcing its death to every peer first, exactly as the faulty
+/// transport's crash hook does before panicking the rank thread. The
+/// seeded-bug variant swallows the announcement to one peer.
+fn dying_rank(
+    me: usize,
+    rx: &mpsc::Receiver<DFrame>,
+    peers: &[(usize, mpsc::Sender<DFrame>)],
+    skip_announce: Option<usize>,
+) {
+    let mut pending = Vec::new();
+    let mut dead = Vec::new();
+    for (_, tx) in peers {
+        tx.send(DFrame {
+            src: me,
+            tag: 0,
+            val: me as u64 * 100,
+        })
+        .unwrap();
+    }
+    for (p, _) in peers {
+        recv_from(rx, &mut pending, &mut dead, *p, 0).expect("round-0 frame");
+    }
+    for (p, tx) in peers {
+        if Some(*p) == skip_announce {
+            continue; // BUG: this peer never learns of the death
+        }
+        let _ = tx.send(DFrame {
+            src: me,
+            tag: DEATH,
+            val: 0,
+        });
+    }
+}
+
+/// Three ranks, rank 2 dies between rounds 0 and 1; `skip_announce`
+/// seeds the swallowed-notification bug.
+fn death_mid_phase_round(
+    skip_announce: Option<usize>,
+) -> (
+    (Vec<u64>, Option<u64>, Option<u64>, u64),
+    (Vec<u64>, Option<u64>, Option<u64>, u64),
+) {
+    let (tx0, rx0) = mpsc::channel::<DFrame>();
+    let (tx1, rx1) = mpsc::channel::<DFrame>();
+    let (tx2, rx2) = mpsc::channel::<DFrame>();
+    let t1 = {
+        let peers = vec![(0usize, tx0.clone()), (2usize, tx2.clone())];
+        thread::spawn(move || live_rank(1, &rx1, &peers, 0, 2))
+    };
+    let t2 = {
+        let peers = vec![(0usize, tx0), (1usize, tx1.clone())];
+        thread::spawn(move || dying_rank(2, &rx2, &peers, skip_announce))
+    };
+    let peers = vec![(1usize, tx1), (2usize, tx2)];
+    let r0 = live_rank(0, &rx0, &peers, 1, 2);
+    let r1 = t1.join().unwrap();
+    t2.join().unwrap();
+    (r0, r1)
+}
+
+#[test]
+fn rank_death_mid_phase_is_observed_by_all_live_ranks() {
+    let report = Model::new()
+        .preemption_bound(3)
+        .max_schedules(50_000)
+        .check(|| {
+            let (r0, r1) = death_mid_phase_round(None);
+            // Typed observation on every schedule: the dead peer's round-1
+            // frame is a clean None, the live exchange and the regroup
+            // complete, and round-0 frames delivered before the death were
+            // never discarded.
+            assert_eq!(r0, (vec![100, 200], Some(101), None, 102));
+            assert_eq!(r1, (vec![0, 200], Some(1), None, 2));
+            (r0, r1)
+        });
+    assert!(report.schedules >= 1000, "explored {}", report.schedules);
+}
+
+// ---------------------------------------------------------------------------
 // Bug detection and deterministic replay.
 // ---------------------------------------------------------------------------
+
+#[test]
+fn detects_swallowed_death_notification_as_deadlock() {
+    // The seeded bug: the dying rank's announcement never reaches rank 0,
+    // whose wait on the dead peer can then block forever (the inbox still
+    // has live producers, so no EOF rescues it) — and rank 1, parked in
+    // the regroup receive while holding a sender to rank 0, hangs with
+    // it. This is why announce_death must reach *every* peer before the
+    // rank stops.
+    let msg = expect_failure(Model::new().preemption_bound(2), || {
+        death_mid_phase_round(Some(0))
+    });
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
 
 #[test]
 fn detects_eager_send_before_last_halo_box() {

@@ -19,6 +19,11 @@
 //!
 //! # Vary the grid and the process count (p must be a power of four).
 //! cargo run --release --example distributed_demo -- --p 16 --side 128
+//!
+//! # Chaos: checkpoint the factorization, kill a worker mid-serve with a
+//! # seeded fault plan, watch the typed failure, then restore the world
+//! # from the snapshots and verify a bit-identical re-solve.
+//! cargo run --release --example distributed_demo -- --transport tcp --chaos
 //! ```
 
 use srsf::prelude::*;
@@ -31,6 +36,7 @@ struct Args {
     transport: Transport,
     resident: bool,
     solve_reps: usize,
+    chaos: bool,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +46,7 @@ fn parse_args() -> Args {
         transport: Transport::InProc,
         resident: false,
         solve_reps: 5,
+        chaos: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -56,6 +63,7 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|e| panic!("{e}"))
             }
             "--resident" => args.resident = true,
+            "--chaos" => args.chaos = true,
             "--solve-reps" => {
                 // At least one solve: the per-solve counter math divides
                 // by the rep count.
@@ -67,7 +75,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: distributed_demo [--side N] [--p N] [--transport inproc|tcp]\n\
-                     \x20                       [--resident [--solve-reps K]]\n\
+                     \x20                       [--resident [--solve-reps K]] [--chaos]\n\
                      defaults: --side 64 --p 4 --transport inproc --solve-reps 5"
                 );
                 std::process::exit(0);
@@ -76,6 +84,86 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// Chaos demo: factor with per-rank checkpoints under a seeded fault
+/// plan that kills a worker rank at its first solve barrier, show the
+/// typed `RankFailed` failure (bounded by the receive timeout, no hang),
+/// drop the degraded world cleanly, then restore a fresh resident world
+/// from the snapshots and verify the re-solve is bit-identical to a
+/// fault-free reference.
+fn run_chaos(side: usize, p: usize, transport: Transport) {
+    assert!(
+        p >= 4,
+        "--chaos needs --p >= 4: a worker rank dies while the rest survive"
+    );
+    let victim = p - 1; // a worker rank; rank 0 must survive to report
+                        // Fixed location: on the TCP transport the worker processes
+                        // re-execute this binary and must resolve the same directory.
+    let dir = std::env::temp_dir().join("srsf_demo_chaos_ckpt");
+    let plan = FaultPlan::seeded(29).with_crash(victim as u32, 1);
+
+    let grid = UnitGrid::new(side);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    let b = random_vector::<f64>(grid.n(), 11);
+
+    println!(
+        "chaos: N = {}, p = {p} ranks, transport = {transport}",
+        grid.n()
+    );
+    println!("chaos: checkpointing every rank into {}", dir.display());
+    println!("chaos: seeded plan crashes rank {victim} at its first solve barrier");
+    // The factor sweep is barrier-free, so the build completes (and the
+    // snapshots are written) before the injected crash can fire.
+    let doomed = Solver::builder(&kernel, &pts)
+        .opts(
+            FactorOpts::default()
+                .with_tol(1e-6)
+                .with_recv_timeout(std::time::Duration::from_secs(5)),
+        )
+        .driver(Driver::distributed(p))
+        .transport(transport.with_faults(plan))
+        .resident(true)
+        .checkpoint_dir(&dir)
+        .build()
+        .expect("chaos factorization (the crash fires mid-serve, not mid-factor)");
+
+    println!("chaos: solving — rank {victim}'s crash report follows on stderr");
+    let t0 = Instant::now();
+    match doomed.try_solve(&b) {
+        Ok(_) => panic!("the injected crash should have failed this solve"),
+        Err(e) => {
+            assert!(
+                matches!(e, SrsfError::RankFailed { .. }),
+                "expected RankFailed, got {e}"
+            );
+            println!(
+                "chaos: typed failure after {:.2?}: SrsfError::RankFailed ({e})",
+                t0.elapsed()
+            );
+        }
+    }
+    drop(doomed);
+    println!("chaos: degraded world dropped; surviving workers reaped");
+
+    let restored =
+        Solver::restore_resident(&pts, &dir, Transport::InProc).expect("restore from snapshots");
+    println!("restore: resident world rebuilt from the snapshots (no re-factorization)");
+    let x = restored.try_solve(&b).expect("restored solve");
+
+    let gathered = Solver::builder(&kernel, &pts)
+        .tol(1e-6)
+        .driver(Driver::distributed(p))
+        .build()
+        .expect("fault-free reference factorization");
+    let want = gathered.solve_mat(&Mat::from_vec(b.len(), 1, b.clone()));
+    assert_eq!(
+        x,
+        want.as_slice().to_vec(),
+        "restored solve must match the fault-free reference bit for bit"
+    );
+    println!("restore: re-solve bit-identical to the fault-free gathered reference");
 }
 
 /// Resident-service demo: factor once on a persistent rank world, serve
@@ -181,7 +269,11 @@ fn main() {
         transport,
         resident,
         solve_reps,
+        chaos,
     } = parse_args();
+    if chaos {
+        return run_chaos(side, p, transport);
+    }
     if resident {
         return run_resident(side, p, transport, solve_reps);
     }
@@ -208,9 +300,9 @@ fn main() {
     println!(
         "N = {}, p = {p} ranks, transport = {transport} ({})",
         grid.n(),
-        match transport {
-            Transport::InProc => "ranks as threads of this process",
-            Transport::Tcp => "every rank a real OS process on localhost",
+        match transport.base() {
+            BaseTransport::InProc => "ranks as threads of this process",
+            BaseTransport::Tcp => "every rank a real OS process on localhost",
         }
     );
     println!(
@@ -248,7 +340,7 @@ fn main() {
 
     // On the TCP backend, re-run in-process and check the §IV counters
     // are a property of the algorithm, not of the fabric carrying it.
-    if transport == Transport::InProc {
+    if transport.base() == BaseTransport::InProc {
         return;
     }
     let (f_in, x_in) = Solver::builder(&kernel, &pts)

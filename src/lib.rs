@@ -81,7 +81,8 @@ pub use srsf_special as special;
 pub mod prelude {
     pub use srsf_core::{
         colored::ColorScheme, sequential::Factorization, solver::SolverBuilder, stats::FactorStats,
-        Driver, FactorOpts, Factorized, Solver, SrsfError, Transport,
+        BaseTransport, Driver, FactorOpts, Factorized, FaultPlan, RankHealth, Solver, SrsfError,
+        Transport,
     };
     // Deprecated free-function drivers, kept so pre-builder call sites
     // continue to compile against the prelude.
