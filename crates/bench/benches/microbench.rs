@@ -292,6 +292,29 @@ fn main() {
                 },
             );
         }
+
+        // Tracing overhead: the same 4-rank factorization with span
+        // recording off vs on. Disabled, every span site is one branch on
+        // a relaxed atomic; enabled, it is a clock pair plus a fixed-slot
+        // ring-buffer write (and the per-rank report rides the existing
+        // result gather). A fixed iteration count keeps the two medians
+        // comparable; `bench-diff` prints the on/off ratio and the CI
+        // gate asserts it stays within 2%.
+        let trace_iters = if quick { 3 } else { 7 };
+        for (name, trace) in [
+            ("trace_overhead/laplace_4096_off", false),
+            ("trace_overhead/laplace_4096_on", true),
+        ] {
+            h.bench_n(name, Some(trace_iters), || {
+                Solver::builder(&kernel, &pts)
+                    .tol(1e-6)
+                    .leaf_size(64)
+                    .driver(Driver::distributed(4))
+                    .trace(trace)
+                    .build()
+                    .expect("traced distributed factorization")
+            });
+        }
     }
 
     h.bench("bessel/hankel0_sweep", || {

@@ -49,12 +49,14 @@ fn field_f64(line: &str, key: &str) -> Option<f64> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let gate_trace = args.iter().any(|a| a == "--gate-trace-overhead");
+    args.retain(|a| a != "--gate-trace-overhead");
     let (base_path, cur_path) = match args.as_slice() {
         [] => ("BENCH_seed.json".to_string(), "BENCH_pr.json".to_string()),
         [b, c] => (b.clone(), c.clone()),
         _ => {
-            eprintln!("usage: bench-diff [BASELINE.json CURRENT.json]");
+            eprintln!("usage: bench-diff [--gate-trace-overhead] [BASELINE.json CURRENT.json]");
             return ExitCode::FAILURE;
         }
     };
@@ -120,6 +122,36 @@ fn main() -> ExitCode {
             fmt_s(t1),
             fmt_s(t4)
         );
+    }
+
+    // Tracing overhead: traced vs untraced medians of the same 4-rank
+    // factorization, both from the *current* report. The span API
+    // promises a branch-on-one-atomic no-op when disabled, so the ratio
+    // should sit at 1.0 within noise; `--gate-trace-overhead` (the CI
+    // bench job) turns the 2% budget into a hard failure.
+    if let (Some(off), Some(on)) = (
+        median_of("trace_overhead/laplace_4096_off"),
+        median_of("trace_overhead/laplace_4096_on"),
+    ) {
+        let ratio = on / off;
+        println!(
+            "trace overhead on/off: {ratio:.3}x ({} -> {})",
+            fmt_s(off),
+            fmt_s(on)
+        );
+        if gate_trace && ratio > 1.02 {
+            eprintln!(
+                "bench-diff: traced factorization exceeds the 2% overhead budget \
+                 ({ratio:.3}x > 1.02x)"
+            );
+            return ExitCode::FAILURE;
+        }
+    } else if gate_trace {
+        eprintln!(
+            "bench-diff: --gate-trace-overhead set but the trace_overhead cases \
+             are missing from {cur_path}"
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

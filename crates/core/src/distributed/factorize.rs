@@ -195,6 +195,9 @@ pub(crate) struct DistBuild<T> {
     pub(crate) stats: WorldStats,
     pub(crate) x: Option<Vec<T>>,
     pub(crate) per_rank_bytes: Vec<usize>,
+    /// Per-rank span reports when [`FactorOpts::trace`] was on (one per
+    /// rank, rank order); empty otherwise.
+    pub(crate) traces: Vec<srsf_trace::TraceReport>,
 }
 
 /// Distributed factorization; returns the factorization assembled on rank
@@ -257,11 +260,15 @@ pub(crate) fn dist_factorize_with_tree<K: Kernel>(
     let mut fact = None;
     let mut stats = WorldStats::default();
     let mut per_rank_bytes = Vec::with_capacity(grid.p());
+    let mut traces = Vec::new();
     for r in results {
         match r {
-            Ok((rank_stats, bytes, payload)) => {
+            Ok((rank_stats, bytes, trace, payload)) => {
                 stats.per_rank.push(rank_stats);
                 per_rank_bytes.push(bytes as usize);
+                if let Some(t) = trace {
+                    traces.push(t);
+                }
                 if let Some(p) = payload {
                     fact = Some(p);
                 }
@@ -277,19 +284,22 @@ pub(crate) fn dist_factorize_with_tree<K: Kernel>(
         stats,
         x: x.map(|v| v.0),
         per_rank_bytes,
+        traces,
     })
 }
 
 /// What every rank returns from the world: its algorithmic counters, its
-/// resident record bytes (what the rank held before the gather), and, on
-/// rank 0 only, the gathered factorization (plus the solution when a
-/// right-hand side was supplied). On the TCP backend this type crosses
-/// the process boundary as a result frame, hence the [`Wire`] bound met
-/// via `crate::wire` ([`ScalarVec`] wraps the solution vector).
+/// resident record bytes (what the rank held before the gather), its span
+/// report (when [`FactorOpts::trace`] is on), and, on rank 0 only, the
+/// gathered factorization (plus the solution when a right-hand side was
+/// supplied). On the TCP backend this type crosses the process boundary
+/// as a result frame, hence the [`Wire`] bound met via `crate::wire`
+/// ([`ScalarVec`] wraps the solution vector).
 type RankOutput<T> = Result<
     (
         srsf_runtime::stats::CommStats,
         u64,
+        Option<srsf_trace::TraceReport>,
         Option<(Factorization<T>, Option<ScalarVec<T>>)>,
     ),
     FactorError,
@@ -338,9 +348,13 @@ pub(crate) fn factor_phase<K: Kernel>(
         loop {
             if grid.is_active(me, level) {
                 let (interior, boundary) = grid.classify_level(me, level);
-                run_phase(
-                    ctx, grid, tree, &mut store, &mut act, &interior, level, 0, opts, &mut state,
-                )?;
+                {
+                    let _sp = srsf_trace::span!(srsf_trace::Cat::Phase, "level {level} interior");
+                    run_phase(
+                        ctx, grid, tree, &mut store, &mut act, &interior, level, 0, opts,
+                        &mut state,
+                    )?;
+                }
                 let my_color = grid.color(me, level);
                 for color in 0..4u8 {
                     let mine = if color == my_color {
@@ -348,6 +362,10 @@ pub(crate) fn factor_phase<K: Kernel>(
                     } else {
                         Vec::new()
                     };
+                    let _sp = srsf_trace::span!(
+                        srsf_trace::Cat::Phase,
+                        "level {level} color round {color}"
+                    );
                     run_phase(
                         ctx,
                         grid,
@@ -376,7 +394,10 @@ pub(crate) fn factor_phase<K: Kernel>(
             if level == lmin {
                 break;
             }
-            level_transition(ctx, grid, tree, &mut store, &mut act, level, &mut state);
+            {
+                let _sp = srsf_trace::span!(srsf_trace::Cat::Phase, "level {level} transition");
+                level_transition(ctx, grid, tree, &mut store, &mut act, level, &mut state);
+            }
             level -= 1;
         }
     } else {
@@ -390,7 +411,10 @@ pub(crate) fn factor_phase<K: Kernel>(
 
     // Top gather and dense factorization on rank 0.
     let top_level = if leaf >= lmin { lmin } else { leaf };
-    let top = gather_top(ctx, grid, tree, &mut store, &mut act, top_level)?;
+    let top = {
+        let _sp = srsf_trace::span!(srsf_trace::Cat::Phase, "top gather+factor");
+        gather_top(ctx, grid, tree, &mut store, &mut act, top_level)?
+    };
     state.stats.total_s = t_total.elapsed().as_secs_f64();
     if let Some(dir) = &opts.checkpoint_dir {
         write_rank_checkpoint(dir, me, &state, &top, pts, grid, opts);
@@ -474,6 +498,9 @@ fn run_rank<K: Kernel>(
     lmin: u8,
     rhs: Option<&[K::Elem]>,
 ) -> RankOutput<K::Elem> {
+    // Every rank stores the flag (on the TCP backend each rank is its own
+    // process); storing `false` keeps untraced runs self-cleaning.
+    srsf_trace::set_enabled(opts.trace);
     let (mut state, top) = factor_phase(ctx, kernel, pts, tree, grid, opts, leaf, lmin)?;
     let top_level = if leaf >= lmin { lmin } else { leaf };
     let bytes = resident_bytes(&state, &top);
@@ -509,7 +536,10 @@ fn run_rank<K: Kernel>(
 
     // Gather records on rank 0 and assemble the factorization object.
     let f = gather_factorization(ctx, grid, top, state, pts.len())?;
-    Ok((algo_stats, bytes, f.map(|f| (f, x.map(ScalarVec)))))
+    // Drain this rank's span buffers last so the report covers the whole
+    // build (the record gather included).
+    let trace = opts.trace.then(|| srsf_trace::take_report(ctx.rank()));
+    Ok((algo_stats, bytes, trace, f.map(|f| (f, x.map(ScalarVec)))))
 }
 
 /// Eliminate `boxes` (phase `phase` of `level`) in four box-color
@@ -576,10 +606,20 @@ fn run_phase<K: Kernel>(
             .filter(|b| scheme.color(b) == color)
             .copied()
             .collect();
-        let outputs = ctx.compute(|| {
-            eliminate_color_round(store, act, tree, &cboxes, opts, opts.rank_threads)
-        })?;
+        let outputs = {
+            let _sp = srsf_trace::span!(
+                srsf_trace::Cat::Compute,
+                "eliminate level {level} phase {phase} sub-round {color}"
+            );
+            ctx.compute(|| {
+                eliminate_color_round(store, act, tree, &cboxes, opts, opts.rank_threads)
+            })?
+        };
         // Deterministic merge in box order; eager sends fire from here.
+        let merge_sp = srsf_trace::span!(
+            srsf_trace::Cat::Compute,
+            "merge level {level} phase {phase} sub-round {color}"
+        );
         for (b, out) in cboxes.iter().zip(outputs) {
             ctx.compute(|| apply_output(store, act, b, &out));
             if let Some(rec) = &out.record {
@@ -617,6 +657,7 @@ fn run_phase<K: Kernel>(
                 }
             }
         }
+        drop(merge_sp);
         // Pump the fabric between sub-rounds: frames that already arrived
         // move into the matching queue while the next round eliminates.
         ctx.progress();
@@ -950,6 +991,7 @@ fn dist_solve<T: Scalar>(
 
     // ---- Upward pass -----------------------------------------------------
     for &level in &levels {
+        let _sp = srsf_trace::span!(srsf_trace::Cat::Solve, "solve upward level {level}");
         if grid.is_active(me, level) {
             let neighbors = grid.neighbor_ranks(me, level);
             for phase in 0..=4u8 {
@@ -1009,6 +1051,7 @@ fn dist_solve<T: Scalar>(
     }
 
     // ---- Top solve on rank 0 ---------------------------------------------
+    let top_sp = srsf_trace::span!(srsf_trace::Cat::Solve, "solve top level {top_level}");
     let active_top = grid.active_ranks(top_level);
     if me == 0 {
         for &src in active_top.iter().filter(|&&r| r != 0) {
@@ -1061,9 +1104,11 @@ fn dist_solve<T: Scalar>(
         }
     }
     ctx.barrier();
+    drop(top_sp);
 
     // ---- Downward pass ----------------------------------------------------
     for &level in levels.iter().rev() {
+        let _sp = srsf_trace::span!(srsf_trace::Cat::Solve, "solve downward level {level}");
         // Un-fold: corners return the still-active values to members.
         if level > lmin {
             solve_fold_down(ctx, grid, state, level, &mut x);

@@ -70,10 +70,10 @@ use srsf_linalg::{Mat, Scalar};
 use srsf_runtime::codec::{ByteReader, ByteWriter, Wire};
 use srsf_runtime::tags::{
     self, tag, KIND_SOLVE_REQ, KIND_SOLVE_UP, KIND_SOLVE_VAL, TAG_SERVE_CKPT, TAG_SERVE_CMD,
-    TAG_SERVE_READY, TAG_SERVE_RHS, TAG_SERVE_SOL, TAG_SERVE_STATS,
+    TAG_SERVE_READY, TAG_SERVE_RHS, TAG_SERVE_SOL, TAG_SERVE_STATS, TAG_SERVE_TRACE,
 };
 use srsf_runtime::world::{RankCtx, World, WorldHandle};
-use srsf_runtime::{CommStats, RecvError, Transport, WorldStats};
+use srsf_runtime::{CommStats, MetricsRegistry, RecvError, TraceReport, Transport, WorldStats};
 use std::collections::HashMap;
 use std::path::Path;
 // Sync primitives come through the srsf-verify shims: identical to
@@ -87,6 +87,9 @@ const CMD_SHUTDOWN: u64 = 0;
 const CMD_SOLVE: u64 = 1;
 /// Reply with a `TAG_SERVE_STATS` counter snapshot.
 const CMD_PROBE: u64 = 2;
+/// Reply with a `TAG_SERVE_TRACE` span-report drain (`srsf-trace` ring
+/// buffers; empty when tracing is off).
+const CMD_TRACE: u64 = 3;
 
 /// What every rank needs at serve time beyond its [`ServeState`]. Owned
 /// (not borrowed) so the in-process backend's serve threads can outlive
@@ -322,6 +325,7 @@ fn solve_resident_mat<T: Scalar>(
 
     // ---- Upward pass -----------------------------------------------------
     for &level in &levels {
+        let _sp = srsf_trace::span!(srsf_trace::Cat::Solve, "solve upward level {level}");
         if grid.is_active(me, level) {
             let neighbors = grid.neighbor_ranks(me, level);
             for phase in 0..=4u8 {
@@ -378,6 +382,7 @@ fn solve_resident_mat<T: Scalar>(
     }
 
     // ---- Top solve on rank 0 ---------------------------------------------
+    let top_sp = srsf_trace::span!(srsf_trace::Cat::Solve, "solve top level {}", st.top_level);
     let active_top = grid.active_ranks(st.top_level);
     if me == 0 {
         for &src in active_top.iter().filter(|&&r| r != 0) {
@@ -415,9 +420,11 @@ fn solve_resident_mat<T: Scalar>(
         x.scatter_rows(&ids, &rows);
     }
     ctx.try_barrier()?;
+    drop(top_sp);
 
     // ---- Downward pass ----------------------------------------------------
     for &level in levels.iter().rev() {
+        let _sp = srsf_trace::span!(srsf_trace::Cat::Solve, "solve downward level {level}");
         if level > st.lmin {
             fold_down_mat(ctx, grid, st, level, x)?;
         }
@@ -470,6 +477,7 @@ fn solve_resident_mat<T: Scalar>(
     }
 
     // ---- Solution slab gather on rank 0 (service envelope) ----------------
+    let _sp = srsf_trace::span!(srsf_trace::Cat::Solve, "solve slab gather");
     if me == 0 {
         // INVARIANT: the driver passes rank 0 its slab row map on entry
         let owned = rank0_owned.expect("rank 0 passes its slab row map");
@@ -655,6 +663,11 @@ fn serve_loop<T: Scalar>(ctx: &mut RankCtx, geo: &ResidentGeo, st: &ServeState<T
                 ctx.stats().encode(&mut w);
                 ctx.send_service(0, TAG_SERVE_STATS, w.finish());
             }
+            CMD_TRACE => {
+                let mut w = ByteWriter::new();
+                srsf_trace::take_report(me).encode(&mut w);
+                ctx.send_service(0, TAG_SERVE_TRACE, w.finish());
+            }
             // INVARIANT: deliberate — an unknown opcode means a protocol-version
             // mismatch between driver and rank; dying loudly beats misinterpreting
             op => panic!("rank {me}: unknown serve opcode {op}"),
@@ -705,6 +718,9 @@ pub struct ResidentService<T> {
     comm: WorldStats,
     per_rank_records: Vec<usize>,
     per_rank_bytes: Vec<usize>,
+    /// The session's serve-metrics registry, shared with its
+    /// [`WorldHandle`] — kept here so snapshots outlive shutdown.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl<T: Scalar> ResidentService<T> {
@@ -741,6 +757,48 @@ impl<T: Scalar> ResidentService<T> {
         &self.per_rank_bytes
     }
 
+    /// Snapshot the serve metrics: per-solve latency histogram,
+    /// served/failed counters, per-rank resident-memory gauges. Works
+    /// after shutdown too (the registry outlives the session).
+    pub fn metrics(&self) -> srsf_runtime::MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Drain every rank's span buffers (`srsf-trace` ring buffers) into
+    /// per-rank reports, rank order. Broadcasts the trace command to the
+    /// workers and collects their `TAG_SERVE_TRACE` replies — uncounted
+    /// service frames, so the probe never perturbs the §IV counters.
+    /// Returns only rank 0's report when the service is poisoned or
+    /// already shut down (the workers may be gone).
+    pub fn trace_reports(&self) -> Vec<TraceReport> {
+        // INVARIANT: lock poisoning requires a panicked driver call, which
+        // already surfaced to the caller
+        let inner = &mut *self.inner.lock().expect("resident service poisoned");
+        let mut reports = vec![srsf_trace::take_report(0)];
+        if inner.poisoned.is_some() {
+            return reports;
+        }
+        let Some(handle) = inner.handle.as_mut() else {
+            return reports;
+        };
+        for dst in 1..self.p {
+            let mut w = ByteWriter::new();
+            w.put_u64(CMD_TRACE);
+            handle.ctx().send_service(dst, TAG_SERVE_CMD, w.finish());
+        }
+        for src in 1..self.p {
+            let payload = handle.ctx().recv(src, TAG_SERVE_TRACE);
+            reports.push(
+                TraceReport::decode(&mut ByteReader::new(payload))
+                    // INVARIANT: trace frames come from our own encoder over a
+                    // reliable transport; a malformed one is a peer bug worth
+                    // dying loudly on
+                    .unwrap_or_else(|e| panic!("rank {src} trace frame: {e}")),
+            );
+        }
+        reports
+    }
+
     /// Solve `A X = B` on the resident world: scatter B's rows by leaf
     /// ownership, run the distributed blocked solve in place, gather the
     /// solution rows. Bit-identical to the gathered factorization's
@@ -774,6 +832,9 @@ impl<T: Scalar> ResidentService<T> {
             .as_mut()
             // INVARIANT: documented — solve after shutdown() is a caller bug
             .expect("resident service already shut down");
+        // Per-solve latency covers the whole round trip rank 0 sees: the
+        // RHS scatter envelope, the SPMD sweep, the solution gather.
+        let t_solve = std::time::Instant::now();
         let nrhs = b.ncols() as u64;
         for dst in 1..self.p {
             let mut w = ByteWriter::new();
@@ -794,8 +855,12 @@ impl<T: Scalar> ResidentService<T> {
         ) {
             let err = recv_to_srsf(&e);
             inner.poisoned = Some(err.clone());
+            self.metrics
+                .observe_solve(t_solve.elapsed().as_nanos() as u64, false);
             return Err(err);
         }
+        self.metrics
+            .observe_solve(t_solve.elapsed().as_nanos() as u64, true);
         Ok(x)
     }
 
@@ -939,6 +1004,9 @@ pub(crate) fn dist_factorize_resident<K: Kernel>(
 
     type FactorOut<T> = (Result<ServeState<T>, FactorError>, CommStats);
     let factor = |ctx: &mut RankCtx| -> FactorOut<K::Elem> {
+        // Every rank stores the flag (on the TCP backend each rank is its
+        // own process); storing `false` keeps untraced runs self-cleaning.
+        srsf_trace::set_enabled(opts.trace);
         let me = ctx.rank();
         let out =
             factor_phase(ctx, kernel, pts, tree, grid, opts, leaf, lmin).map(|(state, top)| {
@@ -1028,6 +1096,8 @@ pub(crate) fn dist_factorize_resident<K: Kernel>(
     stats.record_bytes = per_rank_bytes.iter().sum();
 
     let owned: Vec<Vec<u32>> = (0..p).map(|r| owned_leaf_ids(tree, grid, r)).collect();
+    let metrics = handle.metrics();
+    metrics.set_resident_bytes(&per_rank_bytes);
     Ok(ResidentService {
         n: pts.len(),
         p,
@@ -1036,6 +1106,7 @@ pub(crate) fn dist_factorize_resident<K: Kernel>(
         comm,
         per_rank_records,
         per_rank_bytes,
+        metrics,
         inner: Mutex::new(ServiceInner {
             handle: Some(handle),
             st,
@@ -1207,6 +1278,8 @@ pub(crate) fn restore_resident_service<T: Scalar>(
     stats.record_bytes = per_rank_bytes.iter().sum();
 
     let owned: Vec<Vec<u32>> = (0..p).map(|r| owned_leaf_ids(&tree, &grid, r)).collect();
+    let metrics = handle.metrics();
+    metrics.set_resident_bytes(&per_rank_bytes);
     let svc = ResidentService {
         n: pts.len(),
         p,
@@ -1219,6 +1292,7 @@ pub(crate) fn restore_resident_service<T: Scalar>(
         },
         per_rank_records,
         per_rank_bytes,
+        metrics,
         inner: Mutex::new(ServiceInner {
             handle: Some(handle),
             st,

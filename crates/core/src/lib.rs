@@ -126,6 +126,15 @@ pub struct FactorOpts {
     /// that bounds how long a crashed rank or a cut link can stall a
     /// build or a resident solve. The other drivers ignore this knob.
     pub recv_timeout: std::time::Duration,
+    /// Span tracing for the distributed driver (default: off). When on,
+    /// every rank records phase, compute, and comm-wait spans into
+    /// per-thread ring buffers (`srsf-trace`); rank 0 gathers the
+    /// reports and [`crate::Solver`] exposes them as Chrome trace-event
+    /// JSON and a plain-text profile table. Tracing never touches the
+    /// §IV counters — traced runs are bit-identical to untraced ones in
+    /// solutions and message/word counts. The other drivers ignore this
+    /// knob.
+    pub trace: bool,
 }
 
 impl Default for FactorOpts {
@@ -143,6 +152,7 @@ impl Default for FactorOpts {
             resident: false,
             checkpoint_dir: None,
             recv_timeout: std::time::Duration::from_secs(120),
+            trace: false,
         }
     }
 }
@@ -229,6 +239,14 @@ impl FactorOpts {
     /// rank waits on a missing peer before reporting it failed.
     pub fn with_recv_timeout(mut self, t: std::time::Duration) -> Self {
         self.recv_timeout = t;
+        self
+    }
+
+    /// Enable span tracing for the distributed driver (see
+    /// [`solver::SolverBuilder::trace`]). Traced runs stay bit-identical
+    /// to untraced ones in solutions and §IV counters.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 }

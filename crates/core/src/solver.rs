@@ -41,7 +41,7 @@ use srsf_geometry::procgrid::{BoxColoring, ProcessGrid};
 use srsf_geometry::tree::QuadTree;
 use srsf_kernels::kernel::Kernel;
 use srsf_linalg::{LinOp, Mat, Scalar};
-use srsf_runtime::{Transport, WorldStats};
+use srsf_runtime::{MetricsSnapshot, TraceReport, Transport, WorldStats};
 
 /// Execution strategy for the factorization.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -186,6 +186,10 @@ pub struct Solver<T> {
     /// Resident factor bytes per rank ([`Driver::Distributed`] only —
     /// what each rank holds when records stay in place).
     per_rank_bytes: Option<Vec<usize>>,
+    /// Per-rank span reports from a traced gathered build
+    /// ([`SolverBuilder::trace`]); empty when tracing was off or the
+    /// backend is resident (resident reports are drained on demand).
+    traces: Vec<TraceReport>,
 }
 
 impl<T: Scalar> Solver<T> {
@@ -271,6 +275,7 @@ impl<T: Scalar> Solver<T> {
             driver: Driver::Distributed { grid },
             comm: Some(comm),
             per_rank_bytes: Some(bytes),
+            traces: Vec::new(),
         })
     }
 
@@ -415,6 +420,31 @@ impl<T: Scalar> Solver<T> {
         match &self.backend {
             SolverBackend::Local(_) => None,
             SolverBackend::Resident(s) => Some(s.comm_probe()),
+        }
+    }
+
+    /// Snapshot the serve metrics (residency mode only): per-solve
+    /// latency histogram, served/failed counters, and per-rank
+    /// resident-memory gauges — the registry behind
+    /// `WorldHandle::metrics` in the runtime.
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        match &self.backend {
+            SolverBackend::Local(_) => None,
+            SolverBackend::Resident(s) => Some(s.metrics()),
+        }
+    }
+
+    /// Per-rank span reports of a traced run ([`SolverBuilder::trace`];
+    /// empty when tracing was off). Gathered builds return the reports
+    /// collected with the rank results; resident solvers *drain* every
+    /// rank's live ring buffers on each call (factorization spans the
+    /// first time, spans of the solves since on later calls). Feed the
+    /// reports to `srsf_trace::export::chrome_trace_json` /
+    /// `profile_table` for Perfetto JSON or a plain-text profile.
+    pub fn trace_reports(&self) -> Vec<TraceReport> {
+        match &self.backend {
+            SolverBackend::Local(_) => self.traces.clone(),
+            SolverBackend::Resident(s) => s.trace_reports(),
         }
     }
 
@@ -632,6 +662,21 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
         self
     }
 
+    /// Span tracing for [`Driver::Distributed`] (default: off). When on,
+    /// every rank records phase, compute, and comm-wait spans into
+    /// per-thread fixed-capacity ring buffers (`srsf-trace`), gathered as
+    /// per-rank reports — [`Solver::trace_reports`] — and exportable as
+    /// Chrome trace-event / Perfetto JSON or a plain-text profile table.
+    /// Tracing is observation-only: a traced run is bit-identical to an
+    /// untraced one in solutions and §IV message/word counters (the
+    /// recorder never sends anything during the algorithm; reports move
+    /// as uncounted result/service frames). Ignored by the other
+    /// drivers.
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.opts = self.opts.with_trace(trace);
+        self
+    }
+
     /// Replace the whole option set at once.
     pub fn opts(mut self, opts: FactorOpts) -> Self {
         self.opts = opts;
@@ -718,11 +763,17 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
             });
         }
         let tree = QuadTree::build(pts, domain_for(pts), opts.leaf_size);
-        let (backend, comm, x, per_rank_bytes) = match driver {
+        let (backend, comm, x, per_rank_bytes, traces) = match driver {
             Driver::Sequential => {
                 let fact = factorize_with_tree(kernel, pts, &tree, &opts)?;
                 let x = rhs.map(|b| fact.solve(b));
-                (SolverBackend::Local(Box::new(fact)), None, x, None)
+                (
+                    SolverBackend::Local(Box::new(fact)),
+                    None,
+                    x,
+                    None,
+                    Vec::new(),
+                )
             }
             Driver::Colored { scheme, threads } => {
                 if threads == 0 {
@@ -730,7 +781,13 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
                 }
                 let fact = colored_factorize_with_tree(kernel, pts, &tree, &opts, scheme, threads)?;
                 let x = rhs.map(|b| fact.solve(b));
-                (SolverBackend::Local(Box::new(fact)), None, x, None)
+                (
+                    SolverBackend::Local(Box::new(fact)),
+                    None,
+                    x,
+                    None,
+                    Vec::new(),
+                )
             }
             Driver::Distributed { grid } => {
                 if opts.rank_threads == 0 {
@@ -762,6 +819,7 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
                         Some(comm),
                         x,
                         Some(bytes),
+                        Vec::new(),
                     )
                 } else {
                     let b = catch_rank_failure(|| {
@@ -772,6 +830,7 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
                         Some(b.stats),
                         b.x,
                         Some(b.per_rank_bytes),
+                        b.traces,
                     )
                 }
             }
@@ -782,6 +841,7 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
                 driver,
                 comm,
                 per_rank_bytes,
+                traces,
             },
             x,
         ))

@@ -1,0 +1,108 @@
+//! Tracing is observation, not participation: turning span recording on
+//! must not change a single bit of the computation. The factorization's
+//! algorithmic traffic is counted only in the §IV `CommStats` sites and
+//! trace reports ride the *uncounted* service/result frames, so a traced
+//! run produces bit-identical solutions AND bit-identical per-rank
+//! message/word counters on every transport.
+//!
+//! Everything lives in ONE `#[test]`: the trace enable flag is process
+//! global (each rank stores `opts.trace` at entry), so concurrently
+//! running traced and untraced builds in the same process would race on
+//! it. A single sequential test in its own integration-test binary keeps
+//! the flag deterministic; the TCP sessions run first so spawned worker
+//! processes exit inside a TCP session instead of re-simulating the
+//! in-process comparisons (see `set_tcp_child_args`).
+
+use srsf_core::{Driver, FactorOpts, Solver, Transport};
+use srsf_geometry::grid::UnitGrid;
+use srsf_kernels::laplace::LaplaceKernel;
+use srsf_kernels::util::random_vector;
+use srsf_runtime::set_tcp_child_args;
+
+fn opts(transport: Transport) -> FactorOpts {
+    FactorOpts::default()
+        .with_tol(1e-6)
+        .with_leaf_size(16)
+        .with_transport(transport)
+}
+
+/// Build twice — trace off, then trace on — and assert the observable
+/// computation is bit-identical while the traced build actually observed
+/// something.
+fn assert_trace_invisible(p: usize, transport: Transport) {
+    let grid = UnitGrid::new(32); // N = 1024
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    let b = random_vector::<f64>(grid.n(), 99);
+
+    let (f_off, x_off) = Solver::builder(&kernel, &pts)
+        .opts(opts(transport))
+        .driver(Driver::distributed(p))
+        .trace(false)
+        .build_with_solution(&b)
+        .expect("untraced factorization");
+    let (f_on, x_on) = Solver::builder(&kernel, &pts)
+        .opts(opts(transport))
+        .driver(Driver::distributed(p))
+        .trace(true)
+        .build_with_solution(&b)
+        .expect("traced factorization");
+
+    // Bit-identical solutions (not merely close).
+    assert_eq!(
+        x_off, x_on,
+        "p={p} {transport}: tracing changed the solution"
+    );
+    // Bit-identical §IV counters: spans never touch the counting sites
+    // and reports ride uncounted service/result frames.
+    let s_off = f_off.comm_stats().expect("untraced comm stats");
+    let s_on = f_on.comm_stats().expect("traced comm stats");
+    for rank in 0..p {
+        assert_eq!(
+            (
+                s_off.per_rank[rank].msgs_sent,
+                s_off.per_rank[rank].words_sent
+            ),
+            (
+                s_on.per_rank[rank].msgs_sent,
+                s_on.per_rank[rank].words_sent
+            ),
+            "p={p} {transport}: rank {rank} counters differ under tracing"
+        );
+    }
+    // The untraced build carries no reports; the traced build carries
+    // one non-empty report per rank.
+    assert!(
+        f_off.trace_reports().is_empty(),
+        "p={p} {transport}: untraced build has trace reports"
+    );
+    let reports = f_on.trace_reports();
+    assert_eq!(
+        reports.len(),
+        p,
+        "p={p} {transport}: one report per rank expected"
+    );
+    for r in &reports {
+        assert!(
+            !r.spans.is_empty(),
+            "p={p} {transport}: rank {} report is empty",
+            r.rank
+        );
+        assert_eq!(r.dropped, 0, "p={p} {transport}: ring overflow");
+    }
+}
+
+#[test]
+fn tracing_is_bit_invisible() {
+    set_tcp_child_args(Some(vec![
+        "tracing_is_bit_invisible".into(),
+        "--exact".into(),
+    ]));
+    // TCP first: spawned workers exit inside their TCP session.
+    for p in [1usize, 4] {
+        assert_trace_invisible(p, Transport::Tcp);
+    }
+    for p in [1usize, 4] {
+        assert_trace_invisible(p, Transport::InProc);
+    }
+}

@@ -15,6 +15,7 @@ use srsf_core::FactorStats;
 use srsf_geometry::tree::BoxId;
 use srsf_linalg::{c64, Lu, Mat, Scalar};
 use srsf_runtime::codec::{ByteReader, ByteWriter, CodecError, Wire};
+use srsf_runtime::{Histogram, Span, TraceReport};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 const fn iters(full: usize, miri: usize) -> usize {
@@ -177,6 +178,36 @@ fn gen_error(rng: &mut Rng) -> FactorError {
     }
 }
 
+fn gen_span(rng: &mut Rng) -> Span {
+    let name: String = (0..rng.below(12))
+        .map(|_| (b'a' + rng.below(26) as u8) as char)
+        .collect();
+    Span {
+        cat: rng.below(5) as u8,
+        name,
+        tid: rng.next() as u32,
+        start_ns: rng.next(),
+        dur_ns: rng.next(),
+        bytes: rng.next(),
+    }
+}
+
+fn gen_trace_report(rng: &mut Rng) -> TraceReport {
+    TraceReport {
+        rank: rng.next() as u32,
+        dropped: rng.next(),
+        spans: (0..rng.below(4)).map(|_| gen_span(rng)).collect(),
+    }
+}
+
+fn gen_histogram(rng: &mut Rng) -> Histogram {
+    let mut h = Histogram::new();
+    for _ in 0..rng.below(16) {
+        h.record(rng.next() >> rng.below(64));
+    }
+    h
+}
+
 /// Hand-assemble a valid `Factorization<f64>` frame from the documented
 /// layout: `n, Vec<BoxElimination>, top ids, top Lu, FactorStats`.
 fn gen_factorization_frame(rng: &mut Rng) -> Vec<u8> {
@@ -254,6 +285,17 @@ fn nested_result_frames_are_total() {
     });
 }
 
+/// Trace reports cross the wire on worker result frames and on the
+/// `KIND_TRACE` serve round; histograms cross inside metrics snapshots.
+/// Both decoders narrow u64 fields (rank, tid, category, bucket count)
+/// and must reject out-of-range values rather than truncate or panic.
+#[test]
+fn trace_report_decode_is_total() {
+    fuzz_type::<Span>("Span", 78, |r| gen_span(r).to_bytes());
+    fuzz_type::<TraceReport>("TraceReport", 79, |r| gen_trace_report(r).to_bytes());
+    fuzz_type::<Histogram>("Histogram", 80, |r| gen_histogram(r).to_bytes());
+}
+
 // ---- round trips -------------------------------------------------------
 
 #[test]
@@ -311,6 +353,24 @@ fn factorization_round_trip_bytes() {
             again, normalized,
             "Factorization<f64>: decode/encode is not idempotent"
         );
+    }
+}
+
+#[test]
+fn trace_report_round_trip_bytes() {
+    byte_round_trip::<Span>("Span", 87, |r| gen_span(r).to_bytes());
+    byte_round_trip::<TraceReport>("TraceReport", 88, |r| gen_trace_report(r).to_bytes());
+    byte_round_trip::<Histogram>("Histogram", 89, |r| gen_histogram(r).to_bytes());
+    // Value round trip too — every field is public plain data.
+    let mut rng = Rng::new(90);
+    for _ in 0..iters(128, 8) {
+        let rep = gen_trace_report(&mut rng);
+        assert_eq!(
+            rep,
+            TraceReport::from_bytes(rep.to_bytes()).expect("decode")
+        );
+        let h = gen_histogram(&mut rng);
+        assert_eq!(h, Histogram::from_bytes(h.to_bytes()).expect("decode"));
     }
 }
 

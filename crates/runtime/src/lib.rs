@@ -33,7 +33,10 @@
 //! * [`tags`] — the shared message-tag scheme; lets receive-timeout
 //!   panics name the algorithm step (level / phase / kind) they were
 //!   waiting on.
-//! * [`stats`] — per-rank communication and compute accounting.
+//! * [`stats`] — per-rank communication and compute accounting, plus
+//!   the wire encodings of the `srsf-trace` span reports and latency
+//!   histograms (re-exported here), so traces and metrics cross process
+//!   boundaries like any other typed rank result.
 //! * [`netmodel`] — an α–β (latency–bandwidth) network cost model with
 //!   intra-node and inter-node presets, used to reproduce the paper's
 //!   "1 process per compute node" experiment (Table VII).
@@ -53,6 +56,7 @@ pub mod world;
 
 pub use codec::{crc64, CodecError, Wire};
 pub use netmodel::NetworkModel;
+pub use srsf_trace::{Histogram, MetricsRegistry, MetricsSnapshot, Span, TraceReport};
 pub use stats::{CommStats, WorldStats};
 pub use transport::{
     is_spawned_worker, set_tcp_child_args, BaseTransport, FaultPlan, RecvError, Transport,

@@ -8,6 +8,8 @@
 
 use crate::codec::{ByteReader, ByteWriter, CodecError, Wire};
 use crate::netmodel::NetworkModel;
+use srsf_trace::metrics::HIST_BUCKETS;
+use srsf_trace::{Histogram, Span, TraceReport};
 
 /// Counters for one rank.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -50,6 +52,86 @@ impl Wire for CommStats {
             words_sent: r.try_get_u64()?,
             compute_s: r.try_get_f64()?,
             wait_s: r.try_get_f64()?,
+        })
+    }
+}
+
+// The trace types live in zero-dep `srsf-trace`; their wire encodings
+// live here because this crate owns the `Wire` trait. Reports cross a
+// real process boundary (TCP worker result frames, `TAG_SERVE_TRACE`
+// replies), so every decode is total: truncated or corrupted bytes are
+// a [`CodecError`], never a panic — fuzzed in `srsf-core`'s
+// `wire_fuzz` suite alongside the factorization frames.
+
+impl Wire for Span {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.cat as u64);
+        self.name.encode(w);
+        w.put_u64(self.tid as u64);
+        w.put_u64(self.start_ns);
+        w.put_u64(self.dur_ns);
+        w.put_u64(self.bytes);
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        let at = r.position();
+        let cat = u8::try_from(r.try_get_u64()?).map_err(|_| CodecError::Invalid {
+            what: "span category",
+            at,
+        })?;
+        let name = String::decode(r)?;
+        let at = r.position();
+        let tid = u32::try_from(r.try_get_u64()?).map_err(|_| CodecError::Invalid {
+            what: "span tid",
+            at,
+        })?;
+        Ok(Span {
+            cat,
+            name,
+            tid,
+            start_ns: r.try_get_u64()?,
+            dur_ns: r.try_get_u64()?,
+            bytes: r.try_get_u64()?,
+        })
+    }
+}
+
+impl Wire for TraceReport {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.rank as u64);
+        w.put_u64(self.dropped);
+        self.spans.encode(w);
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        let at = r.position();
+        let rank = u32::try_from(r.try_get_u64()?).map_err(|_| CodecError::Invalid {
+            what: "trace report rank",
+            at,
+        })?;
+        Ok(TraceReport {
+            rank,
+            dropped: r.try_get_u64()?,
+            spans: Vec::<Span>::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Histogram {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64_slice(&self.counts);
+        w.put_u64(self.count);
+        w.put_u64(self.sum);
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        let at = r.position();
+        let counts: Vec<u64> = r.try_get_u64_slice()?;
+        let counts: [u64; HIST_BUCKETS] = counts.try_into().map_err(|_| CodecError::Invalid {
+            what: "histogram bucket count",
+            at,
+        })?;
+        Ok(Histogram {
+            counts,
+            count: r.try_get_u64()?,
+            sum: r.try_get_u64()?,
         })
     }
 }
@@ -156,6 +238,46 @@ mod tests {
         let model = NetworkModel::new(1.0, 0.1);
         // rank0: 2.0 + 5 + 1.0 = 8; rank1: 1.0 + 7 + 0.4 = 8.4
         assert!((w.critical_path_s(&model) - 8.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_wire_round_trips() {
+        let rep = TraceReport {
+            rank: 3,
+            dropped: 7,
+            spans: vec![
+                Span {
+                    cat: 2,
+                    name: "recv level 3, interior, kind PHASE_UPDATE".to_string(),
+                    tid: 5,
+                    start_ns: 123,
+                    dur_ns: 456,
+                    bytes: 4096,
+                },
+                Span {
+                    cat: 0,
+                    name: String::new(),
+                    tid: 0,
+                    start_ns: 0,
+                    dur_ns: u64::MAX,
+                    bytes: 0,
+                },
+            ],
+        };
+        let back = TraceReport::from_bytes(rep.to_bytes()).expect("round trip");
+        assert_eq!(back, rep);
+
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 100, u64::MAX] {
+            h.record(v);
+        }
+        let back = Histogram::from_bytes(h.to_bytes()).expect("round trip");
+        assert_eq!(back, h);
+
+        // Truncation is an error, not a panic.
+        let mut bytes = rep.to_bytes();
+        bytes.truncate(bytes.len() - 1);
+        assert!(TraceReport::from_bytes(bytes).is_err());
     }
 
     #[test]

@@ -72,13 +72,19 @@ pub const TAG_SERVE_PONG: u32 = SERVE_BASE + 6;
 /// rebuilt from an on-disk checkpoint enters its serve loop (the
 /// restore-path analogue of [`TAG_SERVE_READY`]).
 pub const TAG_SERVE_CKPT: u32 = SERVE_BASE + 7;
+/// Worker → rank 0: a `Wire`-encoded span/metrics trace report — the
+/// reply to the serve loop's trace-request command (the `KIND_TRACE`
+/// frame of the tracing layer; see `srsf-trace`). Uncounted like every
+/// serve frame, which is what keeps traced runs bit-identical to
+/// untraced ones in the §IV counters.
+pub const TAG_SERVE_TRACE: u32 = SERVE_BASE + 8;
 
 /// `true` for tags in the resident serve-session range. Serve frames are
 /// the service *envelope* (command dispatch, RHS/solution slabs, stats
 /// probes) rather than Algorithm 2 traffic, and are exempt from the §IV
 /// data counters — see [`crate::world::RankCtx::send_service`].
 pub fn is_serve(tag: u32) -> bool {
-    (SERVE_BASE..SERVE_BASE + 8).contains(&tag)
+    (SERVE_BASE..SERVE_BASE + 9).contains(&tag)
 }
 
 /// Compose a data tag from its `(level, phase, kind)` coordinates.
@@ -149,6 +155,7 @@ pub fn describe(t: u32) -> String {
             5 => "PING (health probe)",
             6 => "PONG (health reply)",
             7 => "CKPT (snapshot restore outcome)",
+            8 => "TRACE (span/metrics report)",
             _ => "RESERVED",
         };
         return format!("resident serve {name}");
@@ -198,6 +205,7 @@ mod tests {
         assert!(describe(TAG_SERVE_PING).contains("PING"));
         assert!(describe(TAG_SERVE_PONG).contains("PONG"));
         assert!(describe(TAG_SERVE_CKPT).contains("CKPT"));
+        assert!(describe(TAG_SERVE_TRACE).contains("TRACE"));
         for t in [
             TAG_SERVE_READY,
             TAG_SERVE_CMD,
@@ -207,6 +215,7 @@ mod tests {
             TAG_SERVE_PING,
             TAG_SERVE_PONG,
             TAG_SERVE_CKPT,
+            TAG_SERVE_TRACE,
         ] {
             assert!(is_serve(t) && !is_control(t));
         }

@@ -1592,6 +1592,7 @@ where
     let p = world.size();
     let (transport, mut children) = tcp_parent_setup(world, seq);
     let mut ctx = RankCtx::from_transport(transport, world.recv_timeout());
+    srsf_trace::enter_rank(0);
     let r0 = f(&mut ctx);
     let stats0 = ctx.stats();
     let mut transport = ctx.into_transport();
@@ -1775,6 +1776,7 @@ where
         maybe_faulty(Box::new(transport), world.fault_plan()),
         world.recv_timeout(),
     );
+    srsf_trace::enter_rank(rank);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
     let code = match outcome {
         Ok(val) => {

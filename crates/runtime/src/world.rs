@@ -103,6 +103,8 @@ impl RankCtx {
         );
         self.stats.msgs_sent += 1;
         self.stats.words_sent += (payload.len() as u64).div_ceil(8);
+        let mut sp = srsf_trace::span!(srsf_trace::Cat::Comm, "send {}", tags::describe(tag));
+        sp.add_bytes(payload.len() as u64);
         self.transport.send(dst, tag, payload);
     }
 
@@ -198,9 +200,11 @@ impl RankCtx {
     /// resident serve loop can convert a mid-solve rank failure into a
     /// typed error for the caller rather than poisoning the process.
     pub fn try_recv(&mut self, src: usize, tag: u32) -> Result<Bytes, RecvError> {
+        let mut sp = srsf_trace::span!(srsf_trace::Cat::Comm, "recv {}", tags::describe(tag));
         let start = Instant::now();
         let m = self.transport.recv_any_of(src, &[tag], self.recv_timeout)?;
         self.stats.wait_s += start.elapsed().as_secs_f64();
+        sp.add_bytes(m.payload.len() as u64);
         Ok(m.payload)
     }
 
@@ -221,6 +225,7 @@ impl RankCtx {
 
     /// Fallible variant of [`RankCtx::barrier`].
     pub fn try_barrier(&mut self) -> Result<(), RecvError> {
+        let _sp = srsf_trace::span!(srsf_trace::Cat::Comm, "barrier");
         let start = Instant::now();
         self.transport.barrier(self.recv_timeout)?;
         self.stats.wait_s += start.elapsed().as_secs_f64();
@@ -357,6 +362,9 @@ impl World {
                 handles.push((
                     rank,
                     scope.spawn(move || {
+                        // Tag this thread for the tracing layer so its
+                        // spans collect under the rank it executes.
+                        srsf_trace::enter_rank(rank);
                         let out =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
                         match out {
@@ -477,6 +485,9 @@ impl World {
         let plan = self.fault_plan();
         let mut transports = transport::inproc_world(p);
         let alive = Arc::new(AtomicBool::new(true));
+        // The caller's thread becomes rank 0 for the serve session; tag it
+        // so its solve-sweep spans collect under rank 0.
+        srsf_trace::enter_rank(0);
         let mut ctx0 = RankCtx::from_transport(
             transport::maybe_faulty(transports.remove(0), plan),
             self.recv_timeout,
@@ -490,6 +501,7 @@ impl World {
             let join = std::thread::Builder::new()
                 .name(format!("srsf-serve-{}", i + 1))
                 .spawn(move || {
+                    srsf_trace::enter_rank(i + 1);
                     let mut ctx =
                         RankCtx::from_transport(transport::maybe_faulty(t, plan), timeout);
                     ctx.set_alive_flag(alive);
@@ -519,6 +531,7 @@ impl World {
                 alive,
                 p,
                 probe_nonce: 0,
+                metrics: Arc::new(srsf_trace::MetricsRegistry::new()),
             },
         )
     }
@@ -528,6 +541,7 @@ impl World {
         F: Fn(&mut RankCtx) -> S + Send + Sync,
     {
         let (transport, children) = transport::tcp_parent_setup(self, seq);
+        srsf_trace::enter_rank(0);
         let mut ctx = RankCtx::from_transport(transport, self.recv_timeout);
         let s0 = factor(&mut ctx);
         (
@@ -538,6 +552,7 @@ impl World {
                 alive: Arc::new(AtomicBool::new(true)),
                 p: self.p,
                 probe_nonce: 0,
+                metrics: Arc::new(srsf_trace::MetricsRegistry::new()),
             },
         )
     }
@@ -571,6 +586,8 @@ pub struct WorldHandle {
     /// Monotonic nonce for health probes, so a stale PONG from an earlier
     /// (timed-out) probe is never mistaken for the current reply.
     probe_nonce: u64,
+    /// The session's serve-metrics registry ([`WorldHandle::metrics`]).
+    metrics: Arc<srsf_trace::MetricsRegistry>,
 }
 
 /// Liveness of one resident rank, as reported by [`WorldHandle::health`].
@@ -599,6 +616,15 @@ impl WorldHandle {
     /// World size `p`.
     pub fn size(&self) -> usize {
         self.p
+    }
+
+    /// The session's serve-metrics registry: per-solve latency
+    /// histograms, served/failed counters, and per-rank resident-memory
+    /// gauges (see `srsf_trace::MetricsRegistry`). The serving layer
+    /// above (the resident solve service) feeds it; callers snapshot it
+    /// at any time. Shared — clones observe the same registry.
+    pub fn metrics(&self) -> Arc<srsf_trace::MetricsRegistry> {
+        self.metrics.clone()
     }
 
     /// `true` while the worker for `rank` is still running its serve

@@ -20,6 +20,12 @@
 //! # Vary the grid and the process count (p must be a power of four).
 //! cargo run --release --example distributed_demo -- --p 16 --side 128
 //!
+//! # Tracing and metrics: write a Chrome/Perfetto trace of the traced
+//! # run, print the per-phase profile table, and (with --resident) the
+//! # serve-metrics snapshot: latency histogram + per-rank gauges.
+//! cargo run --release --example distributed_demo -- --trace-out trace.json
+//! cargo run --release --example distributed_demo -- --resident --metrics
+//!
 //! # Chaos: checkpoint the factorization, kill a worker mid-serve with a
 //! # seeded fault plan, watch the typed failure, then restore the world
 //! # from the snapshots and verify a bit-identical re-solve.
@@ -37,6 +43,8 @@ struct Args {
     resident: bool,
     solve_reps: usize,
     chaos: bool,
+    trace_out: Option<String>,
+    metrics: bool,
 }
 
 fn parse_args() -> Args {
@@ -47,6 +55,8 @@ fn parse_args() -> Args {
         resident: false,
         solve_reps: 5,
         chaos: false,
+        trace_out: None,
+        metrics: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -64,6 +74,8 @@ fn parse_args() -> Args {
             }
             "--resident" => args.resident = true,
             "--chaos" => args.chaos = true,
+            "--trace-out" => args.trace_out = Some(value("--trace-out")),
+            "--metrics" => args.metrics = true,
             "--solve-reps" => {
                 // At least one solve: the per-solve counter math divides
                 // by the rep count.
@@ -76,6 +88,7 @@ fn parse_args() -> Args {
                 println!(
                     "usage: distributed_demo [--side N] [--p N] [--transport inproc|tcp]\n\
                      \x20                       [--resident [--solve-reps K]] [--chaos]\n\
+                     \x20                       [--trace-out trace.json] [--metrics]\n\
                      defaults: --side 64 --p 4 --transport inproc --solve-reps 5"
                 );
                 std::process::exit(0);
@@ -170,7 +183,14 @@ fn run_chaos(side: usize, p: usize, transport: Transport) {
 /// `reps` solves in place, report the amortization and the per-solve
 /// communication, and check the served results against the gathered
 /// factorization bit for bit.
-fn run_resident(side: usize, p: usize, transport: Transport, reps: usize) {
+fn run_resident(
+    side: usize,
+    p: usize,
+    transport: Transport,
+    reps: usize,
+    trace_out: Option<&str>,
+    metrics: bool,
+) {
     let grid = UnitGrid::new(side);
     let kernel = LaplaceKernel::new(&grid);
     let pts = grid.points();
@@ -185,6 +205,7 @@ fn run_resident(side: usize, p: usize, transport: Transport, reps: usize) {
         .driver(Driver::distributed(p))
         .transport(transport)
         .resident(true)
+        .trace(trace_out.is_some())
         .build()
         .expect("resident factorization");
     let t_factor = t0.elapsed().as_secs_f64();
@@ -257,6 +278,23 @@ fn run_resident(side: usize, p: usize, transport: Transport, reps: usize) {
     );
     println!("\nresident vs gathered: solutions bit-identical across {reps} served solves");
 
+    if metrics {
+        let snap = f.metrics().expect("resident driver exposes metrics");
+        println!("\nserve metrics:\n{}", snap.render());
+    }
+    if let Some(path) = trace_out {
+        // Drains every rank's ring buffer over the serve protocol; the
+        // report covers the factorization and all solves since startup.
+        let reports = f.trace_reports();
+        std::fs::write(path, srsf::trace::export::chrome_trace_json(&reports))
+            .expect("write trace file");
+        println!("\n{}", srsf::trace::export::profile_table(&reports));
+        println!(
+            "trace: wrote Chrome/Perfetto JSON for {} ranks to {path}",
+            reports.len()
+        );
+    }
+
     let stats = f.shutdown().expect("resident shutdown");
     assert_eq!(stats.per_rank.len(), p);
     println!("resident shutdown: clean (no live workers)");
@@ -270,12 +308,21 @@ fn main() {
         resident,
         solve_reps,
         chaos,
+        trace_out,
+        metrics,
     } = parse_args();
     if chaos {
         return run_chaos(side, p, transport);
     }
     if resident {
-        return run_resident(side, p, transport, solve_reps);
+        return run_resident(
+            side,
+            p,
+            transport,
+            solve_reps,
+            trace_out.as_deref(),
+            metrics,
+        );
     }
     let grid = UnitGrid::new(side);
     let kernel = LaplaceKernel::new(&grid);
@@ -289,6 +336,7 @@ fn main() {
         .tol(1e-6)
         .driver(Driver::distributed(p))
         .transport(transport)
+        .trace(trace_out.is_some())
         .build_with_solution(&b)
         .expect("dist factorization");
     let stats = f
@@ -337,6 +385,20 @@ fn main() {
         "factorization records gathered on rank 0: {}",
         f.n_records()
     );
+    if metrics {
+        println!("\nserve metrics are recorded by the resident driver; re-run with --resident");
+    }
+    if let Some(path) = &trace_out {
+        // Per-rank reports were gathered with the factorization itself.
+        let reports = f.trace_reports();
+        std::fs::write(path, srsf::trace::export::chrome_trace_json(&reports))
+            .expect("write trace file");
+        println!("\n{}", srsf::trace::export::profile_table(&reports));
+        println!(
+            "trace: wrote Chrome/Perfetto JSON for {} ranks to {path}",
+            reports.len()
+        );
+    }
 
     // On the TCP backend, re-run in-process and check the §IV counters
     // are a property of the algorithm, not of the fabric carrying it.

@@ -76,6 +76,7 @@ pub use srsf_kernels as kernels;
 pub use srsf_linalg as linalg;
 pub use srsf_runtime as runtime;
 pub use srsf_special as special;
+pub use srsf_trace as trace;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {

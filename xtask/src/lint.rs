@@ -18,6 +18,11 @@
 //! * `commstats-mutation` — the §IV message/word counters may only be
 //!   mutated in the approved counting sites (`world.rs`, `stats.rs`):
 //!   serve-envelope frames stay uncounted *by construction*.
+//! * `metrics-mutation` — the serve-metrics counters
+//!   (`solves_served` / `solves_failed`) may only be mutated inside the
+//!   registry module (`metrics.rs`): every observation goes through
+//!   `MetricsRegistry::observe_solve`, so a snapshot is always
+//!   internally consistent.
 //! * `forbid-unsafe` — every crate root carries
 //!   `#![forbid(unsafe_code)]`.
 //!
@@ -70,6 +75,13 @@ const COMMSTATS_FIELDS: &[&str] = &["msgs_sent", "words_sent", "compute_s", "wai
 /// Files allowed to mutate `CommStats` fields: the send/recv counting
 /// paths and the stats type itself.
 const COMMSTATS_APPROVED: &[&str] = &["world.rs", "stats.rs"];
+
+/// The serve-metrics counters with an approved mutation site.
+const METRICS_FIELDS: &[&str] = &["solves_served", "solves_failed"];
+
+/// The one file allowed to mutate them: the registry module itself
+/// (every observation goes through `MetricsRegistry::observe_solve`).
+const METRICS_APPROVED: &[&str] = &["metrics.rs"];
 
 /// Lint every workspace source tree under `root`. Returns all
 /// violations, sorted by file and line.
@@ -158,6 +170,7 @@ pub fn lint_source(path: &Path, content: &str) -> Vec<Violation> {
         .unwrap_or_default();
     let is_codec = file_name == "codec.rs";
     let commstats_ok = COMMSTATS_APPROVED.contains(&file_name);
+    let metrics_ok = METRICS_APPROVED.contains(&file_name);
     let is_bin = path
         .components()
         .any(|c| c.as_os_str() == "bin" || c.as_os_str() == "examples");
@@ -214,6 +227,23 @@ pub fn lint_source(path: &Path, content: &str) -> Vec<Violation> {
                             "CommStats counter `{field}` mutated outside the approved \
                              counting sites ({})",
                             COMMSTATS_APPROVED.join(", ")
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+        if !metrics_ok {
+            for field in METRICS_FIELDS {
+                if mutates_field(clean, field) || mutates_atomic(clean, field) {
+                    out.push(Violation {
+                        file: path.to_path_buf(),
+                        line: i + 1,
+                        rule: "metrics-mutation",
+                        msg: format!(
+                            "metrics counter `{field}` mutated outside the registry \
+                             module ({}): go through MetricsRegistry::observe_solve",
+                            METRICS_APPROVED.join(", ")
                         ),
                     });
                     break;
@@ -301,6 +331,25 @@ fn mutates_field(clean: &str, field: &str) -> bool {
             }
         }
         if after.starts_with('=') && !after.starts_with("==") {
+            return true;
+        }
+        rest = &rest[pos + probe.len()..];
+    }
+    false
+}
+
+/// `true` if the line writes to an atomic stored in `.field`
+/// (`.field.store(`, `.field.fetch_add(`, `.field.fetch_sub(`). Loads
+/// and comparisons are fine.
+fn mutates_atomic(clean: &str, field: &str) -> bool {
+    let mut rest = clean;
+    let probe = format!(".{field}.");
+    while let Some(pos) = rest.find(&probe) {
+        let after = &rest[pos + probe.len()..];
+        if ["store(", "fetch_add(", "fetch_sub("]
+            .iter()
+            .any(|m| after.starts_with(m))
+        {
             return true;
         }
         rest = &rest[pos + probe.len()..];
@@ -509,6 +558,28 @@ mod tests {
             "fn f(s: &mut CommStats) {\n    s.msgs_sent += 1;\n}\n",
         );
         assert!(v.iter().all(|v| v.rule != "commstats-mutation"));
+    }
+
+    #[test]
+    fn flags_metrics_mutation_outside_registry() {
+        let v = lint("fn f(m: &MetricsRegistry) {\n    m.solves_served.fetch_add(1, O);\n}\n");
+        assert!(v.iter().any(|v| v.rule == "metrics-mutation"));
+        let v = lint("fn f(s: &mut MetricsSnapshot) {\n    s.solves_failed = 0;\n}\n");
+        assert!(v.iter().any(|v| v.rule == "metrics-mutation"));
+        // Loads and comparisons are not mutation.
+        let v = lint("fn f(s: &MetricsSnapshot) -> bool {\n    s.solves_served == 1\n}\n");
+        assert!(v.iter().all(|v| v.rule != "metrics-mutation"));
+        let v = lint("fn f(m: &MetricsRegistry) -> u64 {\n    m.solves_served.load(O)\n}\n");
+        assert!(v.iter().all(|v| v.rule != "metrics-mutation"));
+    }
+
+    #[test]
+    fn metrics_mutation_allowed_in_metrics_rs() {
+        let v = lint_source(
+            Path::new("crates/trace/src/metrics.rs"),
+            "fn f(m: &MetricsRegistry) {\n    m.solves_served.fetch_add(1, O);\n}\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "metrics-mutation"));
     }
 
     #[test]
