@@ -12,7 +12,7 @@
 //! * `--json PATH` — additionally write the results as a `BENCH_*.json`
 //!   file (schema documented in the README "Performance" section).
 
-use srsf_core::{Driver, FactorOpts, Solver, Transport};
+use srsf_core::{Compression, Driver, FactorOpts, Solver, Transport};
 use srsf_fft::fft::Fft;
 use srsf_geometry::grid::UnitGrid;
 use srsf_geometry::procgrid::BoxColoring;
@@ -23,7 +23,7 @@ use srsf_kernels::laplace::LaplaceKernel;
 use srsf_kernels::util::random_vector;
 use srsf_linalg::gemm::matmul;
 use srsf_linalg::triangular::solve_upper_mat;
-use srsf_linalg::{c64, cpqr, householder_qr, interp_decomp, LinOp, Lu, Mat};
+use srsf_linalg::{c64, cpqr, householder_qr, interp_decomp, rand_interp_decomp, LinOp, Lu, Mat};
 use srsf_special::bessel::{j0, y0};
 use std::time::{Duration, Instant};
 
@@ -382,6 +382,12 @@ fn main() {
         h.bench("cpqr/naive_400x1024_tol", || {
             srsf_linalg::qr::cpqr_naive(a.clone(), 1e-9, usize::MAX)
         });
+        // The randomized twin: sketch-then-ID on the same matrix at the
+        // same tolerance. The point of the whole exercise — this must
+        // beat the full CPQR above by a wide margin at proxy shapes.
+        h.bench("rid/f64_400x1024_tol", || {
+            rand_interp_decomp(&a, 1e-9, usize::MAX, 16, 10, 17)
+        });
         let b = random_mat(400, 256, 7);
         h.bench("cpqr/f64_400x256_full", || cpqr(b.clone(), 0.0, usize::MAX));
     }
@@ -427,6 +433,9 @@ fn main() {
         h.bench("id/proxy_shaped_400x64", || {
             interp_decomp(a.clone(), 1e-6, usize::MAX)
         });
+        h.bench("rid/proxy_shaped_400x64", || {
+            rand_interp_decomp(&a, 1e-6, usize::MAX, 14, 10, 17)
+        });
     }
 
     {
@@ -458,6 +467,29 @@ fn main() {
                 .build()
                 .unwrap()
         });
+    }
+
+    // The compression A/B at N = 4096: the default factorize case above
+    // runs whatever `Compression::default()` is; these two pin each path
+    // explicitly so bench-diff can report the sketched/cpqr ratio.
+    {
+        let grid = UnitGrid::new(64);
+        let kernel = LaplaceKernel::new(&grid);
+        let pts = grid.points();
+        for (name, compression) in [
+            ("factorize/laplace_4096_sketched", Compression::sketched()),
+            ("factorize/laplace_4096_cpqr", Compression::Cpqr),
+        ] {
+            h.bench(name, || {
+                Solver::builder(&kernel, &pts)
+                    .tol(1e-6)
+                    .leaf_size(64)
+                    .compression(compression)
+                    .driver(Driver::Sequential)
+                    .build()
+                    .unwrap()
+            });
+        }
     }
 
     {

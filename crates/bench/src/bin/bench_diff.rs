@@ -51,12 +51,16 @@ fn field_f64(line: &str, key: &str) -> Option<f64> {
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let gate_trace = args.iter().any(|a| a == "--gate-trace-overhead");
-    args.retain(|a| a != "--gate-trace-overhead");
+    let gate_factorize = args.iter().any(|a| a == "--gate-factorize");
+    args.retain(|a| a != "--gate-trace-overhead" && a != "--gate-factorize");
     let (base_path, cur_path) = match args.as_slice() {
         [] => ("BENCH_seed.json".to_string(), "BENCH_pr.json".to_string()),
         [b, c] => (b.clone(), c.clone()),
         _ => {
-            eprintln!("usage: bench-diff [--gate-trace-overhead] [BASELINE.json CURRENT.json]");
+            eprintln!(
+                "usage: bench-diff [--gate-trace-overhead] [--gate-factorize] \
+                 [BASELINE.json CURRENT.json]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -122,6 +126,50 @@ fn main() -> ExitCode {
             fmt_s(t1),
             fmt_s(t4)
         );
+    }
+
+    // Compression: sketched vs full-CPQR medians of the same sequential
+    // factorization, both from the *current* report. <1 would mean the
+    // randomized sketch-then-ID default lost to the deterministic path it
+    // replaced. `--gate-factorize` additionally hard-fails the job if the
+    // default `factorize/laplace_4096` case regressed vs the baseline
+    // report — the headline O(N) number this crate exists to protect.
+    if let (Some(sk), Some(cp)) = (
+        median_of("factorize/laplace_4096_sketched"),
+        median_of("factorize/laplace_4096_cpqr"),
+    ) {
+        println!(
+            "factorize sketched vs cpqr: {:.2}x ({} -> {})",
+            cp / sk,
+            fmt_s(cp),
+            fmt_s(sk)
+        );
+    }
+    if gate_factorize {
+        let base_fact = base
+            .iter()
+            .find(|(n, _)| n == "factorize/laplace_4096")
+            .map(|(_, m)| *m);
+        match (base_fact, median_of("factorize/laplace_4096")) {
+            (Some(b), Some(c)) if c > b * 1.05 => {
+                eprintln!(
+                    "bench-diff: factorize/laplace_4096 regressed {:.2}x vs baseline \
+                     ({} -> {})",
+                    c / b,
+                    fmt_s(b),
+                    fmt_s(c)
+                );
+                return ExitCode::FAILURE;
+            }
+            (Some(_), Some(_)) => {}
+            _ => {
+                eprintln!(
+                    "bench-diff: --gate-factorize set but factorize/laplace_4096 is \
+                     missing from {base_path} or {cur_path}"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     // Tracing overhead: traced vs untraced medians of the same 4-rank

@@ -21,6 +21,7 @@
 use crate::elimination::{apply_output, eliminate_box, EliminationOutput, FactorError};
 use crate::levels::merge_to_parent;
 use crate::sequential::{domain_for, factor_top, Factorization};
+use crate::skeletonize::CompressionCtx;
 use crate::stats::FactorStats;
 use crate::store::{ActiveSets, BlockStore};
 use crate::FactorOpts;
@@ -74,6 +75,7 @@ pub(crate) fn colored_factorize_with_tree<K: Kernel>(
     }
 
     let lmin = (opts.min_compress_level as u8).min(leaf);
+    let ctx = CompressionCtx::new(kernel, pts, tree, opts);
     let mut records = Vec::new();
     if leaf >= lmin && leaf >= 1 {
         let mut level = leaf;
@@ -84,13 +86,15 @@ pub(crate) fn colored_factorize_with_tree<K: Kernel>(
                     .boxes_at_level(level)
                     .filter(|b| scheme.color(b) == color)
                     .collect();
-                let outputs = eliminate_color_round(&store, &act, tree, &boxes, opts, n_threads)?;
+                let outputs =
+                    eliminate_color_round(&store, &act, tree, &boxes, opts, &ctx, n_threads)?;
                 // Deterministic merge in row-major box order.
                 for (b, out) in boxes.iter().zip(outputs) {
                     if let Some(rec) = &out.record {
                         stats.add_rank(level, rec.skel.len());
                     }
-                    apply_output(&mut store, &mut act, b, &out);
+                    stats.compression.absorb(&out.compression);
+                    apply_output(&mut store, &mut act, b, &out, &ctx);
                     if let Some(mut rec) = out.record {
                         // Restamp with this driver's schedule color so the
                         // threaded solve apply sees whole color rounds.
@@ -113,7 +117,7 @@ pub(crate) fn colored_factorize_with_tree<K: Kernel>(
 
     let t2 = Instant::now();
     let top_level = if leaf >= lmin { lmin } else { leaf };
-    let (top_idx, top_lu) = factor_top(&store, &act, tree, top_level)?;
+    let (top_idx, top_lu) = factor_top(&store, &act, tree, top_level, &ctx)?;
     stats.top_s = t2.elapsed().as_secs_f64();
     stats.total_s = t_total.elapsed().as_secs_f64();
     Ok(Factorization::from_parts(
@@ -138,12 +142,13 @@ pub(crate) fn eliminate_color_round<K: Kernel>(
     tree: &QuadTree,
     boxes: &[BoxId],
     opts: &FactorOpts,
+    ctx: &CompressionCtx,
     n_threads: usize,
 ) -> Result<Vec<EliminationOutput<K::Elem>>, FactorError> {
     if n_threads == 1 || boxes.len() <= 1 {
         return boxes
             .iter()
-            .map(|b| eliminate_box(store, act, tree, b, opts))
+            .map(|b| eliminate_box(store, act, tree, b, opts, ctx))
             .collect();
     }
     let slots: Vec<OnceLock<Result<EliminationOutput<K::Elem>, FactorError>>> =
@@ -160,7 +165,7 @@ pub(crate) fn eliminate_color_round<K: Kernel>(
                 if i >= boxes.len() {
                     break;
                 }
-                let _ = slots[i].set(eliminate_box(store, act, tree, &boxes[i], opts));
+                let _ = slots[i].set(eliminate_box(store, act, tree, &boxes[i], opts, ctx));
             });
         }
     });

@@ -59,6 +59,7 @@ use crate::colored::eliminate_color_round;
 use crate::elimination::{apply_output, BoxElimination, EliminationOutput, FactorError};
 use crate::levels::assemble_parent_block;
 use crate::sequential::{domain_for, factor_top, Factorization};
+use crate::skeletonize::CompressionCtx;
 use crate::solve::{apply_downward, apply_upward, gather, scatter};
 use crate::stats::FactorStats;
 use crate::store::{ActiveSets, BlockStore};
@@ -342,6 +343,10 @@ pub(crate) fn factor_phase<K: Kernel>(
         fold_ids: HashMap::new(),
         stats: FactorStats::new(pts.len(), leaf),
     };
+    // Deterministic construction: every rank derives the identical
+    // compression context (seeded sketches are a pure function of box
+    // coordinates), so no communication is needed to agree on skeletons.
+    let cctx = CompressionCtx::new(kernel, pts, tree, opts);
 
     if leaf >= lmin && leaf >= 1 {
         let mut level = leaf;
@@ -351,7 +356,7 @@ pub(crate) fn factor_phase<K: Kernel>(
                 {
                     let _sp = srsf_trace::span!(srsf_trace::Cat::Phase, "level {level} interior");
                     run_phase(
-                        ctx, grid, tree, &mut store, &mut act, &interior, level, 0, opts,
+                        ctx, grid, tree, &mut store, &mut act, &interior, level, 0, opts, &cctx,
                         &mut state,
                     )?;
                 }
@@ -376,6 +381,7 @@ pub(crate) fn factor_phase<K: Kernel>(
                         level,
                         1 + color,
                         opts,
+                        &cctx,
                         &mut state,
                     )?;
                 }
@@ -413,7 +419,7 @@ pub(crate) fn factor_phase<K: Kernel>(
     let top_level = if leaf >= lmin { lmin } else { leaf };
     let top = {
         let _sp = srsf_trace::span!(srsf_trace::Cat::Phase, "top gather+factor");
-        gather_top(ctx, grid, tree, &mut store, &mut act, top_level)?
+        gather_top(ctx, grid, tree, &mut store, &mut act, top_level, &cctx)?
     };
     state.stats.total_s = t_total.elapsed().as_secs_f64();
     if let Some(dir) = &opts.checkpoint_dir {
@@ -569,6 +575,7 @@ fn run_phase<K: Kernel>(
     level: u8,
     phase: u8,
     opts: &FactorOpts,
+    cctx: &CompressionCtx,
     state: &mut RankState<K::Elem>,
 ) -> Result<(), FactorError> {
     let me = ctx.rank();
@@ -612,7 +619,7 @@ fn run_phase<K: Kernel>(
                 "eliminate level {level} phase {phase} sub-round {color}"
             );
             ctx.compute(|| {
-                eliminate_color_round(store, act, tree, &cboxes, opts, opts.rank_threads)
+                eliminate_color_round(store, act, tree, &cboxes, opts, cctx, opts.rank_threads)
             })?
         };
         // Deterministic merge in box order; eager sends fire from here.
@@ -621,7 +628,8 @@ fn run_phase<K: Kernel>(
             "merge level {level} phase {phase} sub-round {color}"
         );
         for (b, out) in cboxes.iter().zip(outputs) {
-            ctx.compute(|| apply_output(store, act, b, &out));
+            ctx.compute(|| apply_output(store, act, b, &out, cctx));
+            state.stats.compression.absorb(&out.compression);
             if let Some(rec) = &out.record {
                 state.stats.add_rank(level, rec.skel.len());
                 state.records.push((
@@ -862,6 +870,7 @@ fn gather_top<K: Kernel>(
     store: &mut BlockStore<'_, K>,
     act: &mut ActiveSets,
     top_level: u8,
+    cctx: &CompressionCtx,
 ) -> Result<TopFactor<K::Elem>, FactorError> {
     let me = ctx.rank();
     let active = grid.active_ranks(top_level);
@@ -918,7 +927,7 @@ fn gather_top<K: Kernel>(
             store.insert(a, b, m);
         }
     }
-    let (top_idx, top_lu) = factor_top(store, act, tree, top_level)?;
+    let (top_idx, top_lu) = factor_top(store, act, tree, top_level, cctx)?;
     Ok(Some((top_idx, top_lu)))
 }
 
@@ -937,10 +946,17 @@ fn gather_factorization<T: Scalar>(
         for (key, rec) in &state.records {
             encode_record(&mut w, *key, rec);
         }
+        // Compression telemetry rides the record frame so rank 0's
+        // gathered stats cover every rank's boxes, not just its own.
+        w.put_u64(state.stats.compression.sketch_retries);
+        w.put_u64(state.stats.compression.sketch_fallbacks);
+        w.put_u64(state.stats.compression.fft_block_applies);
+        w.put_u64(state.stats.compression.dense_block_applies);
         ctx.send(0, tag(0, 7, KIND_RECORDS), w.finish());
         return Ok(None);
     }
     let mut keyed: Vec<(u64, BoxElimination<T>)> = state.records;
+    let mut stats = state.stats;
     for src in 1..grid.p() {
         let payload = ctx.recv(src, tag(0, 7, KIND_RECORDS));
         let mut r = ByteReader::new(payload);
@@ -950,9 +966,17 @@ fn gather_factorization<T: Scalar>(
         for _ in 0..n_recs {
             keyed.push(decode_record(&mut r));
         }
+        // INVARIANT: same frame as above — the peer appended exactly four
+        // telemetry counters after its records, so decode cannot truncate.
+        let (retries, fallbacks, fft, dense) = (r.get_u64(), r.get_u64(), r.get_u64(), r.get_u64());
+        stats.compression.absorb(&crate::CompressionTelemetry {
+            sketch_retries: retries,
+            sketch_fallbacks: fallbacks,
+            fft_block_applies: fft,
+            dense_block_applies: dense,
+        });
     }
     keyed.sort_by_key(|(k, _)| *k);
-    let mut stats = state.stats;
     stats.ranks.clear();
     let leaf = stats.leaf_level;
     let records: Vec<BoxElimination<T>> = keyed

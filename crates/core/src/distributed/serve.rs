@@ -1091,6 +1091,7 @@ pub(crate) fn dist_factorize_resident<K: Kernel>(
             e.1 += sum;
         }
         stats.peak_store_bytes = stats.peak_store_bytes.max(ws.peak_store_bytes);
+        stats.compression.absorb(&ws.compression);
     }
     stats.top_size = st.top.as_ref().map(|(idx, _)| idx.len()).unwrap_or(0);
     stats.record_bytes = per_rank_bytes.iter().sum();
@@ -1273,6 +1274,7 @@ pub(crate) fn restore_resident_service<T: Scalar>(
             e.1 += sum;
         }
         stats.peak_store_bytes = stats.peak_store_bytes.max(ws.peak_store_bytes);
+        stats.compression.absorb(&ws.compression);
     }
     stats.top_size = st.top.as_ref().map(|(idx, _)| idx.len()).unwrap_or(0);
     stats.record_bytes = per_rank_bytes.iter().sum();

@@ -9,9 +9,9 @@
 //! drivers (sequential, box-colored, distributed) share it and differ only
 //! in how they schedule the updates.
 
-use crate::skeletonize::skeletonize;
+use crate::skeletonize::{skeletonize, CompressionCtx};
 use crate::store::{ActiveSets, BlockStore};
-use crate::FactorOpts;
+use crate::{CompressionTelemetry, FactorOpts};
 use srsf_geometry::neighbors::near_field;
 use srsf_geometry::procgrid::BoxColoring;
 use srsf_geometry::tree::{BoxId, QuadTree};
@@ -80,6 +80,9 @@ pub struct EliminationOutput<T> {
     pub replaced: Vec<(BoxId, BoxId, Mat<T>)>,
     /// Additive Schur deltas for neighbor pairs `(n_j, n_k)`.
     pub deltas: Vec<(BoxId, BoxId, Mat<T>)>,
+    /// Compression path taken by this box's skeletonization (zeroed for
+    /// boxes that skipped it — empty active set).
+    pub compression: CompressionTelemetry,
 }
 
 /// Errors the factorization can raise.
@@ -130,6 +133,7 @@ pub fn eliminate_box<K: Kernel>(
     tree: &QuadTree,
     b: &BoxId,
     opts: &FactorOpts,
+    ctx: &CompressionCtx,
 ) -> Result<EliminationOutput<K::Elem>, FactorError> {
     type T<K> = <K as Kernel>::Elem;
     let a_b: Vec<u32> = act.get(b).to_vec();
@@ -139,10 +143,11 @@ pub fn eliminate_box<K: Kernel>(
             skel_positions: Vec::new(),
             replaced: Vec::new(),
             deltas: Vec::new(),
+            compression: CompressionTelemetry::default(),
         });
     }
 
-    let id = skeletonize(store, act, tree, b, opts);
+    let (id, compression) = skeletonize(store, act, tree, b, opts, ctx);
     let skel_positions = id.skel.clone();
     let red_positions = id.redundant.clone();
     if red_positions.is_empty() {
@@ -152,6 +157,7 @@ pub fn eliminate_box<K: Kernel>(
             skel_positions,
             replaced: Vec::new(),
             deltas: Vec::new(),
+            compression,
         });
     }
     let t = id.t; // |S| x |R|
@@ -178,13 +184,13 @@ pub fn eliminate_box<K: Kernel>(
     {
         let mut r0 = 0;
         for n in &nbrs {
-            let blk = store.get(n, b, act);
+            let blk = ctx.get_block(store, act, n, b);
             a_nb.set_block(r0, 0, &blk);
             r0 += blk.nrows();
         }
         let mut c0 = 0;
         for n in &nbrs {
-            let blk = store.get(b, n, act);
+            let blk = ctx.get_block(store, act, b, n);
             a_bn.set_block(0, c0, &blk);
             c0 += blk.ncols();
         }
@@ -300,6 +306,7 @@ pub fn eliminate_box<K: Kernel>(
         skel_positions,
         replaced,
         deltas,
+        compression,
     })
 }
 
@@ -311,6 +318,7 @@ pub fn apply_output<K: Kernel>(
     act: &mut ActiveSets,
     b: &BoxId,
     out: &EliminationOutput<K::Elem>,
+    ctx: &CompressionCtx,
 ) {
     if out.record.is_none() {
         // Either empty box or full-rank ID: nothing changes.
@@ -329,8 +337,15 @@ pub fn apply_output<K: Kernel>(
         .map(|r| r.skel.clone())
         .unwrap_or_default();
     act.set(*b, skel_ids);
-    // 4. Accumulate Schur deltas on neighbor pairs.
+    // 4. Accumulate Schur deltas on neighbor pairs. A delta's first touch
+    // materializes the pair's base block; go through the compression
+    // context so unmodified off-diagonal pairs fill from the symbol table
+    // instead of per-entry kernel evaluations.
     for (na, nb, d) in &out.deltas {
+        if na != nb && !store.contains(na, nb) {
+            let base = ctx.get_block(store, act, na, nb);
+            store.insert(*na, *nb, base);
+        }
         store.add_delta(*na, *nb, d, act);
     }
 }

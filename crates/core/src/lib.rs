@@ -44,9 +44,52 @@ pub use error::SrsfError;
 #[allow(deprecated)]
 pub use sequential::factorize;
 pub use sequential::Factorization;
+pub use skeletonize::CompressionCtx;
 pub use solver::{Driver, Factorized, Solver, SolverBuilder};
 pub use srsf_runtime::{BaseTransport, FaultPlan, RankHealth, Transport};
-pub use stats::FactorStats;
+pub use stats::{CompressionTelemetry, FactorStats};
+
+/// How per-box skeletonization compresses the proxy matrix.
+///
+/// The deterministic baseline runs a full column-pivoted QR on the tall
+/// proxy stack; the sketched path (the default) multiplies the stack by a
+/// small seeded Rademacher sketch and pivots on that, verifying the
+/// tolerance a-posteriori and falling back to the full CPQR when the
+/// sketch cannot certify it — see `srsf_linalg::rid` for the algorithm
+/// and `skeletonize` for the block-by-block assembly and the FFT leaf
+/// fast path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Compression {
+    /// Full deterministic CPQR interpolative decomposition (the PR 2
+    /// baseline path).
+    Cpqr,
+    /// Randomized sketch-then-ID with a-posteriori verification.
+    Sketched {
+        /// Extra sketch rows beyond the rank guess (default 10).
+        oversample: usize,
+        /// Base seed; mixed with `(kernel id, level, ix, iy)` per box so
+        /// skeletons are identical across drivers, thread counts, and
+        /// transports.
+        seed: u64,
+    },
+}
+
+impl Compression {
+    /// The default sketched configuration.
+    pub fn sketched() -> Self {
+        Compression::Sketched {
+            oversample: 10,
+            seed: 0x5253_5346_5249_4431, // ascii "RSSFRID1"
+        }
+    }
+}
+
+impl Default for Compression {
+    fn default() -> Self {
+        Compression::sketched()
+    }
+}
 
 /// Options controlling the factorization.
 ///
@@ -135,6 +178,12 @@ pub struct FactorOpts {
     /// solutions and message/word counts. The other drivers ignore this
     /// knob.
     pub trace: bool,
+    /// Skeletonization compression path (default:
+    /// [`Compression::sketched`]). [`Compression::Cpqr`] restores the
+    /// deterministic full-CPQR baseline; both paths satisfy the same
+    /// far-field accuracy bound (the sketched path verifies it
+    /// a-posteriori per box and falls back to CPQR when it cannot).
+    pub compression: Compression,
 }
 
 impl Default for FactorOpts {
@@ -153,6 +202,7 @@ impl Default for FactorOpts {
             checkpoint_dir: None,
             recv_timeout: std::time::Duration::from_secs(120),
             trace: false,
+            compression: Compression::default(),
         }
     }
 }
@@ -247,6 +297,13 @@ impl FactorOpts {
     /// to untraced ones in solutions and §IV counters.
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Set the skeletonization compression path (sketched by default;
+    /// [`Compression::Cpqr`] restores the deterministic baseline).
+    pub fn with_compression(mut self, compression: Compression) -> Self {
+        self.compression = compression;
         self
     }
 }

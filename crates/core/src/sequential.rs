@@ -8,6 +8,7 @@
 
 use crate::elimination::{apply_output, eliminate_box, BoxElimination, FactorError};
 use crate::levels::merge_to_parent;
+use crate::skeletonize::CompressionCtx;
 use crate::solve;
 use crate::stats::FactorStats;
 use crate::store::{ActiveSets, BlockStore};
@@ -200,17 +201,19 @@ fn factorize_with_tree_inner<K: Kernel>(
     }
 
     let lmin = (opts.min_compress_level as u8).min(leaf);
+    let ctx = CompressionCtx::new(kernel, pts, tree, opts);
     let mut records = Vec::new();
     if leaf >= lmin && leaf >= 1 {
         let mut level = leaf;
         loop {
             let t0 = Instant::now();
             for b in tree.boxes_at_level(level) {
-                let out = eliminate_box(&store, &act, tree, &b, opts)?;
+                let out = eliminate_box(&store, &act, tree, &b, opts, &ctx)?;
                 if let Some(rec) = &out.record {
                     stats.add_rank(level, rec.skel.len());
                 }
-                apply_output(&mut store, &mut act, &b, &out);
+                stats.compression.absorb(&out.compression);
+                apply_output(&mut store, &mut act, &b, &out, &ctx);
                 if let Some(rec) = out.record {
                     records.push(rec);
                 }
@@ -230,7 +233,7 @@ fn factorize_with_tree_inner<K: Kernel>(
     // Dense top factorization over the remaining active DOFs.
     let t2 = Instant::now();
     let top_level = if leaf >= lmin { lmin } else { leaf };
-    let (top_idx, top_lu) = factor_top(&store, &act, tree, top_level)?;
+    let (top_idx, top_lu) = factor_top(&store, &act, tree, top_level, &ctx)?;
     stats.top_s = t2.elapsed().as_secs_f64();
     stats.total_s = t_total.elapsed().as_secs_f64();
 
@@ -248,6 +251,7 @@ pub(crate) fn factor_top<K: Kernel>(
     act: &ActiveSets,
     tree: &QuadTree,
     top_level: u8,
+    ctx: &CompressionCtx,
 ) -> Result<(Vec<u32>, Lu<K::Elem>), FactorError> {
     let boxes: Vec<BoxId> = tree.boxes_at_level(top_level).collect();
     let sizes: Vec<usize> = boxes.iter().map(|b| act.get(b).len()).collect();
@@ -267,7 +271,7 @@ pub(crate) fn factor_top<K: Kernel>(
             if sizes[j] == 0 {
                 continue;
             }
-            let blk = store.get(bi, bj, act);
+            let blk = ctx.get_block(store, act, bi, bj);
             a.set_block(r0, c0, &blk);
             c0 += sizes[j];
         }

@@ -12,24 +12,316 @@
 //! which has O(1) rows. A single column ID of the stack yields the skeleton
 //! set and interpolation matrix `T` valid for both row and column
 //! interactions (Eq. 6).
+//!
+//! # Randomized compression ([`crate::Compression::Sketched`], the default)
+//!
+//! Rather than assembling the full tall stack and running CPQR to
+//! completion, the sketched path multiplies the stack by a seeded
+//! Rademacher sketch `Ω` and pivots on the small product `Y = Ω·A`.
+//! Because sketch entries are a pure function of `(seed, row, column)`
+//! (`srsf_linalg::rid`), `Y` accumulates **block by block** — one
+//! `Ω_blk · A_blk` GEMM per ring block and per proxy block — and the tall
+//! matrix never exists in memory. The per-box seed mixes
+//! `(kernel id, level, ix, iy)`, so skeletons are identical for every
+//! driver, thread count, and transport.
+//!
+//! ## A-posteriori verification loop
+//!
+//! Each sketch attempt must certify the tolerance (see `srsf_linalg::rid`
+//! module docs): the downdated-norm CPQR on the pivot rows of `Y` has to
+//! stop early, and a held-out block of sketch rows has to be reproduced by
+//! the candidate `(S, T)`. A failed attempt doubles the sketch and
+//! reassembles; when the sketch stops being cheaper than the full stack
+//! (`2 l ≥ m`) the box falls back to the deterministic
+//! [`interp_decomp`] — accuracy is never worse than the CPQR baseline.
+//!
+//! ## FFT leaf fast path
+//!
+//! At the leaf level the ring blocks of a translation-invariant kernel
+//! ([`Kernel::is_translation_invariant`]) on the uniform unit grid are
+//! untouched kernel evaluations with the structure
+//! `A[i,j] = s_i · t(x_i − x_j) · s_j`. The symbol `t` is tabulated once
+//! per factorization — one kernel evaluation per *offset* — and such
+//! blocks either assemble by table lookup (no transcendentals) or are
+//! applied to the sketch through the [`Toeplitz2D`] circulant embedding:
+//! one scatter, FFT convolution, and gather per sketch row and
+//! direction, without materializing the block at all. Schur updates
+//! destroy the structure above the leaves (and on modified leaf pairs,
+//! which `BlockStore::contains` detects), so those blocks always go the
+//! dense route. A per-box cost model picks whichever application is
+//! cheaper: at the paper's default leaf size (64) the table-assembled
+//! GEMM wins and the FFT convolution stays cold, while large uniform
+//! leaves flip the inequality.
+//!
+//! Independently, a (complex-)symmetric kernel ([`Kernel::is_symmetric`])
+//! with real entries makes the forward and adjoint blocks of an
+//! unmodified pair identical (`A_{B,M}ᴴ = A_{M,B}`), so the sketch
+//! evaluates each such pair once and applies the combined forward+adjoint
+//! sketch in a single GEMM — Rademacher sums are exactly representable,
+//! so this changes rounding order only.
 
 use crate::store::{ActiveSets, BlockStore};
-use crate::FactorOpts;
+use crate::{Compression, CompressionTelemetry, FactorOpts};
+use srsf_fft::toeplitz::Toeplitz2D;
+use srsf_geometry::grid::UnitGrid;
 use srsf_geometry::neighbors::dist2_ring;
-use srsf_geometry::proxy::{proxy_circle, proxy_count};
+use srsf_geometry::point::Point;
+use srsf_geometry::proxy::{proxy_circle_from_unit, proxy_count, unit_circle};
 use srsf_geometry::tree::{BoxId, QuadTree};
 use srsf_kernels::kernel::Kernel;
-use srsf_linalg::{interp_decomp, IdResult, Mat, Scalar};
+use srsf_linalg::gemm::matmul_acc;
+use srsf_linalg::rid::{derive_seed, id_from_sketch, sketch_block, sketch_sign, RID_VERIFY_ROWS};
+use srsf_linalg::{c64, interp_decomp, IdResult, Mat, Scalar};
+
+/// Per-level proxy geometry, computed once per factorization: all boxes
+/// of a level share the circle radius and point count, so the
+/// trigonometry happens once and each box only translates the result.
+struct LevelGeom {
+    radius: f64,
+    n_proxy: usize,
+    unit: Vec<Point>,
+}
+
+/// The leaf-level Toeplitz operator of a translation-invariant kernel on
+/// the uniform grid, plus its per-point scaling and the raw symbol table
+/// the operator was built from.
+struct LeafFft {
+    side: usize,
+    toeplitz: Toeplitz2D,
+    /// `s_i` per grid point; empty = identity (Laplace).
+    scale: Vec<f64>,
+    /// Raw symbol `t(dx, dy)`, row-major over `dy, dx ∈ [-(side-1),
+    /// side-1]` — one kernel evaluation per *offset* instead of per
+    /// entry, so unmodified leaf blocks assemble by table lookup with no
+    /// transcendentals.
+    table: Vec<c64>,
+}
+
+impl LeafFft {
+    #[inline]
+    fn scale_at(&self, i: usize) -> f64 {
+        if self.scale.is_empty() {
+            1.0
+        } else {
+            self.scale[i]
+        }
+    }
+
+    /// Assemble an unmodified leaf block from the symbol table:
+    /// `A[i,j] = s_i · t(x_i − x_j) · s_j` (`t` conjugated for the
+    /// adjoint direction — the symbol is even, so only the conjugate
+    /// distinguishes `A_{B,M}ᴴ` from `A_{M,B}` entries). Offsets between
+    /// grid points are exact dyadics, so for an unscaled kernel the table
+    /// entries are the very bits `Kernel::entry` would produce.
+    fn table_block<T: Scalar>(&self, rows_act: &[u32], cols_act: &[u32], conj: bool) -> Mat<T> {
+        let w = 2 * self.side - 1;
+        let off = (self.side - 1) as i64;
+        let coords = |g: &u32| {
+            let g = *g as usize;
+            (
+                (g % self.side) as i64,
+                (g / self.side) as i64,
+                self.scale_at(g),
+            )
+        };
+        let rc: Vec<_> = rows_act.iter().map(coords).collect();
+        let cc: Vec<_> = cols_act.iter().map(coords).collect();
+        Mat::from_fn(rc.len(), cc.len(), |i, j| {
+            let (ix, iy, si) = rc[i];
+            let (jx, jy, sj) = cc[j];
+            let t = self.table[((iy - jy + off) as usize) * w + (ix - jx + off) as usize];
+            let t = if conj { t.conj() } else { t };
+            T::from_re_im(t.re, t.im).scale(si * sj)
+        })
+    }
+}
+
+/// Overrides the FFT cost model — tests force the path on small problems
+/// where the model would (correctly) pick dense.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(not(test), allow(dead_code))] // Always/Never are test-only overrides
+pub(crate) enum FftGate {
+    Auto,
+    Always,
+    Never,
+}
+
+/// Immutable per-factorization compression state, built once per driver
+/// (per rank for the distributed driver — the construction is
+/// deterministic, so every rank derives the identical context) and
+/// shared by every `skeletonize` call.
+pub struct CompressionCtx {
+    compression: Compression,
+    /// Kernel identity mixed into every per-box sketch seed.
+    seed_id: u64,
+    /// Indexed by tree level `0..=leaf`.
+    geoms: Vec<LevelGeom>,
+    leaf_level: u8,
+    leaf_fft: Option<LeafFft>,
+    fft_gate: FftGate,
+}
+
+impl CompressionCtx {
+    /// Build the context for one factorization of `kernel` over `pts`.
+    pub fn new<K: Kernel>(kernel: &K, pts: &[Point], tree: &QuadTree, opts: &FactorOpts) -> Self {
+        let leaf = tree.leaf_level();
+        let geoms = (0..=leaf)
+            .map(|level| {
+                let side = tree
+                    .bbox(&BoxId {
+                        level,
+                        ix: 0,
+                        iy: 0,
+                    })
+                    .side;
+                let radius = opts.proxy_radius_factor * side;
+                let n_proxy = proxy_count(
+                    opts.n_proxy_min,
+                    opts.proxy_osc_factor,
+                    kernel.kappa(),
+                    radius,
+                );
+                LevelGeom {
+                    radius,
+                    n_proxy,
+                    unit: unit_circle(n_proxy),
+                }
+            })
+            .collect();
+        let sketched = matches!(opts.compression, Compression::Sketched { .. });
+        let leaf_fft = if sketched && kernel.is_translation_invariant() {
+            detect_unit_grid(pts).map(|side| build_leaf_fft(kernel, pts, side))
+        } else {
+            None
+        };
+        Self {
+            compression: opts.compression,
+            seed_id: kernel.seed_id(),
+            geoms,
+            leaf_level: leaf,
+            leaf_fft,
+            fft_gate: FftGate::Auto,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn with_fft_gate(mut self, gate: FftGate) -> Self {
+        self.fft_gate = gate;
+        self
+    }
+
+    /// Whether the leaf FFT operator was built (translation-invariant
+    /// kernel on a detected uniform grid under sketched compression).
+    pub fn has_leaf_fft(&self) -> bool {
+        self.leaf_fft.is_some()
+    }
+
+    fn geom(&self, level: u8) -> &LevelGeom {
+        &self.geoms[level as usize]
+    }
+
+    /// Assemble the current block `A[act(m), act(b)]` like
+    /// [`BlockStore::get`], but serve unmodified off-diagonal pairs from
+    /// the symbol table when one was built. Active ids are grid points at
+    /// every level, so this applies beyond the leaves: the Schur phase
+    /// reads many still-untouched neighbor blocks and the dense top block
+    /// is mostly fresh far-pair evaluations — the table skips their
+    /// per-entry transcendentals. Only `m == b` is excluded (diagonal
+    /// entries are singular self-interactions, not symbol values).
+    pub(crate) fn get_block<K: Kernel>(
+        &self,
+        store: &BlockStore<'_, K>,
+        act: &ActiveSets,
+        m: &BoxId,
+        b: &BoxId,
+    ) -> Mat<K::Elem> {
+        if m != b {
+            if let Some(f) = &self.leaf_fft {
+                if self.fft_gate != FftGate::Never && !store.contains(m, b) {
+                    return f.table_block(act.get(m), act.get(b), false);
+                }
+            }
+        }
+        store.get(m, b, act)
+    }
+}
+
+/// Detect whether `pts` is exactly the row-major [`UnitGrid`] layout with
+/// a power-of-two side (bitwise comparison — the FFT identity is exact
+/// only for the true grid).
+fn detect_unit_grid(pts: &[Point]) -> Option<usize> {
+    let n = pts.len();
+    let side = (n as f64).sqrt().round() as usize;
+    if side < 2 || side * side != n || !side.is_power_of_two() {
+        return None;
+    }
+    let grid = UnitGrid::new(side);
+    for (i, p) in pts.iter().enumerate() {
+        let q = grid.point(i);
+        if p.x.to_bits() != q.x.to_bits() || p.y.to_bits() != q.y.to_bits() {
+            return None;
+        }
+    }
+    Some(side)
+}
+
+/// Build the leaf Toeplitz operator: symbol `t(d) = entry / (s_i s_j)` at
+/// a representative grid pair realizing each offset, `t(0,0) = 0` (ring
+/// blocks never pair a point with itself). Requires the symmetric-kernel
+/// contract of [`Kernel::is_translation_invariant`] (`t(−d) = t(d)`).
+fn build_leaf_fft<K: Kernel>(kernel: &K, pts: &[Point], side: usize) -> LeafFft {
+    let n = side * side;
+    let scale_full: Vec<f64> = (0..n).map(|i| kernel.point_scale(i)).collect();
+    let identity = scale_full.iter().all(|&s| s == 1.0);
+    let w = 2 * side - 1;
+    let off = side as i64 - 1;
+    let mut table = vec![c64::ZERO; w * w];
+    for dy in -off..=off {
+        for dx in -off..=off {
+            if dx == 0 && dy == 0 {
+                continue; // ring blocks never pair a point with itself
+            }
+            let (i, j) = offset_pair(side, dx, dy);
+            let e = kernel.entry(pts, i, j);
+            let ss = scale_full[i] * scale_full[j];
+            table[((dy + off) as usize) * w + (dx + off) as usize] =
+                c64::new(e.re() / ss, e.im() / ss);
+        }
+    }
+    let toeplitz = Toeplitz2D::new(side, |dx, dy| {
+        table[((dy + off) as usize) * w + (dx + off) as usize]
+    });
+    LeafFft {
+        side,
+        toeplitz,
+        scale: if identity { Vec::new() } else { scale_full },
+        table,
+    }
+}
+
+/// Pick a representative grid-index pair realizing the offset `(dx, dy)`.
+fn offset_pair(m: usize, dx: i64, dy: i64) -> (usize, usize) {
+    let jx = if dx >= 0 { 0i64 } else { -dx };
+    let jy = if dy >= 0 { 0i64 } else { -dy };
+    let ix = jx + dx;
+    let iy = jy + dy;
+    (
+        (iy as usize) * m + ix as usize,
+        (jy as usize) * m + jx as usize,
+    )
+}
 
 /// Assemble the proxy-compressed tall matrix whose column ID skeletonizes
-/// box `b`.
+/// box `b` (the deterministic path, and the sketched path's fallback).
 pub fn proxy_matrix<K: Kernel>(
     store: &BlockStore<'_, K>,
     act: &ActiveSets,
     tree: &QuadTree,
     b: &BoxId,
     opts: &FactorOpts,
+    ctx: &CompressionCtx,
 ) -> Mat<K::Elem> {
+    let _ = opts;
     let a_b = act.get(b);
     let nb = a_b.len();
     let pts = store.points();
@@ -47,15 +339,9 @@ pub fn proxy_matrix<K: Kernel>(
         .collect();
     let ring_rows: usize = ring.iter().map(|m| act.get(m).len()).sum();
 
-    let bb = tree.bbox(b);
-    let radius = opts.proxy_radius_factor * bb.side;
-    let n_proxy = proxy_count(
-        opts.n_proxy_min,
-        opts.proxy_osc_factor,
-        kernel.kappa(),
-        radius,
-    );
-    let circle = proxy_circle(bb.center(), radius, n_proxy);
+    let geom = ctx.geom(b.level);
+    let n_proxy = geom.n_proxy;
+    let circle = proxy_circle_from_unit(tree.bbox(b).center(), geom.radius, &geom.unit);
 
     let mut out = Mat::zeros(2 * ring_rows + 2 * n_proxy, nb);
     let mut r0 = 0;
@@ -79,16 +365,272 @@ pub fn proxy_matrix<K: Kernel>(
     out
 }
 
-/// Compute the skeleton/redundant split and interpolation matrix of a box.
+/// Compute the skeleton/redundant split and interpolation matrix of a
+/// box, plus telemetry describing the compression path taken.
 pub fn skeletonize<K: Kernel>(
     store: &BlockStore<'_, K>,
     act: &ActiveSets,
     tree: &QuadTree,
     b: &BoxId,
     opts: &FactorOpts,
-) -> IdResult<K::Elem> {
-    let m = proxy_matrix(store, act, tree, b, opts);
-    interp_decomp(m, opts.tol, usize::MAX)
+    ctx: &CompressionCtx,
+) -> (IdResult<K::Elem>, CompressionTelemetry) {
+    let mut tel = CompressionTelemetry::default();
+    let (oversample, seed) = match ctx.compression {
+        Compression::Cpqr => {
+            let m = proxy_matrix(store, act, tree, b, opts, ctx);
+            return (interp_decomp(m, opts.tol, usize::MAX), tel);
+        }
+        Compression::Sketched { oversample, seed } => (oversample, seed),
+    };
+
+    let nb = act.get(b).len();
+    let ring: Vec<BoxId> = dist2_ring(b)
+        .into_iter()
+        .filter(|m| !act.get(m).is_empty())
+        .collect();
+    let ring_rows: usize = ring.iter().map(|m| act.get(m).len()).sum();
+    let m_rows = 2 * ring_rows + 2 * ctx.geom(b.level).n_proxy;
+
+    // Driver-invariant rank guess. Non-leaf boxes carry the previous
+    // level's realized information in `nb` itself — a parent's active set
+    // is the union of its children's realized skeletons — so the guess
+    // warm-starts from the measured ranks without introducing any
+    // schedule-dependent state (a running average would differ between
+    // drivers and break the bit-identity contract).
+    let guess = if b.level == ctx.leaf_level {
+        nb / 2 + 8
+    } else {
+        (5 * nb) / 8 + 8
+    }
+    .min(nb);
+    let box_seed = derive_seed(
+        seed ^ ctx.seed_id,
+        b.level as u64,
+        ((b.ix as u64) << 32) | b.iy as u64,
+    );
+
+    let mut l = (guess + oversample).max(4);
+    loop {
+        if 2 * (l + RID_VERIFY_ROWS) >= m_rows {
+            tel.sketch_fallbacks += 1;
+            let m = proxy_matrix(store, act, tree, b, opts, ctx);
+            return (interp_decomp(m, opts.tol, usize::MAX), tel);
+        }
+        let y = sketch_proxy(
+            store,
+            act,
+            tree,
+            b,
+            ctx,
+            &ring,
+            l + RID_VERIFY_ROWS,
+            box_seed,
+            &mut tel,
+        );
+        if let Some(id) = id_from_sketch(&y, l, opts.tol, usize::MAX) {
+            return (id, tel);
+        }
+        tel.sketch_retries += 1;
+        l *= 2;
+    }
+}
+
+/// Form `Y = Ω · [proxy stack]` block by block, without materializing the
+/// stack: dense `Ω_blk · A_blk` GEMMs for modified/ineligible blocks, the
+/// Toeplitz FFT path for unmodified translation-invariant leaf blocks.
+#[allow(clippy::too_many_arguments)]
+fn sketch_proxy<K: Kernel>(
+    store: &BlockStore<'_, K>,
+    act: &ActiveSets,
+    tree: &QuadTree,
+    b: &BoxId,
+    ctx: &CompressionCtx,
+    ring: &[BoxId],
+    rows: usize,
+    seed: u64,
+    tel: &mut CompressionTelemetry,
+) -> Mat<K::Elem> {
+    let a_b = act.get(b);
+    let nb = a_b.len();
+    let pts = store.points();
+    let kernel = store.kernel();
+    let geom = ctx.geom(b.level);
+    let n_proxy = geom.n_proxy;
+    let circle = proxy_circle_from_unit(tree.bbox(b).center(), geom.radius, &geom.unit);
+    // A real symmetric kernel makes the two directions of an unmodified
+    // pair literally the same block (`A_{B,M}ᴴ = A_{M,B}`): evaluate it
+    // once and sketch both with the combined (fwd + adj) sketch — exact,
+    // because Rademacher sums live in {-2, 0, 2}.
+    let fuse = kernel.is_symmetric() && !K::Elem::IS_COMPLEX;
+
+    let mut y = Mat::<K::Elem>::zeros(rows, nb);
+
+    // Partition ring blocks into FFT-eligible (leaf level, unmodified
+    // pair, operator available) and dense, tracking each block's row
+    // offset in the virtual tall stack — the offset keys the sketch
+    // columns, so the partition never changes the result, only the route.
+    let fft = ctx
+        .leaf_fft
+        .as_ref()
+        .filter(|_| b.level == ctx.leaf_level && ctx.fft_gate != FftGate::Never);
+    let mut fwd_elig: Vec<(usize, BoxId)> = Vec::new();
+    let mut adj_elig: Vec<(usize, BoxId)> = Vec::new();
+    let mut r0 = 0;
+    for m in ring {
+        let am = act.get(m).len();
+        if fft.is_some() && !store.contains(m, b) {
+            fwd_elig.push((r0, *m));
+        }
+        r0 += am;
+        if fft.is_some() && !store.contains(b, m) {
+            adj_elig.push((r0, *m));
+        }
+        r0 += am;
+    }
+    let ring_rows = r0 / 2;
+
+    // Cost model: an FFT direction costs one length-(2S)^2 convolution
+    // per sketch row; the dense route costs the symbol-table lookup of
+    // the eligible entries plus their GEMM flops. ~10 flops per FFT
+    // butterfly point, ~4 per table lookup.
+    let use_fft = match (fft, ctx.fft_gate) {
+        (None, _) | (_, FftGate::Never) => false,
+        (Some(_), FftGate::Always) => true,
+        (Some(f), FftGate::Auto) => {
+            let elig_rows: usize = fwd_elig
+                .iter()
+                .chain(adj_elig.iter())
+                .map(|(_, m)| act.get(m).len())
+                .sum();
+            let n_dirs = usize::from(!fwd_elig.is_empty()) + usize::from(!adj_elig.is_empty());
+            let big = 2 * f.side;
+            let fft_cost = n_dirs as f64
+                * rows as f64
+                * 10.0
+                * (big * big) as f64
+                * ((big * big) as f64).log2();
+            let dense_cost = elig_rows as f64 * nb as f64 * (4.0 + 2.0 * rows as f64);
+            fft_cost < dense_cost
+        }
+    };
+    if !use_fft {
+        fwd_elig.clear();
+        adj_elig.clear();
+    }
+
+    // Dense route: walk the ring with running offsets; every direction
+    // not claimed by the FFT route is materialized — from the symbol
+    // table when the pair is an untouched leaf kernel block, from the
+    // store otherwise — and GEMMed into Y, pairwise-fused when the
+    // kernel allows it.
+    let mut r0 = 0;
+    for m in ring {
+        let am = act.get(m).len();
+        let (fwd_off, adj_off) = (r0, r0 + am);
+        r0 += 2 * am;
+        let fwd_un = !store.contains(m, b);
+        let adj_un = !store.contains(b, m);
+        let (fwd_fft, adj_fft) = (use_fft && fwd_un, use_fft && adj_un);
+        if fwd_fft && adj_fft {
+            continue;
+        }
+        if !fwd_fft && !adj_fft && fuse && fwd_un && adj_un {
+            let blk = match fft {
+                Some(f) => f.table_block::<K::Elem>(act.get(m), a_b, false),
+                None => store.get(m, b, act),
+            };
+            let mut omega = sketch_block::<K::Elem>(seed, rows, fwd_off, am);
+            omega.axpy(K::Elem::ONE, &sketch_block(seed, rows, adj_off, am));
+            matmul_acc(&mut y, K::Elem::ONE, &omega, &blk);
+            tel.dense_block_applies += 2;
+            continue;
+        }
+        if !fwd_fft {
+            let blk = match (fwd_un, fft) {
+                (true, Some(f)) => f.table_block::<K::Elem>(act.get(m), a_b, false),
+                _ => store.get(m, b, act),
+            };
+            let omega = sketch_block::<K::Elem>(seed, rows, fwd_off, am);
+            matmul_acc(&mut y, K::Elem::ONE, &omega, &blk);
+            tel.dense_block_applies += 1;
+        }
+        if !adj_fft {
+            let blk = match (adj_un, fft) {
+                (true, Some(f)) => f.table_block::<K::Elem>(act.get(m), a_b, true),
+                _ => store.get(b, m, act).adjoint(),
+            };
+            let omega = sketch_block::<K::Elem>(seed, rows, adj_off, am);
+            matmul_acc(&mut y, K::Elem::ONE, &omega, &blk);
+            tel.dense_block_applies += 1;
+        }
+    }
+
+    // Proxy blocks: always dense (proxy points live off-grid). The same
+    // pairwise fusion applies — for a real symmetric kernel the
+    // conjugated column block *is* the row block.
+    {
+        let p_row = Mat::from_fn(n_proxy, nb, |p, j| {
+            kernel.proxy_row(pts, circle[p], a_b[j] as usize)
+        });
+        let mut omega = sketch_block::<K::Elem>(seed, rows, 2 * ring_rows, n_proxy);
+        if fuse {
+            omega.axpy(
+                K::Elem::ONE,
+                &sketch_block(seed, rows, 2 * ring_rows + n_proxy, n_proxy),
+            );
+            matmul_acc(&mut y, K::Elem::ONE, &omega, &p_row);
+        } else {
+            matmul_acc(&mut y, K::Elem::ONE, &omega, &p_row);
+            let p_col = Mat::from_fn(n_proxy, nb, |p, j| {
+                kernel.proxy_col(pts, a_b[j] as usize, circle[p]).conj()
+            });
+            let omega = sketch_block::<K::Elem>(seed, rows, 2 * ring_rows + n_proxy, n_proxy);
+            matmul_acc(&mut y, K::Elem::ONE, &omega, &p_col);
+        }
+        tel.dense_block_applies += 2;
+    }
+
+    // FFT route: per sketch row and direction, scatter ω·s over the grid,
+    // convolve once for *all* eligible blocks of that direction (their
+    // active sets are disjoint), and gather at the box's points.
+    // Forward blocks contribute `s_j · (T v)[g_j]`, adjoint blocks the
+    // conjugate — see `build_leaf_fft` for the symbol contract.
+    if use_fft && (!fwd_elig.is_empty() || !adj_elig.is_empty()) {
+        // INVARIANT: use_fft is only true when `fft` is Some.
+        let f = fft.expect("fft operator gated above");
+        let s2 = f.side * f.side;
+        let mut scratch = f.toeplitz.scratch();
+        let mut v = vec![c64::ZERO; s2];
+        let mut out = vec![c64::ZERO; s2];
+        for r in 0..rows {
+            for (elig, conj) in [(&fwd_elig, false), (&adj_elig, true)] {
+                if elig.is_empty() {
+                    continue;
+                }
+                v.fill(c64::ZERO);
+                for (off, m) in elig {
+                    for (i, &gi) in act.get(m).iter().enumerate() {
+                        let w = sketch_sign(seed, r, off + i) * f.scale_at(gi as usize);
+                        v[gi as usize] = c64::new(w, 0.0);
+                    }
+                }
+                f.toeplitz.apply_into(&v, &mut out, &mut scratch);
+                for (j, &gj) in a_b.iter().enumerate() {
+                    let t = if conj {
+                        out[gj as usize].conj()
+                    } else {
+                        out[gj as usize]
+                    };
+                    let val = K::Elem::from_re_im(t.re, t.im).scale(f.scale_at(gj as usize));
+                    y.col_mut(j)[r] += val;
+                }
+            }
+        }
+        tel.fft_block_applies += (fwd_elig.len() + adj_elig.len()) as u64;
+    }
+
+    y
 }
 
 /// Convenience: the defining ID error `||A[:,R] - A[:,S] T||_max` against a
@@ -104,8 +646,8 @@ pub fn id_error<T: Scalar>(a: &Mat<T>, id: &IdResult<T>) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use srsf_geometry::grid::UnitGrid;
     use srsf_geometry::point::BBox;
+    use srsf_kernels::helmholtz::HelmholtzKernel;
     use srsf_kernels::laplace::LaplaceKernel;
     use srsf_linalg::norms::fro_norm;
 
@@ -125,6 +667,10 @@ mod tests {
         act
     }
 
+    fn cpqr_opts() -> FactorOpts {
+        FactorOpts::default().with_compression(Compression::Cpqr)
+    }
+
     #[test]
     fn proxy_matrix_shape_and_content() {
         let (grid, k, tree) = setup(16, 16);
@@ -137,7 +683,8 @@ mod tests {
             iy: 2,
         };
         let opts = FactorOpts::default();
-        let m = proxy_matrix(&store, &act, &tree, &b, &opts);
+        let ctx = CompressionCtx::new(&k, &pts, &tree, &opts);
+        let m = proxy_matrix(&store, &act, &tree, &b, &opts, &ctx);
         assert_eq!(m.ncols(), 16);
         // Rows: both directions of every nonempty M(B) block plus the two
         // proxy blocks.
@@ -158,14 +705,15 @@ mod tests {
         let act = leaf_actives(&grid, &tree);
         let opts = FactorOpts {
             tol: 1e-6,
-            ..FactorOpts::default()
+            ..cpqr_opts()
         };
+        let ctx = CompressionCtx::new(&k, &pts, &tree, &opts);
         let b = BoxId {
             level: tree.leaf_level(),
             ix: 1,
             iy: 1,
         };
-        let id = skeletonize(&store, &act, &tree, &b, &opts);
+        let (id, _) = skeletonize(&store, &act, &tree, &b, &opts, &ctx);
         assert_eq!(id.rank() + id.redundant.len(), 64);
         assert!(id.rank() < 50, "rank {} should compress", id.rank());
         assert!(id.rank() > 5, "rank {} suspiciously small", id.rank());
@@ -182,27 +730,49 @@ mod tests {
             ix: 2,
             iy: 1,
         };
-        let loose = skeletonize(
-            &store,
-            &act,
-            &tree,
-            &b,
-            &FactorOpts {
-                tol: 1e-3,
-                ..Default::default()
-            },
-        );
-        let tight = skeletonize(
-            &store,
-            &act,
-            &tree,
-            &b,
-            &FactorOpts {
-                tol: 1e-9,
-                ..Default::default()
-            },
-        );
+        let lo = FactorOpts {
+            tol: 1e-3,
+            ..cpqr_opts()
+        };
+        let hi = FactorOpts {
+            tol: 1e-9,
+            ..cpqr_opts()
+        };
+        let ctx_lo = CompressionCtx::new(&k, &pts, &tree, &lo);
+        let ctx_hi = CompressionCtx::new(&k, &pts, &tree, &hi);
+        let (loose, _) = skeletonize(&store, &act, &tree, &b, &lo, &ctx_lo);
+        let (tight, _) = skeletonize(&store, &act, &tree, &b, &hi, &ctx_hi);
         assert!(tight.rank() > loose.rank());
+    }
+
+    /// Exact far-field block `A_{F,B}` for the accuracy assertions below.
+    fn true_far_field(
+        store: &BlockStore<'_, LaplaceKernel>,
+        act: &ActiveSets,
+        tree: &QuadTree,
+        b: &BoxId,
+    ) -> Mat<f64> {
+        let a_b = act.get(b);
+        let mut far_rows: Vec<u32> = Vec::new();
+        for other in tree.boxes_at_level(b.level) {
+            if other.chebyshev(b) > 2 {
+                far_rows.extend_from_slice(act.get(&other));
+            }
+        }
+        store.eval_kernel(&far_rows, a_b)
+    }
+
+    fn assert_far_field_bound(afb: &Mat<f64>, id: &IdResult<f64>, label: &str) {
+        let rows: Vec<usize> = (0..afb.nrows()).collect();
+        let ar = afb.select(&rows, &id.redundant);
+        let as_ = afb.select(&rows, &id.skel);
+        let approx = srsf_linalg::gemm::matmul(&as_, &id.t);
+        let err = srsf_linalg::norms::max_abs_diff(&ar, &approx);
+        let scale = fro_norm(afb);
+        assert!(
+            err < 1e-5 * scale.max(1e-12),
+            "{label} ID failed on true far field: {err:.3e} vs scale {scale:.3e}"
+        );
     }
 
     /// The heart of the proxy trick: the ID computed from the O(1)-row
@@ -215,36 +785,146 @@ mod tests {
         let act = leaf_actives(&grid, &tree);
         let opts = FactorOpts {
             tol: 1e-8,
-            ..FactorOpts::default()
+            ..cpqr_opts()
         };
+        let ctx = CompressionCtx::new(&k, &pts, &tree, &opts);
         let lvl = tree.leaf_level();
         let b = BoxId {
             level: lvl,
             ix: 1,
             iy: 2,
         };
-        let id = skeletonize(&store, &act, &tree, &b, &opts);
+        let (id, tel) = skeletonize(&store, &act, &tree, &b, &opts, &ctx);
+        assert_eq!(tel, CompressionTelemetry::default());
+        assert_far_field_bound(&true_far_field(&store, &act, &tree, &b), &id, "CPQR");
+    }
 
-        // Assemble the exact far-field block A_{F,B} (all boxes at
-        // distance > 2... here: > 1 minus the near field, i.e. F = beyond
-        // N(B)) restricted to rows far from B.
-        let a_b = act.get(&b);
-        let mut far_rows: Vec<u32> = Vec::new();
-        for other in tree.boxes_at_level(lvl) {
-            if other.chebyshev(&b) > 2 {
-                far_rows.extend_from_slice(act.get(&other));
-            }
-        }
-        let afb = store.eval_kernel(&far_rows, a_b);
-        let rows: Vec<usize> = (0..afb.nrows()).collect();
-        let ar = afb.select(&rows, &id.redundant);
-        let as_ = afb.select(&rows, &id.skel);
-        let approx = srsf_linalg::gemm::matmul(&as_, &id.t);
-        let err = srsf_linalg::norms::max_abs_diff(&ar, &approx);
-        let scale = fro_norm(&afb);
+    /// The sketched path must satisfy the *same* true-far-field bound as
+    /// the deterministic path at the same tolerance.
+    #[test]
+    fn sketched_id_compresses_true_far_field() {
+        let (grid, k, tree) = setup(32, 64);
+        let pts = grid.points();
+        let store = BlockStore::new(&k, &pts);
+        let act = leaf_actives(&grid, &tree);
+        let opts = FactorOpts {
+            tol: 1e-8,
+            ..FactorOpts::default().with_compression(Compression::sketched())
+        };
+        let ctx = CompressionCtx::new(&k, &pts, &tree, &opts);
+        let b = BoxId {
+            level: tree.leaf_level(),
+            ix: 1,
+            iy: 2,
+        };
+        let (id, tel) = skeletonize(&store, &act, &tree, &b, &opts, &ctx);
+        assert!(tel.dense_block_applies > 0, "sketch should have run");
+        assert_eq!(tel.sketch_fallbacks, 0);
+        assert_far_field_bound(&true_far_field(&store, &act, &tree, &b), &id, "sketched");
+
+        // And the skeleton count agrees with the deterministic path to
+        // within the oversampling slack.
+        let cp = FactorOpts {
+            tol: 1e-8,
+            ..cpqr_opts()
+        };
+        let ctx_cp = CompressionCtx::new(&k, &pts, &tree, &cp);
+        let (full, _) = skeletonize(&store, &act, &tree, &b, &cp, &ctx_cp);
         assert!(
-            err < 1e-5 * scale.max(1e-12),
-            "proxy ID failed on true far field: {err:.3e} vs scale {scale:.3e}"
+            id.rank() <= full.rank() + 6 && id.rank() + 6 >= full.rank(),
+            "sketched rank {} vs deterministic {}",
+            id.rank(),
+            full.rank()
         );
+    }
+
+    /// Forcing the FFT route must exercise it (telemetry) and still meet
+    /// the far-field bound — the Toeplitz application is exact on
+    /// unmodified leaf blocks, so only the sketch statistics change.
+    #[test]
+    fn sketched_fft_path_compresses_true_far_field() {
+        let (grid, k, tree) = setup(32, 64);
+        let pts = grid.points();
+        let store = BlockStore::new(&k, &pts);
+        let act = leaf_actives(&grid, &tree);
+        let opts = FactorOpts {
+            tol: 1e-8,
+            ..FactorOpts::default().with_compression(Compression::sketched())
+        };
+        let ctx = CompressionCtx::new(&k, &pts, &tree, &opts).with_fft_gate(FftGate::Always);
+        assert!(ctx.has_leaf_fft(), "unit grid + Laplace must detect");
+        let b = BoxId {
+            level: tree.leaf_level(),
+            ix: 1,
+            iy: 2,
+        };
+        let (id, tel) = skeletonize(&store, &act, &tree, &b, &opts, &ctx);
+        assert!(tel.fft_block_applies > 0, "FFT path should have run");
+        assert_far_field_bound(
+            &true_far_field(&store, &act, &tree, &b),
+            &id,
+            "FFT-sketched",
+        );
+    }
+
+    /// The FFT route and the dense route apply the same operator: the
+    /// sketches they produce agree to rounding, for both paper kernels
+    /// (identity scaling and sqrt(b) scaling).
+    #[test]
+    fn fft_and_dense_sketches_agree() {
+        // Laplace (f64, identity scale).
+        let (grid, k, tree) = setup(16, 16);
+        let pts = grid.points();
+        let store = BlockStore::new(&k, &pts);
+        let act = leaf_actives(&grid, &tree);
+        let opts = FactorOpts::default();
+        let b = BoxId {
+            level: tree.leaf_level(),
+            ix: 0,
+            iy: 3,
+        };
+        let ring: Vec<BoxId> = dist2_ring(&b)
+            .into_iter()
+            .filter(|m| !act.get(m).is_empty())
+            .collect();
+        let ctx_d = CompressionCtx::new(&k, &pts, &tree, &opts).with_fft_gate(FftGate::Never);
+        let ctx_f = CompressionCtx::new(&k, &pts, &tree, &opts).with_fft_gate(FftGate::Always);
+        let mut t1 = CompressionTelemetry::default();
+        let mut t2 = CompressionTelemetry::default();
+        let yd = sketch_proxy(&store, &act, &tree, &b, &ctx_d, &ring, 12, 99, &mut t1);
+        let yf = sketch_proxy(&store, &act, &tree, &b, &ctx_f, &ring, 12, 99, &mut t2);
+        assert!(t1.fft_block_applies == 0 && t2.fft_block_applies > 0);
+        let scale = fro_norm(&yd);
+        assert!(
+            srsf_linalg::norms::max_abs_diff(&yd, &yf) < 1e-12 * scale,
+            "dense vs FFT sketch disagree"
+        );
+
+        // Helmholtz (c64, sqrt(b) scaling exercises the scale vector and
+        // the conjugated adjoint direction).
+        let hk = HelmholtzKernel::new(&grid, 10.0);
+        let hstore = BlockStore::new(&hk, &pts);
+        let hd = CompressionCtx::new(&hk, &pts, &tree, &opts).with_fft_gate(FftGate::Never);
+        let hf = CompressionCtx::new(&hk, &pts, &tree, &opts).with_fft_gate(FftGate::Always);
+        let mut t3 = CompressionTelemetry::default();
+        let mut t4 = CompressionTelemetry::default();
+        let zd = sketch_proxy(&hstore, &act, &tree, &b, &hd, &ring, 12, 99, &mut t3);
+        let zf = sketch_proxy(&hstore, &act, &tree, &b, &hf, &ring, 12, 99, &mut t4);
+        assert!(t4.fft_block_applies > 0);
+        let hscale = fro_norm(&zd);
+        assert!(
+            srsf_linalg::norms::max_abs_diff(&zd, &zf) < 1e-12 * hscale,
+            "Helmholtz dense vs FFT sketch disagree"
+        );
+    }
+
+    /// Scattered (non-grid) points must not detect as a grid.
+    #[test]
+    fn no_fft_operator_off_grid() {
+        let pts = srsf_geometry::grid::scattered_points(256, 7);
+        let k = LaplaceKernel::with_params(1.0 / 256.0, 1.0);
+        let tree = QuadTree::build(&pts, BBox::UNIT, 16);
+        let ctx = CompressionCtx::new(&k, &pts, &tree, &FactorOpts::default());
+        assert!(!ctx.has_leaf_fft());
     }
 }

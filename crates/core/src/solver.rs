@@ -231,14 +231,22 @@ impl<T: Scalar> Solver<T> {
         }
     }
 
-    /// Fallible [`Solver::solve`]. Local backends cannot fail; in
-    /// residency mode a rank that dies (or a link that goes down)
-    /// mid-solve surfaces as [`SrsfError::RankFailed`] within the
+    /// Fallible [`Solver::solve`]. A right-hand side of the wrong
+    /// length is [`SrsfError::RhsLength`] (where the infallible
+    /// [`Solver::solve`] panics); beyond that, local backends cannot
+    /// fail. In residency mode a rank that dies (or a link that goes
+    /// down) mid-solve surfaces as [`SrsfError::RankFailed`] within the
     /// receive timeout — no hang, no abort — and later solves fail fast
     /// with the same error. The degraded solver still shuts down (or
     /// drops) cleanly, and [`Solver::restore_resident`] can rebuild a
     /// fresh world from checkpoints.
     pub fn try_solve(&self, b: &[T]) -> Result<Vec<T>, SrsfError> {
+        if b.len() != self.n() {
+            return Err(SrsfError::RhsLength {
+                expected: self.n(),
+                got: b.len(),
+            });
+        }
         match &self.backend {
             SolverBackend::Local(f) => Ok(f.solve(b)),
             SolverBackend::Resident(s) => s.try_solve(b),
@@ -247,6 +255,12 @@ impl<T: Scalar> Solver<T> {
 
     /// Fallible [`Solver::solve_mat`]; see [`Solver::try_solve`].
     pub fn try_solve_mat(&self, b: &Mat<T>) -> Result<Mat<T>, SrsfError> {
+        if b.nrows() != self.n() {
+            return Err(SrsfError::RhsLength {
+                expected: self.n(),
+                got: b.nrows(),
+            });
+        }
         match &self.backend {
             SolverBackend::Local(f) => Ok(f.solve_mat(b)),
             SolverBackend::Resident(s) => s.try_solve_mat(b),
@@ -674,6 +688,16 @@ impl<'a, K: Kernel> SolverBuilder<'a, K> {
     /// drivers.
     pub fn trace(mut self, trace: bool) -> Self {
         self.opts = self.opts.with_trace(trace);
+        self
+    }
+
+    /// Select the skeletonization compression path (default:
+    /// [`crate::Compression::sketched`]; [`crate::Compression::Cpqr`]
+    /// restores the deterministic full-CPQR baseline). Both paths meet
+    /// the same far-field accuracy bound — the sketched one verifies it
+    /// a-posteriori per box and falls back to CPQR when it cannot.
+    pub fn compression(mut self, compression: crate::Compression) -> Self {
+        self.opts = self.opts.with_compression(compression);
         self
     }
 

@@ -3,6 +3,35 @@
 
 use std::collections::BTreeMap;
 
+/// Counters describing how the randomized compression behaved — per box
+/// from `skeletonize`, accumulated per factorization (and per rank over
+/// the wire) into [`FactorStats::compression`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompressionTelemetry {
+    /// Sketch attempts rejected by the a-posteriori verification and
+    /// retried with a doubled sketch.
+    pub sketch_retries: u64,
+    /// Boxes that exhausted the sketch budget and fell back to the full
+    /// deterministic CPQR.
+    pub sketch_fallbacks: u64,
+    /// Ring/proxy blocks applied to the sketch through the Toeplitz FFT
+    /// fast path.
+    pub fft_block_applies: u64,
+    /// Ring/proxy blocks applied to the sketch as dense GEMMs (always 0
+    /// under [`crate::Compression::Cpqr`], which forms no sketch).
+    pub dense_block_applies: u64,
+}
+
+impl CompressionTelemetry {
+    /// Fold another telemetry record (a box, or a whole rank) into this one.
+    pub fn absorb(&mut self, other: &CompressionTelemetry) {
+        self.sketch_retries += other.sketch_retries;
+        self.sketch_fallbacks += other.sketch_fallbacks;
+        self.fft_block_applies += other.fft_block_applies;
+        self.dense_block_applies += other.dense_block_applies;
+    }
+}
+
 /// Statistics collected while building a factorization.
 #[derive(Clone, Debug, Default)]
 pub struct FactorStats {
@@ -28,6 +57,9 @@ pub struct FactorStats {
     pub record_bytes: usize,
     /// Peak bytes held by the modified-block store.
     pub peak_store_bytes: usize,
+    /// Randomized-compression behavior (retries, fallbacks, FFT vs dense
+    /// sketch block applications).
+    pub compression: CompressionTelemetry,
 }
 
 impl FactorStats {

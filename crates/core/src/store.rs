@@ -148,12 +148,12 @@ impl<'a, K: Kernel> BlockStore<'a, K> {
     /// pair was still implicit. `delta` must match the current active sets.
     pub fn add_delta(&mut self, a: BoxId, b: BoxId, delta: &Mat<K::Elem>, act: &ActiveSets) {
         let entry = self.blocks.entry((a, b)).or_insert_with(|| {
-            Mat::from_fn(act.get(&a).len(), act.get(&b).len(), |i, j| {
-                self.kernel.entry_or_diag(
-                    self.pts,
-                    act.get(&a)[i] as usize,
-                    act.get(&b)[j] as usize,
-                )
+            // Hoist the active-set lookups out of the per-entry closure.
+            let rows = act.get(&a);
+            let cols = act.get(&b);
+            Mat::from_fn(rows.len(), cols.len(), |i, j| {
+                self.kernel
+                    .entry_or_diag(self.pts, rows[i] as usize, cols[j] as usize)
             })
         });
         entry.axpy(srsf_linalg::Scalar::ONE, delta);

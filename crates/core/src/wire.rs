@@ -155,6 +155,10 @@ impl Wire for FactorStats {
         w.put_u64(self.top_size as u64);
         w.put_u64(self.record_bytes as u64);
         w.put_u64(self.peak_store_bytes as u64);
+        w.put_u64(self.compression.sketch_retries);
+        w.put_u64(self.compression.sketch_fallbacks);
+        w.put_u64(self.compression.fft_block_applies);
+        w.put_u64(self.compression.dense_block_applies);
     }
     fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
         let n = r.try_get_u64()? as usize;
@@ -183,6 +187,10 @@ impl Wire for FactorStats {
         stats.top_size = r.try_get_u64()? as usize;
         stats.record_bytes = r.try_get_u64()? as usize;
         stats.peak_store_bytes = r.try_get_u64()? as usize;
+        stats.compression.sketch_retries = r.try_get_u64()?;
+        stats.compression.sketch_fallbacks = r.try_get_u64()?;
+        stats.compression.fft_block_applies = r.try_get_u64()?;
+        stats.compression.dense_block_applies = r.try_get_u64()?;
         Ok(stats)
     }
 }
@@ -227,7 +235,8 @@ impl<T: Scalar> Wire for Factorization<T> {
 /// Container magic: "SRSF" + "CKP" + format generation.
 const CKPT_MAGIC: &[u8; 8] = b"SRSFCKP1";
 /// Container version; bump on any layout change.
-const CKPT_VERSION: u64 = 1;
+/// v2: `FactorStats` carries the four compression-telemetry counters.
+const CKPT_VERSION: u64 = 2;
 /// Header length in bytes.
 const CKPT_HEADER: usize = 40;
 /// Scalar tag of the scalar-independent manifest file.

@@ -12,7 +12,7 @@
 //! following transport_equiv.rs's re-exec discipline (TCP session first,
 //! one session per test function).
 
-use srsf_core::{Driver, FactorOpts, Solver, Transport};
+use srsf_core::{Compression, Driver, FactorOpts, Solver, Transport};
 use srsf_geometry::grid::UnitGrid;
 use srsf_geometry::point::Point;
 use srsf_kernels::helmholtz::HelmholtzKernel;
@@ -59,6 +59,14 @@ fn assert_identical<T: Scalar>(label: &str, (f_a, x_a): &Built<T>, (f_b, x_b): &
         f_a.stats().rank_table(),
         f_b.stats().rank_table(),
         "{label}: skeleton ranks"
+    );
+    // The sketched path's counters are part of the determinism contract:
+    // every box takes the same retry/fallback/FFT-vs-dense route on every
+    // schedule, so the global counters match exactly.
+    assert_eq!(
+        f_a.stats().compression,
+        f_b.stats().compression,
+        "{label}: compression telemetry"
     );
     let s_a = f_a.comm_stats().expect("comm stats");
     let s_b = f_b.comm_stats().expect("comm stats");
@@ -131,6 +139,39 @@ macro_rules! tcp_case {
             assert_identical(concat!(stringify!($name), " tcp vs inproc"), &tcp, &inproc);
         }
     };
+}
+
+/// Explicit non-default sketch parameters (the inproc matrix above pins
+/// the *default* `Compression::sketched()`): a custom `(oversample,
+/// seed)` must be just as schedule-invariant across ranks and thread
+/// counts — the per-box seeds derive only from box coordinates.
+#[test]
+fn inproc_threads_bitwise_explicit_sketched() {
+    let grid = UnitGrid::new(32);
+    let kernel = LaplaceKernel::new(&grid);
+    let pts = grid.points();
+    let sketched = Compression::Sketched {
+        oversample: 6,
+        seed: 0xABCD_1234,
+    };
+    let build_s = |p: usize, threads: usize| {
+        let b = random_vector::<f64>(pts.len(), 7);
+        Solver::builder(&kernel, &pts)
+            .opts(opts().with_compression(sketched))
+            .driver(Driver::distributed(p))
+            .rank_threads(threads)
+            .build_with_solution(&b)
+            .unwrap_or_else(|e| panic!("p={p}, {threads} threads: {e}"))
+    };
+    for p in [1usize, 4] {
+        let serial = build_s(p, 1);
+        let threaded = build_s(p, 4);
+        assert_identical(&format!("sketched p={p}, 4t vs 1t"), &threaded, &serial);
+    }
+    // (Across *process counts* the phase partition — interior vs
+    // boundary — reorders the floating-point Schur additions, so bits
+    // differ with p under either compression path; the invariance
+    // contract is per p, across threads and transports.)
 }
 
 tcp_case!(tcp_threads_bitwise_laplace_f64_p1, LaplaceKernel::new, 1);

@@ -146,6 +146,23 @@ fn mismatched_rhs_length_is_an_error() {
             got: 3
         }
     );
+    // The fallible solve entry points return the same typed error
+    // instead of hitting the infallible path's length assert.
+    let s = Solver::builder(&kernel, &pts).build().unwrap();
+    assert_eq!(
+        s.try_solve(&[1.0; 3]).unwrap_err(),
+        SrsfError::RhsLength {
+            expected: 64,
+            got: 3
+        }
+    );
+    assert_eq!(
+        s.try_solve_mat(&srsf_linalg::Mat::zeros(3, 2)).unwrap_err(),
+        SrsfError::RhsLength {
+            expected: 64,
+            got: 3
+        }
+    );
 }
 
 #[test]

@@ -162,6 +162,10 @@ fn gen_stats(rng: &mut Rng) -> FactorStats {
     s.top_size = rng.below(1 << 16);
     s.record_bytes = rng.below(1 << 30);
     s.peak_store_bytes = rng.below(1 << 30);
+    s.compression.sketch_retries = rng.below(1 << 10) as u64;
+    s.compression.sketch_fallbacks = rng.below(1 << 10) as u64;
+    s.compression.fft_block_applies = rng.below(1 << 20) as u64;
+    s.compression.dense_block_applies = rng.below(1 << 20) as u64;
     s
 }
 
@@ -458,7 +462,7 @@ fn checkpoint_container_rejects_corruption() {
     bent[0..8].copy_from_slice(b"NOTSRSF!");
     expect_rejected(&bent, "bad magic");
     let mut bent = bytes.clone();
-    bent[8..16].copy_from_slice(&2u64.to_le_bytes());
+    bent[8..16].copy_from_slice(&99u64.to_le_bytes());
     expect_rejected(&bent, "future version");
     let mut bent = bytes.clone();
     bent[16..24].copy_from_slice(&16u64.to_le_bytes()); // claims c64

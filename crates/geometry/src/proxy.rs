@@ -10,15 +10,35 @@
 
 use crate::point::Point;
 
-/// Equispaced points on the circle of given `center` and `radius`.
-pub fn proxy_circle(center: Point, radius: f64, n: usize) -> Vec<Point> {
-    assert!(n >= 1 && radius > 0.0);
+/// Equispaced directions on the unit circle (radius 1 around the origin,
+/// first point on the +x axis).
+///
+/// All boxes of a tree level share radius and point count, so the
+/// factorization evaluates the trigonometry once per level and shifts the
+/// result per box with [`proxy_circle_from_unit`] instead of rebuilding
+/// the circle for every skeletonization.
+pub fn unit_circle(n: usize) -> Vec<Point> {
+    assert!(n >= 1);
     (0..n)
         .map(|k| {
             let ang = 2.0 * core::f64::consts::PI * k as f64 / n as f64;
-            Point::new(center.x + radius * ang.cos(), center.y + radius * ang.sin())
+            Point::new(ang.cos(), ang.sin())
         })
         .collect()
+}
+
+/// Scale a precomputed [`unit_circle`] by `radius` and translate it to
+/// `center`.
+pub fn proxy_circle_from_unit(center: Point, radius: f64, unit: &[Point]) -> Vec<Point> {
+    assert!(radius > 0.0);
+    unit.iter()
+        .map(|u| Point::new(center.x + radius * u.x, center.y + radius * u.y))
+        .collect()
+}
+
+/// Equispaced points on the circle of given `center` and `radius`.
+pub fn proxy_circle(center: Point, radius: f64, n: usize) -> Vec<Point> {
+    proxy_circle_from_unit(center, radius, &unit_circle(n))
 }
 
 /// Proxy point count rule: `max(n_min, ceil(osc_factor * kappa * radius) + 32)`.
@@ -63,6 +83,20 @@ mod tests {
         let pts = proxy_circle(Point::new(0.0, 0.0), 1.5, 8);
         assert!((pts[0].x - 1.5).abs() < 1e-15);
         assert!(pts[0].y.abs() < 1e-15);
+    }
+
+    #[test]
+    fn translated_unit_circle_matches_direct_circle() {
+        let unit = unit_circle(23);
+        let c = Point::new(-0.4, 1.7);
+        let direct = proxy_circle(c, 3.25, 23);
+        let shifted = proxy_circle_from_unit(c, 3.25, &unit);
+        assert_eq!(direct.len(), shifted.len());
+        for (a, b) in direct.iter().zip(shifted.iter()) {
+            // Bitwise: the cached path must not perturb skeleton selection.
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+        }
     }
 
     #[test]

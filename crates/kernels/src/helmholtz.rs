@@ -107,6 +107,23 @@ impl Kernel for HelmholtzKernel {
     fn kappa(&self) -> f64 {
         self.kappa
     }
+
+    fn is_translation_invariant(&self) -> bool {
+        // entry = sqrt(b_i) · [prefactor · green(r)] · sqrt(b_j): the
+        // bracket is a pure function of the offset, the density factors
+        // are the per-point scaling.
+        true
+    }
+
+    fn point_scale(&self, i: usize) -> f64 {
+        self.sqrt_b[i]
+    }
+
+    fn is_symmetric(&self) -> bool {
+        // Complex symmetric (A = Aᵀ, not Hermitian): the Green's function
+        // is even in the offset and both points carry the same sqrt(b).
+        true
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,50 @@ pub trait Kernel: Send + Sync {
         0.0
     }
 
+    /// True when off-diagonal entries factor as
+    /// `A[i,j] = point_scale(i) · t(x_i − x_j) · point_scale(j)` with a
+    /// real scaling and an *even* symbol (`t(−d) = t(d)`) — the structure
+    /// the FFT leaf fast path exploits: on a uniform grid, unmodified
+    /// blocks can then be applied through a Toeplitz circulant embedding,
+    /// or assembled from a precomputed symbol table, instead of being
+    /// evaluated entry by entry. Both paper kernels qualify (Laplace
+    /// exactly, Helmholtz with `point_scale = sqrt(b_i)`). Defaults to
+    /// `false`; claiming it wrongly produces wrong answers, not just slow
+    /// ones.
+    fn is_translation_invariant(&self) -> bool {
+        false
+    }
+
+    /// True when the assembled operator is (complex-)symmetric:
+    /// `entry(i, j) == entry(j, i)` exactly, i.e. `A = Aᵀ` — *not*
+    /// Hermitian for complex kernels. For a real symmetric kernel the
+    /// forward and adjoint directions of an unmodified pair coincide
+    /// (`A_{B,M}ᴴ = A_{M,B}`), so the randomized compression evaluates
+    /// each ring block once and sketches both directions with a single
+    /// combined GEMM. Both paper kernels qualify (Laplace is real
+    /// symmetric; Helmholtz is complex symmetric because both points
+    /// carry the same `sqrt(b)` factor). The proxy interactions must obey
+    /// the same symmetry: `proxy_row(y, j) == proxy_col(j, y)`. Defaults
+    /// to `false`.
+    fn is_symmetric(&self) -> bool {
+        false
+    }
+
+    /// The per-point scaling `s_i` of the translation-invariant
+    /// factorization (see [`Kernel::is_translation_invariant`]); identity
+    /// by default.
+    fn point_scale(&self, _i: usize) -> f64 {
+        1.0
+    }
+
+    /// Stable identifier mixed into randomized-compression sketch seeds,
+    /// so different kernels draw different sketches while the same kernel
+    /// draws the same sketch on every driver, thread count, and
+    /// transport. Defaults to the bits of `kappa`.
+    fn seed_id(&self) -> u64 {
+        self.kappa().to_bits()
+    }
+
     /// `A[i,j]` with the diagonal case folded in.
     fn entry_or_diag(&self, pts: &[Point], i: usize, j: usize) -> Self::Elem {
         if i == j {

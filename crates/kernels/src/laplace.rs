@@ -68,6 +68,21 @@ impl Kernel for LaplaceKernel {
     fn proxy_col(&self, pts: &[Point], i: usize, y: Point) -> f64 {
         self.eval(pts[i], y)
     }
+
+    fn is_translation_invariant(&self) -> bool {
+        // entry = -(w / 4π) ln r²: a pure function of the offset, with no
+        // per-point scaling.
+        true
+    }
+
+    fn is_symmetric(&self) -> bool {
+        // r² is even in the offset, so entry(i, j) == entry(j, i) bitwise.
+        true
+    }
+
+    fn seed_id(&self) -> u64 {
+        self.weight.to_bits() ^ self.diag.to_bits().rotate_left(32)
+    }
 }
 
 #[cfg(test)]

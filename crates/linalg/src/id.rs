@@ -44,8 +44,14 @@ pub fn interp_decomp<T: Scalar>(a: Mat<T>, tol: f64, max_rank: usize) -> IdResul
             t: Mat::zeros(0, 0),
         };
     }
-    let c = cpqr(a, tol, max_rank);
+    id_from_cpqr(cpqr(a, tol, max_rank), n)
+}
+
+/// Turn a finished CPQR into the ID `(S, R, T)` — shared tail of
+/// [`interp_decomp`] and the sketched path in [`crate::rid`].
+pub(crate) fn id_from_cpqr<T: Scalar>(c: crate::qr::Cpqr<T>, n: usize) -> IdResult<T> {
     let k = c.rank;
+    debug_assert_eq!(c.jpvt.len(), n);
     let skel = c.jpvt[..k].to_vec();
     let redundant = c.jpvt[k..].to_vec();
     // T = R11^{-1} R12 (k x (n-k)); empty dims handled by the Mat machinery.

@@ -31,6 +31,7 @@ pub mod mat;
 pub mod norms;
 pub mod op;
 pub mod qr;
+pub mod rid;
 pub mod scalar;
 pub mod triangular;
 pub mod vecops;
@@ -42,4 +43,5 @@ pub use lu::Lu;
 pub use mat::Mat;
 pub use op::{relative_residual, DenseOp, LinOp};
 pub use qr::{cpqr, householder_qr, Cpqr};
+pub use rid::{rand_interp_decomp, RidTelemetry};
 pub use scalar::Scalar;

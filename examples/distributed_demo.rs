@@ -281,6 +281,7 @@ fn run_resident(
     if metrics {
         let snap = f.metrics().expect("resident driver exposes metrics");
         println!("\nserve metrics:\n{}", snap.render());
+        print_compression(f.stats());
     }
     if let Some(path) = trace_out {
         // Drains every rank's ring buffer over the serve protocol; the
@@ -298,6 +299,24 @@ fn run_resident(
     let stats = f.shutdown().expect("resident shutdown");
     assert_eq!(stats.per_rank.len(), p);
     println!("resident shutdown: clean (no live workers)");
+}
+
+/// Compression observability: the per-level skeleton rank table (Fig. 9
+/// of the paper) plus the sketched path's counters — how often the
+/// a-posteriori check forced a retry or a CPQR fallback, and how many
+/// sketch blocks went through the FFT fast path vs dense GEMMs.
+fn print_compression(stats: &srsf::prelude::FactorStats) {
+    println!("\ncompression (all ranks):");
+    println!("{:>7} {:>8} {:>10}", "level", "boxes", "avg rank");
+    for (level, avg) in stats.rank_table() {
+        let boxes = stats.ranks[&level].0;
+        println!("{level:>7} {boxes:>8} {avg:>10.1}");
+    }
+    let c = &stats.compression;
+    println!(
+        "sketch retries = {}, CPQR fallbacks = {}, sketch blocks: {} FFT / {} dense",
+        c.sketch_retries, c.sketch_fallbacks, c.fft_block_applies, c.dense_block_applies
+    );
 }
 
 fn main() {
@@ -387,6 +406,7 @@ fn main() {
     );
     if metrics {
         println!("\nserve metrics are recorded by the resident driver; re-run with --resident");
+        print_compression(f.stats());
     }
     if let Some(path) = &trace_out {
         // Per-rank reports were gathered with the factorization itself.

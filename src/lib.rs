@@ -82,8 +82,8 @@ pub use srsf_trace as trace;
 pub mod prelude {
     pub use srsf_core::{
         colored::ColorScheme, sequential::Factorization, solver::SolverBuilder, stats::FactorStats,
-        BaseTransport, Driver, FactorOpts, Factorized, FaultPlan, RankHealth, Solver, SrsfError,
-        Transport,
+        BaseTransport, Compression, CompressionTelemetry, Driver, FactorOpts, Factorized,
+        FaultPlan, RankHealth, Solver, SrsfError, Transport,
     };
     // Deprecated free-function drivers, kept so pre-builder call sites
     // continue to compile against the prelude.
